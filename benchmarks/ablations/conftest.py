@@ -1,0 +1,6 @@
+"""Ablation benchmarks: make the parent suite's helpers importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))

@@ -1,0 +1,43 @@
+"""Ablation: CCI-P batch size beyond the paper's B values.
+
+Sweeps B in 1..16 to expose the full latency/throughput knee the
+soft-config auto-batcher exploits: throughput saturates once the per-flow
+issue rate exceeds the CPU bound (~B=3), while low-load latency keeps
+growing with B (fixed-B mode waits for full batches).
+"""
+
+from bench_common import emit
+
+from repro.harness import run_closed_loop, run_open_loop
+from repro.harness.report import render_table
+
+BATCHES = [1, 2, 3, 4, 6, 8, 12, 16]
+
+
+def sweep():
+    rows = []
+    for batch in BATCHES:
+        saturated = run_closed_loop(batch_size=batch, nreq=8000)
+        low_load = run_open_loop(load_mrps=1.0, batch_size=batch, nreq=5000)
+        rows.append({
+            "batch": batch,
+            "mrps": saturated.throughput_mrps,
+            "low_load_p50_us": low_load.p50_us,
+        })
+    return rows
+
+
+def test_batch_sweep(once):
+    rows = once(sweep)
+    emit("ablation_batch_sweep", render_table(
+        ["B", "saturated Mrps", "p50 us @ 1 Mrps"],
+        [(r["batch"], r["mrps"], r["low_load_p50_us"]) for r in rows],
+        title="Ablation — CCI-P batch size sweep (fixed-B mode)",
+    ))
+    by_batch = {r["batch"]: r for r in rows}
+    # Throughput: rises from B=1 to the CPU bound, then flat.
+    assert by_batch[2]["mrps"] > by_batch[1]["mrps"] * 1.2
+    assert abs(by_batch[16]["mrps"] - by_batch[4]["mrps"]) < 1.0
+    # Latency at low load: monotone-ish growth with B (batch-fill wait).
+    assert by_batch[8]["low_load_p50_us"] > by_batch[1]["low_load_p50_us"]
+    assert by_batch[16]["low_load_p50_us"] > by_batch[4]["low_load_p50_us"]

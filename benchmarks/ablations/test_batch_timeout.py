@@ -1,0 +1,45 @@
+"""Ablation: the fixed-batch timeout soft register.
+
+With fixed B > 1 at low load, the RX FSM waits for a full batch; the soft
+batch timeout bounds that wait. Sweeping it shows the latency floor moving
+with the timeout — and why auto-batching (which needs no timeout) is the
+better default the paper lands on.
+"""
+
+from bench_common import emit
+
+from repro.harness import EchoRig
+from repro.harness.report import render_table
+
+
+def run_with_timeout(timeout_ns):
+    rig = EchoRig(batch_size=4, auto_batch=False)
+    rig.client_stack.nic.soft.batch_timeout_ns = timeout_ns
+    rig.server_stack.nic.soft.batch_timeout_ns = timeout_ns
+    result = rig.open_loop(0.5, nreq=4000)
+    return {"timeout_ns": timeout_ns, "p50_us": result.p50_us,
+            "p99_us": result.p99_us}
+
+
+def sweep():
+    rows = [run_with_timeout(t) for t in (500, 1500, 3000, 6000)]
+    auto = EchoRig(batch_size=4, auto_batch=True).open_loop(0.5, nreq=4000)
+    rows.append({"timeout_ns": "auto-batch", "p50_us": auto.p50_us,
+                 "p99_us": auto.p99_us})
+    return rows
+
+
+def test_batch_timeout(once):
+    rows = once(sweep)
+    emit("ablation_batch_timeout", render_table(
+        ["batch timeout ns", "p50 us", "p99 us"],
+        [(r["timeout_ns"], r["p50_us"], r["p99_us"]) for r in rows],
+        title="Ablation — fixed-B batch timeout at 0.5 Mrps, B=4",
+    ))
+    fixed = [r for r in rows if r["timeout_ns"] != "auto-batch"]
+    auto = rows[-1]
+    # Latency grows with the timeout (requests wait longer for peers)...
+    p50s = [r["p50_us"] for r in fixed]
+    assert p50s == sorted(p50s)
+    # ...and auto-batching beats every fixed-timeout configuration.
+    assert auto["p50_us"] < min(p50s)

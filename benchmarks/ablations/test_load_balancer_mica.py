@@ -1,0 +1,47 @@
+"""Ablation: NIC load-balancer scheme under MICA (section 5.7).
+
+MICA requires all requests for a key to reach the owning partition. The
+object-level balancer (key hash on the FPGA) achieves that; round-robin
+steering misroutes ~ (P-1)/P of requests, paying cross-partition
+concurrency control on every one of them.
+"""
+
+from bench_common import emit
+
+from repro.apps.kvs import run_kvs_workload
+from repro.harness.report import render_table
+
+
+def sweep():
+    rows = []
+    for scheme in ("object-level", "round-robin"):
+        result = run_kvs_workload(
+            system="mica", num_threads=2, num_keys=1_000_000,
+            load_balancer=scheme, nreq=6000, closed_loop_window=16,
+            warmup_ns=50_000,
+        )
+        rows.append({
+            "scheme": scheme,
+            "p50_us": result.p50_us,
+            "p99_us": result.p99_us,
+            "thr_mrps": result.throughput_mrps,
+            "misrouted": result.misrouted,
+        })
+    return rows
+
+
+def test_load_balancer_mica(once):
+    rows = once(sweep)
+    emit("ablation_load_balancer_mica", render_table(
+        ["balancer", "p50 us", "p99 us", "Mrps", "misrouted"],
+        [(r["scheme"], r["p50_us"], r["p99_us"], r["thr_mrps"],
+          r["misrouted"]) for r in rows],
+        title="Ablation — MICA with 2 partitions, balancer scheme",
+    ))
+    objective, round_robin = rows
+    assert objective["misrouted"] == 0
+    # Round-robin misroutes about half the requests with 2 partitions.
+    assert round_robin["misrouted"] > 2000
+    # The cross-partition penalty costs throughput and latency.
+    assert round_robin["thr_mrps"] < objective["thr_mrps"]
+    assert round_robin["p99_us"] > objective["p99_us"]

@@ -1,0 +1,35 @@
+"""Fig 10: single-core throughput and latency per CPU-NIC interface."""
+
+from bench_common import emit
+
+from repro.harness.experiments import fig10_interfaces
+from repro.harness.report import render_table
+
+
+def test_fig10_interfaces(once):
+    rows = once(fig10_interfaces)
+    table = render_table(
+        ["interface", "B", "paper Mrps", "Mrps",
+         "paper p50", "p50 us", "paper p99", "p99 us"],
+        [(r["interface"], r["batch"], r["paper_mrps"], r["mrps"],
+          r["paper_p50_us"], r["p50_us"], r["paper_p99_us"], r["p99_us"])
+         for r in rows],
+        title="Fig 10 — CPU-NIC interfaces, 64 B RPCs, one core",
+    )
+    emit("fig10_interfaces", table)
+
+    by_key = {(r["interface"], r["batch"]): r for r in rows}
+    # Throughput within 15% of the paper per configuration.
+    for key, row in by_key.items():
+        assert abs(row["mrps"] - row["paper_mrps"]) / row["paper_mrps"] \
+            < 0.15, key
+    # Shape claims: doorbell batching ladder is monotone; UPI beats every
+    # PCIe mode on throughput at B=4 and on latency at both batch sizes.
+    doorbells = [by_key[("pcie-doorbell", b)]["mrps"] for b in (1, 3, 7, 11)]
+    assert doorbells == sorted(doorbells)
+    upi4 = by_key[("upi", 4)]
+    assert upi4["mrps"] > max(r["mrps"] for k, r in by_key.items()
+                              if k[0] != "upi")
+    upi1 = by_key[("upi", 1)]
+    assert upi1["p50_us"] < min(r["p50_us"] for k, r in by_key.items()
+                                if k[0] != "upi")

@@ -1,0 +1,32 @@
+"""Fig 11 (left): latency vs load for CCI-P batch sizes and auto-batching."""
+
+from bench_common import emit
+
+from repro.harness.experiments import fig11_latency_load
+from repro.harness.report import render_table
+
+
+def test_fig11_latency_load(once):
+    rows = once(fig11_latency_load)
+    table = render_table(
+        ["config", "offered Mrps", "p50 us", "p99 us", "thr Mrps"],
+        [(r["config"], r["offered_mrps"], r["p50_us"], r["p99_us"],
+          r["throughput_mrps"]) for r in rows],
+        title="Fig 11 (left) — latency vs load, 64 B async RPCs",
+    )
+    emit("fig11_latency_load", table)
+
+    def curve(config):
+        return [r for r in rows if r["config"] == config]
+
+    b1, b4, auto = curve("B=1"), curve("B=4"), curve("auto")
+    # B=1: ~1.8 us flat median until the ~7.2 Mrps saturation point.
+    assert abs(b1[0]["p50_us"] - 1.8) < 0.4
+    assert b1[-2]["p50_us"] < 2.6  # still low close to saturation
+    # B=4 sustains ~12 Mrps at <3.5 us median but pays latency at low load.
+    assert b4[-1]["throughput_mrps"] > 11.0
+    assert b4[0]["p50_us"] > 2 * b1[0]["p50_us"]
+    # Auto-batching: B=1 latency at low load AND B=4 throughput at high.
+    assert abs(auto[0]["p50_us"] - b1[0]["p50_us"]) < 0.5
+    assert auto[-1]["throughput_mrps"] > 11.0
+    assert auto[-1]["p50_us"] < b4[0]["p50_us"]

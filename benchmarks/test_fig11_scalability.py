@@ -1,0 +1,30 @@
+"""Fig 11 (right): thread scalability, end-to-end RPCs vs raw UPI reads."""
+
+from bench_common import emit
+
+from repro.harness.experiments import FIG11_PAPER, fig11_scalability
+from repro.harness.report import render_table
+
+
+def test_fig11_scalability(once):
+    rows = once(fig11_scalability)
+    table = render_table(
+        ["threads", "e2e Mrps", "raw UPI Mrps"],
+        [(r["threads"], r["e2e_mrps"], r["raw_mrps"]) for r in rows],
+        title=("Fig 11 (right) — thread scaling "
+               f"(paper plateaus: {FIG11_PAPER['e2e_plateau_mrps']} e2e, "
+               f"{FIG11_PAPER['raw_plateau_mrps']} raw)"),
+    )
+    emit("fig11_scalability", table)
+
+    by_threads = {r["threads"]: r for r in rows}
+    # Near-linear scaling to 4 threads, then flat at ~42 Mrps.
+    assert by_threads[2]["e2e_mrps"] > 1.6 * by_threads[1]["e2e_mrps"]
+    assert by_threads[4]["e2e_mrps"] > 3.0 * by_threads[1]["e2e_mrps"]
+    plateau = by_threads[4]["e2e_mrps"]
+    assert abs(plateau - FIG11_PAPER["e2e_plateau_mrps"]) < 5.0
+    assert abs(by_threads[8]["e2e_mrps"] - plateau) < 2.0
+    # Raw reads plateau around 80 Mrps — roughly 2x the end-to-end cap.
+    raw_plateau = by_threads[8]["raw_mrps"]
+    assert abs(raw_plateau - FIG11_PAPER["raw_plateau_mrps"]) < 10.0
+    assert raw_plateau > 1.7 * plateau

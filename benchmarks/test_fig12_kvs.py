@@ -1,0 +1,50 @@
+"""Fig 12: memcached and MICA over Dagger — latency and peak throughput."""
+
+from bench_common import emit
+
+from repro.harness.experiments import fig12_kvs, sec56_mica_high_skew
+from repro.harness.report import render_table
+
+
+def test_fig12_kvs(once):
+    rows = once(fig12_kvs)
+    table = render_table(
+        ["system", "dataset", "paper p50", "p50 us", "paper p99", "p99 us",
+         "paper thr50", "thr 50%GET", "paper thr95", "thr 95%GET"],
+        [(r["system"], r["dataset"], r["paper_p50_us"], r["p50_us"],
+          r["paper_p99_us"], r["p99_us"], r["paper_thr_50get"],
+          r["thr_50get"], r["paper_thr_95get"], r["thr_95get"])
+         for r in rows],
+        title="Fig 12 — KVS over Dagger, zipf 0.99, one core",
+    )
+    emit("fig12_kvs", table)
+
+    by_cell = {(r["system"], r["dataset"]): r for r in rows}
+    for key, row in by_cell.items():
+        # Latencies within ~20% / throughput within ~20% of the paper.
+        assert abs(row["p50_us"] - row["paper_p50_us"]) \
+            / row["paper_p50_us"] < 0.20, key
+        assert abs(row["thr_50get"] - row["paper_thr_50get"]) \
+            / row["paper_thr_50get"] < 0.20, key
+        # Drops stay under the paper's 1% budget.
+        assert row["drop_rate"] < 0.01, key
+    # Shape: MICA sustains ~7-8x memcached's write-heavy throughput.
+    assert by_cell[("mica", "tiny")]["thr_50get"] \
+        > 5 * by_cell[("memcached", "tiny")]["thr_50get"]
+    # Read-heavy mixes are faster than write-heavy ones for both systems.
+    for system in ("mica", "memcached"):
+        row = by_cell[(system, "tiny")]
+        assert row["thr_95get"] > row["thr_50get"]
+
+
+def test_sec56_mica_high_skew(once):
+    result = once(sec56_mica_high_skew)
+    table = render_table(
+        ["skew", "thr Mrps", "hit rate"],
+        [("0.99", result["thr_skew_099"], result["hit_rate_099"]),
+         ("0.9999", result["thr_skew_09999"], result["hit_rate_09999"])],
+        title="Section 5.6 — MICA under higher skew (better locality)",
+    )
+    emit("sec56_mica_high_skew", table)
+    # Higher skew concentrates accesses; throughput must not degrade.
+    assert result["thr_skew_09999"] >= 0.95 * result["thr_skew_099"]

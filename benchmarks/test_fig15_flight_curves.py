@@ -1,0 +1,28 @@
+"""Fig 15: Flight Registration latency/load curves (Optimized model)."""
+
+from bench_common import emit
+
+from repro.harness.experiments import fig15_flight_curves
+from repro.harness.report import render_table
+
+
+def test_fig15_flight_curves(once):
+    rows = once(fig15_flight_curves)
+    table = render_table(
+        ["load Krps", "thr Krps", "p50 us", "p90 us", "p99 us", "drop rate"],
+        [(r["load_krps"], r["throughput_krps"], r["p50_us"], r["p90_us"],
+          r["p99_us"], f"{r['drop_rate']:.2%}") for r in rows],
+        title="Fig 15 — Flight Registration, Optimized threading",
+    )
+    emit("fig15_flight_curves", table)
+
+    by_load = {r["load_krps"]: r for r in rows}
+    # Below the ~25 Krps saturation point the median stays in the ~20s of
+    # us; past it the tail soars (paper: into the 10^2-10^3 us range) while
+    # the median moves far less.
+    assert by_load[15]["p50_us"] < 30
+    assert by_load[25]["p50_us"] < 35
+    last = rows[-1]
+    assert last["p99_us"] > 4 * by_load[15]["p99_us"]
+    # Throughput tracks offered load up to saturation.
+    assert abs(by_load[25]["throughput_krps"] - 25) < 2.0

@@ -1,0 +1,41 @@
+"""Fig 3: networking as a fraction of per-tier latency (Social Network)."""
+
+from bench_common import emit
+
+from repro.harness.experiments import FIG3_PAPER, fig3_breakdown
+from repro.harness.report import render_table
+
+
+def test_fig3_breakdown(once):
+    rows = once(fig3_breakdown)
+    table = render_table(
+        ["load Krps", "tier", "p50 us", "p99 us", "app", "rpc", "tcp"],
+        [(r["load_krps"], r["tier"], r["p50_us"], r["p99_us"],
+          "-" if r["app_fraction"] is None else f"{r['app_fraction']:.0%}",
+          "-" if r["rpc_fraction"] is None else f"{r['rpc_fraction']:.0%}",
+          "-" if r["transport_fraction"] is None
+          else f"{r['transport_fraction']:.0%}") for r in rows],
+        title="Fig 3 — latency breakdown, Social Network over kernel TCP",
+    )
+    emit("fig3_breakdown", table)
+
+    tier_rows = [r for r in rows if r["tier"] != "e2e"]
+    lowest = [r for r in tier_rows if r["load_krps"] == rows[0]["load_krps"]]
+    fractions = {r["tier"].split(":")[1]: r["network_fraction"]
+                 for r in lowest}
+    # Communication is a large share on average, up to ~80%+ for the light
+    # User and UniqueID tiers (paper: 40% average, up to 80%).
+    mean_fraction = sum(fractions.values()) / len(fractions)
+    assert mean_fraction > FIG3_PAPER["mean_network_fraction"]
+    assert fractions["user"] > 0.7
+    assert fractions["unique_id"] > 0.7
+    # Compute-heavy tiers spend most of their time on application logic.
+    assert fractions["text"] < 0.5
+    assert fractions["user_mention"] < 0.5
+    # RPC processing is a substantial share of networking, comparable to
+    # the TCP/IP layer itself.
+    user_low = next(r for r in lowest if r["tier"].endswith("user"))
+    assert user_low["rpc_fraction"] > 0.5 * user_low["transport_fraction"]
+    # End-to-end latency grows with load (queueing through the stack).
+    e2e = [r for r in rows if r["tier"] == "e2e"]
+    assert e2e[-1]["p99_us"] > e2e[0]["p99_us"]

@@ -1,0 +1,37 @@
+"""Fig 4: distribution of RPC request/response sizes."""
+
+from bench_common import emit
+
+from repro.harness.experiments import fig4_rpc_sizes
+from repro.harness.report import render_table
+
+
+def test_fig4_rpc_sizes(once):
+    result = once(fig4_rpc_sizes)
+    rows = [
+        ("social requests <= 512 B", result["paper"]["requests_under_512"],
+         result["social_requests_under_512"]),
+        ("social responses <= 64 B", result["paper"]["responses_under_64"],
+         result["social_responses_under_64"]),
+        ("media requests <= 512 B", result["paper"]["requests_under_512"],
+         result["media_requests_under_512"]),
+        ("media responses <= 64 B", result["paper"]["responses_under_64"],
+         result["media_responses_under_64"]),
+    ]
+    table = render_table(["cdf point", "paper (at least)", "measured"], rows,
+                         title="Fig 4 — RPC size distributions")
+    medians = render_table(
+        ["tier", "median request B"],
+        sorted(result["per_tier_median_request"].items()),
+        title="Fig 4 (right) — per-tier median request sizes",
+    )
+    emit("fig4_rpc_sizes", table + "\n\n" + medians)
+
+    assert result["social_requests_under_512"] >= 0.75
+    assert result["social_responses_under_64"] >= 0.90
+    assert result["media_responses_under_64"] >= 0.90
+    per_tier = result["per_tier_median_request"]
+    # Text's median is ~580 B while Media/User/UniqueID stay <= 64 B.
+    assert per_tier["text"] == 580
+    for small_tier in ("media", "user", "unique_id"):
+        assert per_tier[small_tier] <= 64

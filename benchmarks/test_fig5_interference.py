@@ -1,0 +1,31 @@
+"""Fig 5: CPU contention between application logic and networking."""
+
+from bench_common import emit
+
+from repro.harness.experiments import fig5_interference
+from repro.harness.report import render_table
+
+
+def test_fig5_interference(once):
+    rows = once(fig5_interference)
+    table = render_table(
+        ["load Krps", "cores", "p50 us", "p99 us", "drop rate"],
+        [(r["load_krps"], "shared" if r["shared_cores"] else "separate",
+          r["p50_us"], r["p99_us"], f"{r['drop_rate']:.2%}") for r in rows],
+        title="Fig 5 — networking/application core sharing, Social Network",
+    )
+    emit("fig5_interference", table)
+
+    by_key = {(r["load_krps"], r["shared_cores"]): r for r in rows}
+    loads = sorted({r["load_krps"] for r in rows})
+    for load in loads:
+        shared = by_key[(load, True)]
+        separate = by_key[(load, False)]
+        # Sharing cores with interrupt processing hurts latency...
+        assert shared["p99_us"] > separate["p99_us"], load
+    # ...and the penalty grows with load, especially at the tail.
+    low, high = loads[0], loads[-1]
+    low_gap = by_key[(low, True)]["p99_us"] - by_key[(low, False)]["p99_us"]
+    high_gap = (by_key[(high, True)]["p99_us"]
+                - by_key[(high, False)]["p99_us"])
+    assert high_gap > low_gap

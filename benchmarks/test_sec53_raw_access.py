@@ -1,0 +1,21 @@
+"""Section 5.3: raw one-way shared-memory access over UPI vs PCIe DMA."""
+
+from bench_common import emit
+
+from repro.harness.experiments import sec53_raw_access
+from repro.harness.report import render_table
+
+
+def test_sec53_raw_access(once):
+    result = once(sec53_raw_access)
+    table = render_table(
+        ["interconnect", "paper ns", "measured ns"],
+        [("UPI coherent read", result["paper_upi_ns"], result["upi_ns"]),
+         ("PCIe DMA read", result["paper_pcie_ns"], result["pcie_ns"])],
+        title="Section 5.3 — raw one-way shared-memory read latency",
+    )
+    emit("sec53_raw_access", table)
+    assert abs(result["upi_ns"] - result["paper_upi_ns"]) < 40
+    assert abs(result["pcie_ns"] - result["paper_pcie_ns"]) < 40
+    # UPI is physically slightly faster than PCIe (the paper's finding).
+    assert result["upi_ns"] < result["pcie_ns"]

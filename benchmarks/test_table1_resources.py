@@ -1,0 +1,29 @@
+"""Table 1: implementation specifications of the Dagger NIC."""
+
+from bench_common import emit
+
+from repro.harness.experiments import table1_resources
+from repro.harness.report import render_table
+
+
+def test_table1_resources(once):
+    rows = once(table1_resources)
+    table = render_table(
+        ["parameter", "paper", "measured", "utilization"],
+        [(r["parameter"], r["paper"], r["measured"],
+          "-" if r["utilization"] is None else f"{r['utilization']:.0%}")
+         for r in rows],
+        title="Table 1 — Dagger NIC implementation specs",
+    )
+    emit("table1_resources", table)
+    by_name = {r["parameter"]: r for r in rows}
+    luts = by_name["FPGA resource usage, LUT (K)"]
+    assert abs(luts["measured"] - luts["paper"]) / luts["paper"] < 0.05
+    brams = by_name["FPGA resource usage, BRAM blocks (M20K)"]
+    assert abs(brams["measured"] - brams["paper"]) / brams["paper"] < 0.05
+    regs = by_name["FPGA resource usage, registers (K)"]
+    assert abs(regs["measured"] - regs["paper"]) / regs["paper"] < 0.05
+    assert by_name["Max number of NIC flows (<=50% util)"]["measured"] == 512
+    assert by_name[
+        "NIC instances fitting one FPGA (default config)"
+    ]["measured"] >= 8

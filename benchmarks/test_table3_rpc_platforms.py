@@ -1,0 +1,31 @@
+"""Table 3: median RTT and single-core RPC throughput across platforms."""
+
+from bench_common import emit
+
+from repro.harness.experiments import table3_rpc_platforms
+from repro.harness.report import render_table
+
+
+def test_table3_rpc_platforms(once):
+    rows = once(table3_rpc_platforms)
+    table = render_table(
+        ["stack", "bytes", "paper RTT us", "RTT us", "paper Mrps", "Mrps"],
+        [(r["stack"], r["rpc_bytes"], r["paper_rtt_us"], r["rtt_us"],
+          "-" if r["paper_mrps"] is None else r["paper_mrps"],
+          "-" if r["mrps"] is None else r["mrps"]) for r in rows],
+        title="Table 3 — RPC platforms, 0.3 us TOR",
+    )
+    emit("table3_rpc_platforms", table)
+
+    by_stack = {r["stack"]: r for r in rows}
+    # RTTs within 25% of the paper's numbers.
+    for stack, row in by_stack.items():
+        assert abs(row["rtt_us"] - row["paper_rtt_us"]) \
+            / row["paper_rtt_us"] < 0.25, stack
+    # The ordering claims: Dagger has the highest per-core throughput
+    # (1.3-3.8x over the others) and IX is slowest on both axes.
+    dagger = by_stack["dagger"]
+    for other in ("ix", "fasst-rdma", "erpc"):
+        ratio = dagger["mrps"] / by_stack[other]["mrps"]
+        assert ratio > 1.3, (other, ratio)
+    assert by_stack["ix"]["rtt_us"] > 3 * dagger["rtt_us"]

@@ -1,0 +1,31 @@
+"""Table 4: Flight Registration — Simple vs Optimized threading models."""
+
+from bench_common import emit
+
+from repro.harness.experiments import table4_flight
+from repro.harness.report import render_table
+
+
+def test_table4_flight(once):
+    rows = once(table4_flight)
+    table = render_table(
+        ["model", "paper max Krps", "max Krps", "paper p50", "p50 us",
+         "paper p90", "p90 us", "paper p99", "p99 us"],
+        [(r["model"], r["paper_max_krps"], r["max_krps"],
+          r["paper_p50_us"], r["p50_us"], r["paper_p90_us"], r["p90_us"],
+          r["paper_p99_us"], r["p99_us"]) for r in rows],
+        title="Table 4 — Flight Registration service (drops < 1%)",
+    )
+    emit("table4_flight", table)
+
+    by_model = {r["model"]: r for r in rows}
+    simple = by_model["simple"]
+    optimized = by_model["optimized"]
+    # The headline: worker threading lifts throughput by an order of
+    # magnitude (paper: ~17x) at a latency cost.
+    assert optimized["max_krps"] > 10 * simple["max_krps"]
+    assert optimized["p50_us"] > simple["p50_us"]
+    # Simple's lowest median latency is in the low-teens of us.
+    assert abs(simple["p50_us"] - simple["paper_p50_us"]) < 4.0
+    # Optimized sustains tens of Krps.
+    assert optimized["max_krps"] > 30.0

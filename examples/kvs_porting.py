@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Port memcached and MICA onto Dagger and compare with native transports.
+
+Reproduces the spirit of section 5.6: the same KVS workload (zipf 0.99,
+write-intensive mix) served over the Dagger stack versus each store's
+native transport — kernel TCP for memcached, DPDK for MICA — showing the
+order-of-magnitude access-latency reduction the paper reports.
+
+Run:  python examples/kvs_porting.py
+"""
+
+from repro.apps.kvs import run_kvs_workload
+from repro.harness.report import render_table
+
+
+def measure(system, stack, window):
+    return run_kvs_workload(
+        system=system, stack_name=stack, key_bytes=8, value_bytes=8,
+        num_keys=1_000_000, get_fraction=0.5, nreq=6000,
+        closed_loop_window=window,
+    )
+
+
+def main():
+    rows = []
+    for system, native_stack, window in (("memcached", "linux-tcp", 2),
+                                         ("mica", "dpdk", 16)):
+        native = measure(system, native_stack, window)
+        dagger = measure(system, "dagger", window)
+        speedup = native.p50_us / dagger.p50_us
+        rows.append((system, native_stack, native.p50_us, native.p99_us,
+                     dagger.p50_us, dagger.p99_us, f"{speedup:.1f}x"))
+        print(f"measured {system} over {native_stack} and dagger...")
+    print()
+    print(render_table(
+        ["system", "native stack", "native p50", "native p99",
+         "dagger p50", "dagger p99", "median speedup"],
+        rows,
+        title=("KVS access latency (us), tiny dataset, 50% GET "
+               "(cf. section 5.6)"),
+    ))
+    print("\nPorting cost in this repo mirrors the paper's: the stores are "
+          "unchanged;\nonly the stack factory argument differs "
+          "(~memcached's 50-LOC patch).")
+
+
+if __name__ == "__main__":
+    main()

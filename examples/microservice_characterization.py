@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Characterize networking overheads in a microservice graph (section 3).
+
+Runs the DeathStarBench-style Social Network application over the kernel
+TCP/IP baseline and prints the per-tier latency breakdown of Fig 3 — how
+much of each tier's latency goes to application logic versus RPC processing
+versus the transport — and the e2e effect of moving the same graph onto
+Dagger.
+
+Run:  python examples/microservice_characterization.py
+"""
+
+from repro.apps.microservices.social_network import (
+    DEFAULT_MIX,
+    PROFILED_TIERS,
+    social_network_graph,
+)
+from repro.harness.report import render_table
+
+
+def main():
+    print("running Social Network over kernel TCP/IP...")
+    tcp_graph = social_network_graph("linux-tcp")
+    tcp = tcp_graph.run_load("nginx", DEFAULT_MIX, load_krps=10, nreq=3000)
+
+    rows = []
+    for label, tier in PROFILED_TIERS.items():
+        b = tcp.tracer.breakdown(tier)
+        rows.append((f"{label} {tier}", b.p50_us, b.p99_us,
+                     f"{b.app_fraction:.0%}", f"{b.rpc_fraction:.0%}",
+                     f"{b.transport_fraction:.0%}"))
+    print()
+    print(render_table(
+        ["tier", "p50 us", "p99 us", "app", "rpc", "tcp/ip"], rows,
+        title="Per-tier latency breakdown over kernel TCP (cf. Fig 3)",
+    ))
+
+    print("\nrunning the same graph over Dagger...")
+    dagger_graph = social_network_graph("dagger")
+    dagger = dagger_graph.run_load("nginx", DEFAULT_MIX, load_krps=10,
+                                   nreq=3000)
+    print(render_table(
+        ["stack", "e2e p50 us", "e2e p99 us"],
+        [("linux-tcp", tcp.p50_us, tcp.p99_us),
+         ("dagger", dagger.p50_us, dagger.p99_us)],
+        title="End-to-end request latency",
+    ))
+    print(f"\nDagger removes {1 - dagger.p50_us / tcp.p50_us:.0%} of the "
+          "median end-to-end latency by taking the RPC stack off the CPU.")
+
+
+if __name__ == "__main__":
+    main()

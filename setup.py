@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so editable installs must
+go through setuptools' legacy ``develop`` path; this file (plus the absence
+of a ``[build-system]`` table in pyproject.toml) enables that.
+"""
+
+from setuptools import setup
+
+setup()

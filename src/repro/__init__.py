@@ -1,0 +1,29 @@
+"""repro: a simulation-based reproduction of Dagger (ASPLOS 2021).
+
+Dagger is an FPGA-based RPC acceleration fabric coupled to the host CPU over
+a coherent NUMA memory interconnect (Intel UPI via CCI-P) rather than PCIe.
+This package reproduces the paper's system and its entire evaluation on top
+of a from-scratch discrete-event simulator:
+
+- :mod:`repro.sim` -- the discrete-event simulation kernel.
+- :mod:`repro.hw` -- hardware substrate: CPUs, caches, PCIe/UPI interconnects,
+  the Dagger NIC pipeline, Ethernet and the ToR switch.
+- :mod:`repro.rpc` -- the Dagger RPC framework: IDL + code generator, client
+  and server runtimes, threading models.
+- :mod:`repro.stacks` -- pluggable end-host networking stacks (Dagger and the
+  baselines it is compared against: Linux TCP, DPDK/eRPC, RDMA/FaSST, IX,
+  NetDIMM).
+- :mod:`repro.apps` -- the paper's applications: memcached, MICA KVS, and the
+  DeathStarBench-style microservice graphs including the 8-tier Flight
+  Registration service.
+- :mod:`repro.workloads` -- workload and dataset generators.
+- :mod:`repro.harness` -- experiment runners regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim.kernel import Simulator
+from repro.hw.platform import Machine, MachineConfig
+
+__all__ = ["Simulator", "MachineConfig", "Machine", "__version__"]

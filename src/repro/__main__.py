@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — show every reproducible experiment with its paper artifact.
+- ``run <experiment> [...]`` — run experiments by id (e.g. ``fig10``,
+  ``table3``, or ``all``) and print paper-vs-measured tables.
+- ``calibration`` — dump the timing-model constants and their anchors.
+- ``resources [--flows N] [--connections N] [...]`` — estimate the FPGA
+  footprint of a NIC configuration (Table 1's estimator).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments
+from repro.harness.report import render_table
+
+#: experiment id -> (description, runner returning printable text)
+_REGISTRY = {}
+
+
+def _register(exp_id, description):
+    def wrap(fn):
+        _REGISTRY[exp_id] = (description, fn)
+        return fn
+
+    return wrap
+
+
+@_register("table1", "Table 1: NIC implementation specs")
+def _table1():
+    rows = experiments.table1_resources()
+    return render_table(
+        ["parameter", "paper", "measured"],
+        [(r["parameter"], r["paper"], r["measured"]) for r in rows],
+    )
+
+
+@_register("table3", "Table 3: RTT + per-core Mrps across RPC platforms")
+def _table3():
+    rows = experiments.table3_rpc_platforms()
+    return render_table(
+        ["stack", "paper RTT us", "RTT us", "paper Mrps", "Mrps"],
+        [(r["stack"], r["paper_rtt_us"], r["rtt_us"],
+          r["paper_mrps"] or "-", r["mrps"] or "-") for r in rows],
+    )
+
+
+@_register("table4", "Table 4: Flight Registration threading models")
+def _table4():
+    rows = experiments.table4_flight()
+    return render_table(
+        ["model", "paper Krps", "Krps", "paper p50", "p50 us"],
+        [(r["model"], r["paper_max_krps"], r["max_krps"],
+          r["paper_p50_us"], r["p50_us"]) for r in rows],
+    )
+
+
+@_register("fig3", "Fig 3: networking share of tier latency")
+def _fig3():
+    rows = experiments.fig3_breakdown()
+    return render_table(
+        ["load Krps", "tier", "p50 us", "network share"],
+        [(r["load_krps"], r["tier"], r["p50_us"],
+          "-" if r["network_fraction"] is None
+          else f"{r['network_fraction']:.0%}") for r in rows],
+    )
+
+
+@_register("fig4", "Fig 4: RPC size distributions")
+def _fig4():
+    result = experiments.fig4_rpc_sizes()
+    rows = [(k, v) for k, v in result.items()
+            if k not in ("per_tier_median_request", "paper")]
+    rows += [(f"median request, {tier}", size)
+             for tier, size in result["per_tier_median_request"].items()]
+    return render_table(["metric", "value"], rows)
+
+
+@_register("fig5", "Fig 5: networking/application CPU contention")
+def _fig5():
+    rows = experiments.fig5_interference()
+    return render_table(
+        ["load Krps", "cores", "p99 us"],
+        [(r["load_krps"], "shared" if r["shared_cores"] else "separate",
+          r["p99_us"]) for r in rows],
+    )
+
+
+@_register("fig10", "Fig 10: CPU-NIC interface comparison")
+def _fig10():
+    rows = experiments.fig10_interfaces()
+    return render_table(
+        ["interface", "B", "paper Mrps", "Mrps", "p50 us", "p99 us"],
+        [(r["interface"], r["batch"], r["paper_mrps"], r["mrps"],
+          r["p50_us"], r["p99_us"]) for r in rows],
+    )
+
+
+@_register("fig11-load", "Fig 11 (left): latency vs load")
+def _fig11_load():
+    rows = experiments.fig11_latency_load()
+    return render_table(
+        ["config", "offered Mrps", "p50 us", "p99 us"],
+        [(r["config"], r["offered_mrps"], r["p50_us"], r["p99_us"])
+         for r in rows],
+    )
+
+
+@_register("fig11-scale", "Fig 11 (right): thread scalability")
+def _fig11_scale():
+    rows = experiments.fig11_scalability()
+    return render_table(
+        ["threads", "e2e Mrps", "raw UPI Mrps"],
+        [(r["threads"], r["e2e_mrps"], r["raw_mrps"]) for r in rows],
+    )
+
+
+@_register("fig12", "Fig 12: memcached + MICA over Dagger")
+def _fig12():
+    rows = experiments.fig12_kvs()
+    return render_table(
+        ["system", "dataset", "p50 us", "p99 us", "thr 50%", "thr 95%"],
+        [(r["system"], r["dataset"], r["p50_us"], r["p99_us"],
+          r["thr_50get"], r["thr_95get"]) for r in rows],
+    )
+
+
+@_register("fig15", "Fig 15: Flight Registration latency/load curves")
+def _fig15():
+    rows = experiments.fig15_flight_curves()
+    return render_table(
+        ["load Krps", "thr Krps", "p50 us", "p99 us"],
+        [(r["load_krps"], r["throughput_krps"], r["p50_us"], r["p99_us"])
+         for r in rows],
+    )
+
+
+@_register("sec53", "Section 5.3: raw UPI vs PCIe access latency")
+def _sec53():
+    result = experiments.sec53_raw_access()
+    return render_table(
+        ["interconnect", "paper ns", "measured ns"],
+        [("UPI", result["paper_upi_ns"], result["upi_ns"]),
+         ("PCIe DMA", result["paper_pcie_ns"], result["pcie_ns"])],
+    )
+
+
+def cmd_list(_args) -> int:
+    print(render_table(
+        ["experiment", "reproduces"],
+        [(exp_id, description)
+         for exp_id, (description, _) in sorted(_REGISTRY.items())],
+        title="Reproducible experiments (run with: python -m repro run <id>)",
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    targets = args.experiments
+    if "all" in targets:
+        targets = sorted(_REGISTRY)
+    unknown = [t for t in targets if t not in _REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              "see `python -m repro list`", file=sys.stderr)
+        return 2
+    for target in targets:
+        description, runner = _REGISTRY[target]
+        print(f"== {target}: {description}")
+        started = time.time()
+        print(runner())
+        print(f"   ({time.time() - started:.1f}s)\n")
+    return 0
+
+
+def cmd_calibration(_args) -> int:
+    from dataclasses import fields
+
+    from repro.hw.calibration import DEFAULT_CALIBRATION
+
+    rows = [(f.name, getattr(DEFAULT_CALIBRATION, f.name))
+            for f in fields(DEFAULT_CALIBRATION)]
+    print(render_table(["constant", "value"], rows,
+                       title="Timing-model calibration (ns unless noted)"))
+    return 0
+
+
+def cmd_resources(args) -> int:
+    from repro.hw.nic.config import NicHardConfig
+    from repro.hw.nic.resources import estimate_resources, max_nic_instances
+
+    hard = NicHardConfig(
+        num_flows=args.flows,
+        connection_cache_entries=args.connections,
+        hw_reassembly=args.hw_reassembly,
+        reliable_transport=args.reliable,
+        flow_control=args.flow_control,
+        inline_crypto=args.inline_crypto,
+    )
+    footprint = estimate_resources(hard)
+    print(render_table(
+        ["resource", "used", "utilization"],
+        [("LUTs", footprint.luts, f"{footprint.lut_utilization:.1%}"),
+         ("M20K blocks", footprint.m20k_blocks,
+          f"{footprint.bram_utilization:.1%}"),
+         ("registers", footprint.registers,
+          f"{footprint.register_utilization:.1%}")],
+        title=f"NIC footprint: {args.flows} flows, "
+              f"{args.connections} cached connections",
+    ))
+    print(f"instances fitting under 50% utilization: "
+          f"{max_nic_instances(hard)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Dagger (ASPLOS'21) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible experiments")
+    run_parser = sub.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("experiments", nargs="+",
+                            help="experiment ids (or 'all')")
+    sub.add_parser("calibration", help="dump timing-model constants")
+    resources_parser = sub.add_parser(
+        "resources", help="estimate a NIC configuration's FPGA footprint"
+    )
+    resources_parser.add_argument("--flows", type=int, default=64)
+    resources_parser.add_argument("--connections", type=int, default=65_536)
+    resources_parser.add_argument("--hw-reassembly", action="store_true")
+    resources_parser.add_argument("--reliable", action="store_true")
+    resources_parser.add_argument("--flow-control", action="store_true")
+    resources_parser.add_argument("--inline-crypto", action="store_true")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "calibration": cmd_calibration,
+        "resources": cmd_resources,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""The paper's applications, ported onto the simulated stacks.
+
+- :mod:`repro.apps.kvs` — memcached and MICA key-value stores (section 5.6).
+- :mod:`repro.apps.microservices` — the DeathStarBench-style Social Network
+  and Media Serving graphs (section 3) and the 8-tier Flight Registration
+  service (section 5.7).
+"""

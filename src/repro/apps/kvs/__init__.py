@@ -1,0 +1,24 @@
+"""Key-value stores: memcached and MICA over any RPC stack.
+
+Both stores are *functional* (they really store and return bytes) with a
+calibrated per-operation cost model attached, so correctness and timing are
+exercised by the same requests.
+"""
+
+from repro.apps.kvs.hashtable import ChainedHashTable
+from repro.apps.kvs.memcached import MemcachedServer, MEMCACHED_COSTS
+from repro.apps.kvs.mica import MicaServer, MicaPartition, MICA_COSTS
+from repro.apps.kvs.client import KvsClient, KvsWorkloadResult, kvs_idl, run_kvs_workload
+
+__all__ = [
+    "ChainedHashTable",
+    "MemcachedServer",
+    "MEMCACHED_COSTS",
+    "MicaServer",
+    "MicaPartition",
+    "MICA_COSTS",
+    "KvsClient",
+    "KvsWorkloadResult",
+    "kvs_idl",
+    "run_kvs_workload",
+]

@@ -1,0 +1,82 @@
+"""Chained hash table with versioned buckets.
+
+The functional storage substrate both KVS servers share. Buckets carry a
+version counter bumped on every write — the optimistic-concurrency scheme
+MICA's lossless mode uses — which the tests use to verify write visibility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+
+class _Bucket:
+    __slots__ = ("entries", "version")
+
+    def __init__(self):
+        self.entries: List[Tuple[bytes, bytes]] = []
+        self.version = 0
+
+
+class ChainedHashTable:
+    """bytes -> bytes hash table with chaining and bucket versions."""
+
+    def __init__(self, num_buckets: int = 1024):
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self._buckets = [_Bucket() for _ in range(num_buckets)]
+        self.size = 0
+
+    def _bucket_for(self, key: bytes) -> _Bucket:
+        return self._buckets[hash(key) % self.num_buckets]
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        if not isinstance(key, bytes):
+            raise TypeError(f"keys must be bytes, got {type(key).__name__}")
+        bucket = self._bucket_for(key)
+        for stored_key, value in bucket.entries:
+            if stored_key == key:
+                return value
+        return None
+
+    def set(self, key: bytes, value: bytes) -> bool:
+        """Insert or update; returns True if the key was new."""
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("keys and values must be bytes")
+        bucket = self._bucket_for(key)
+        bucket.version += 1
+        for index, (stored_key, _) in enumerate(bucket.entries):
+            if stored_key == key:
+                bucket.entries[index] = (key, value)
+                return False
+        bucket.entries.append((key, value))
+        self.size += 1
+        return True
+
+    def delete(self, key: bytes) -> bool:
+        bucket = self._bucket_for(key)
+        for index, (stored_key, _) in enumerate(bucket.entries):
+            if stored_key == key:
+                bucket.version += 1
+                del bucket.entries[index]
+                self.size -= 1
+                return True
+        return False
+
+    def version_of(self, key: bytes) -> int:
+        """Version counter of the key's bucket (bumped by any write there)."""
+        return self._bucket_for(key).version
+
+    def chain_length(self, key: bytes) -> int:
+        return len(self._bucket_for(key).entries)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        for bucket in self._buckets:
+            yield from bucket.entries

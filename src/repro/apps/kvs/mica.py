@@ -1,0 +1,128 @@
+"""MICA KVS ported onto the RPC stacks (section 5.6, 5.7).
+
+MICA partitions its object heap across cores and requires that all requests
+for a key reach the partition that owns it (EREW). In the paper this is
+enforced by the object-level load balancer synthesized into the Dagger NIC,
+which hashes each request's key on the FPGA before steering (section 5.7).
+
+Here each server thread owns one :class:`MicaPartition`. A request that
+arrives at the wrong partition (e.g. under a round-robin balancer) is still
+served correctly, but pays a cross-partition concurrency-control penalty
+and increments ``misrouted`` — the ablation benchmark shows why MICA needs
+the object-level balancer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.kvs.hashtable import ChainedHashTable
+from repro.apps.kvs.memcached import KvsCosts
+
+#: Calibrated to Fig 12's MICA rows: ~4.6/5.2 Mrps (tiny) and ~4.2/4.8
+#: (small) at 50%/95% GET on one core.
+MICA_COSTS = KvsCosts(
+    get_ns=85, set_ns=130, per_byte_ns=0.8,
+    slow_fraction=0.02, slow_extra_ns=900,
+)
+
+#: Extra cost of touching a partition the handling core does not own
+#: (cache-line transfer + locking, what EREW avoids).
+CROSS_PARTITION_PENALTY_NS = 220
+
+
+def mica_key_hash(key: bytes) -> int:
+    """The key hash the object-level balancer applies (stable across runs)."""
+    # FNV-1a, 64-bit: deterministic (unlike Python's salted hash()).
+    value = 0xCBF29CE484222325
+    for byte in key:
+        value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class MicaPartition:
+    """One core's shard of the object heap."""
+
+    def __init__(self, index: int, num_buckets: int = 1 << 16):
+        self.index = index
+        self.table = ChainedHashTable(num_buckets)
+        self.gets = 0
+        self.sets = 0
+        self.hits = 0
+
+
+class MicaServer:
+    """Partitioned KVS with EREW ownership."""
+
+    def __init__(self, num_partitions: int, costs: KvsCosts = MICA_COSTS,
+                 num_buckets_per_partition: int = 1 << 16,
+                 owner_fn=None):
+        if num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        self.costs = costs
+        self.partitions: List[MicaPartition] = [
+            MicaPartition(i, num_buckets_per_partition)
+            for i in range(num_partitions)
+        ]
+        # Ownership must agree with whatever hash the NIC's object-level
+        # balancer applies; callers whose balancer keys differ from
+        # mica_key_hash(key bytes) inject their own mapping here.
+        self._owner_fn = owner_fn
+        self.misrouted = 0
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def owner_of(self, key: bytes) -> int:
+        if self._owner_fn is not None:
+            return self._owner_fn(key) % self.num_partitions
+        return mica_key_hash(key) % self.num_partitions
+
+    def _access(self, key: bytes, handling_partition: Optional[int]) -> MicaPartition:
+        owner = self.owner_of(key)
+        if handling_partition is not None and handling_partition != owner:
+            self.misrouted += 1
+        return self.partitions[owner]
+
+    def cross_partition_penalty_ns(self, key: bytes,
+                                   handling_partition: Optional[int]) -> int:
+        if handling_partition is None:
+            return 0
+        if handling_partition == self.owner_of(key):
+            return 0
+        return CROSS_PARTITION_PENALTY_NS
+
+    # -- functional operations --------------------------------------------------
+
+    def do_get(self, key: bytes,
+               handling_partition: Optional[int] = None) -> Optional[bytes]:
+        partition = self._access(key, handling_partition)
+        partition.gets += 1
+        value = partition.table.get(key)
+        if value is not None:
+            partition.hits += 1
+        return value
+
+    def do_set(self, key: bytes, value: bytes,
+               handling_partition: Optional[int] = None) -> None:
+        partition = self._access(key, handling_partition)
+        partition.sets += 1
+        partition.table.set(key, value)
+
+    @property
+    def total_items(self) -> int:
+        return sum(len(p.table) for p in self.partitions)
+
+    @property
+    def hit_rate(self) -> float:
+        gets = sum(p.gets for p in self.partitions)
+        hits = sum(p.hits for p in self.partitions)
+        return hits / gets if gets else 0.0
+
+    def populate(self, items) -> None:
+        """Bulk-load pairs into their owning partitions, cost-free."""
+        for key, value in items:
+            self.partitions[self.owner_of(key)].table.set(key, value)

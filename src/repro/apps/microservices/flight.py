@@ -1,0 +1,241 @@
+"""The 8-tier Flight Registration service (Fig 13, Table 4, Fig 15).
+
+Topology:
+
+- the **Passenger frontend** sends registration requests to **Check-in**;
+- **Check-in** consults **Flight**, **Baggage** and **Passport** in
+  parallel, blocks for all three, then registers the passenger in the
+  **Airport** database (MICA);
+- **Passport** issues a nested blocking read to the **Citizens** database
+  (MICA);
+- the **Staff frontend** asynchronously checks records in Airport.
+
+The Flight service answers quickly but is "resource-demanding and
+long-running": each request leaves ~340 us of post-response work on the
+handling thread (seat-map/aggregate recomputation). Under the **Simple**
+threading model that work runs in the dispatch thread, blocking the flow's
+RX rings and capping the whole application near 2.7 Krps; the **Optimized**
+model moves Flight (and the nested-blocking Check-in and Passport) to
+worker threads, trading ~10 us of hand-off latency for ~17x throughput —
+Table 4's two rows.
+
+The Airport and Citizens tiers run real (functional) MICA partitions, and
+their NICs use the custom object-level load balancer, as section 5.7
+describes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.apps.kvs.mica import MicaServer
+from repro.apps.microservices.graph import GraphResult, ServiceGraph
+from repro.apps.microservices.tier import CallSpec, MethodSpec, TierSpec
+from repro.rpc import ThreadingModel
+from repro.sim.distributions import LogNormal, make_rng
+
+#: Post-response work of one Flight request (the Simple-model bottleneck):
+#: ~2.8 Krps of single-thread capacity, matching Table 4's 2.7 Krps cap.
+FLIGHT_POST_WORK_NS = 340_000
+
+#: Load mix: mostly passenger check-ins plus staff record checks.
+DEFAULT_MIX = {
+    "passenger_frontend.register": 0.8,
+    "staff_frontend.staff_check": 0.2,
+}
+
+
+def _mica_handler(backend: MicaServer, partition_map: Dict, op: str,
+                  value_bytes: int = 16, seed: int = 31):
+    """Custom tier handler backed by a functional MICA server.
+
+    The request key rides in the packet's load-balancing key (which the
+    object-level balancer also hashed on the "FPGA" to steer the request
+    to the owning partition's flow).
+    """
+    rng = make_rng(seed)
+
+    def handler(ctx, payload):
+        raw = ctx.packet.lb_key
+        key = struct.pack("<Q", (raw if raw is not None else 0)
+                          & 0xFFFFFFFFFFFFFFFF)
+        partition = partition_map.get(ctx.thread)
+        if op == "get":
+            cost = backend.costs.get_cost(len(key), value_bytes, rng)
+            cost += backend.cross_partition_penalty_ns(key, partition)
+            value = backend.do_get(key, partition)
+            yield from ctx.exec(cost)
+            return (value or b""), value_bytes
+        inline, deferred = backend.costs.set_split(len(key), value_bytes, rng)
+        inline += backend.cross_partition_penalty_ns(key, partition)
+        backend.do_set(key, b"r" * value_bytes, partition)
+        yield from ctx.exec(inline)
+        if deferred:
+            ctx.defer(deferred)
+        return b"", 8
+
+    return handler
+
+
+@dataclass
+class FlightApp:
+    """A built Flight Registration deployment."""
+
+    graph: ServiceGraph
+    airport_db: MicaServer
+    citizens_db: MicaServer
+    optimized: bool
+
+    def run(self, load_krps: float, nreq: int = 4000,
+            warmup_ns: int = 3_000_000, seed: int = 17,
+            measure_from_issue: bool = False) -> GraphResult:
+        return self.graph.run_load(
+            None, DEFAULT_MIX, load_krps=load_krps, nreq=nreq,
+            entry_payload_bytes=96, warmup_ns=warmup_ns, seed=seed,
+            measure_from_issue=measure_from_issue,
+        )
+
+
+def build_flight_app(
+    optimized: bool = False,
+    stack_name: str = "dagger",
+    flight_workers: int = 22,
+    checkin_workers: int = 8,
+    passport_workers: int = 4,
+    flight_post_work_ns: int = FLIGHT_POST_WORK_NS,
+    seed: int = 9,
+) -> FlightApp:
+    """Build the 8-tier app with the Simple or Optimized threading model."""
+    graph = ServiceGraph(stack_name=stack_name, seed=seed)
+
+    def model(workers: int):
+        if optimized:
+            return dict(threading=ThreadingModel.WORKER, num_workers=workers)
+        return dict(threading=ThreadingModel.DISPATCH)
+
+    # -- storage tiers (MICA-backed, object-level balancing) ----------------
+    airport_threads = 2
+    citizens_threads = 2
+    # Keys ride in the packet's lb_key (a raw integer) and the NIC's
+    # object-level balancer steers by ``lb_key % flows``; partition
+    # ownership must use the same mapping, so decode the integer back out
+    # of the packed key.
+    def _owner_fn(key: bytes) -> int:
+        return struct.unpack("<Q", key[:8])[0]
+
+    airport_db = MicaServer(num_partitions=airport_threads,
+                            owner_fn=_owner_fn)
+    citizens_db = MicaServer(num_partitions=citizens_threads,
+                             owner_fn=_owner_fn)
+    airport_partitions: Dict = {}
+    citizens_partitions: Dict = {}
+    graph.add_tier(TierSpec(
+        name="airport_db",
+        methods={
+            "get": _mica_handler(airport_db, airport_partitions, "get",
+                                 seed=seed + 1),
+            "set": _mica_handler(airport_db, airport_partitions, "set",
+                                 seed=seed + 2),
+        },
+        num_dispatch_threads=airport_threads,
+        load_balancer="object-level",
+    ))
+    graph.add_tier(TierSpec(
+        name="citizens_db",
+        methods={
+            "get": _mica_handler(citizens_db, citizens_partitions, "get",
+                                 seed=seed + 3),
+        },
+        num_dispatch_threads=citizens_threads,
+        load_balancer="object-level",
+    ))
+
+    # -- logic tiers ----------------------------------------------------------
+    graph.add_tier(TierSpec(
+        name="flight",
+        methods={"info": MethodSpec(
+            compute=LogNormal(2_000, sigma=0.4, rng=seed + 4),
+            post_compute_ns=flight_post_work_ns,
+            response_bytes=48,
+        )},
+        num_dispatch_threads=1,
+        **model(flight_workers),
+    ))
+    graph.add_tier(TierSpec(
+        name="baggage",
+        methods={"check": MethodSpec(
+            compute=LogNormal(1_500, sigma=0.4, rng=seed + 5),
+            response_bytes=24,
+        )},
+        num_dispatch_threads=1,
+    ))
+    graph.add_tier(TierSpec(
+        name="passport",
+        methods={"verify": MethodSpec(
+            compute=LogNormal(1_000, sigma=0.4, rng=seed + 6),
+            stages=[[CallSpec("citizens_db", method="get",
+                              payload_bytes=24, use_key=True)]],
+            response_bytes=24,
+            request_key=True,
+        )},
+        num_dispatch_threads=1,
+        **model(passport_workers),
+    ))
+    graph.add_tier(TierSpec(
+        name="check_in",
+        methods={"check_in": MethodSpec(
+            compute=LogNormal(1_200, sigma=0.4, rng=seed + 7),
+            stages=[
+                [
+                    CallSpec("flight", method="info", payload_bytes=48),
+                    CallSpec("baggage", method="check", payload_bytes=32),
+                    CallSpec("passport", method="verify", payload_bytes=48,
+                             use_key=True),
+                ],
+                [CallSpec("airport_db", method="set", payload_bytes=64,
+                          use_key=True)],
+            ],
+            response_bytes=32,
+            request_key=True,
+        )},
+        num_dispatch_threads=2,
+        **model(checkin_workers),
+    ))
+    graph.add_tier(TierSpec(
+        name="passenger_frontend",
+        methods={"register": MethodSpec(
+            compute=LogNormal(800, sigma=0.4, rng=seed + 8),
+            stages=[[CallSpec("check_in", method="check_in",
+                              payload_bytes=96, use_key=True)]],
+            response_bytes=32,
+            request_key=True,
+        )},
+        num_dispatch_threads=2,
+    ))
+    graph.add_tier(TierSpec(
+        name="staff_frontend",
+        methods={"staff_check": MethodSpec(
+            compute=LogNormal(800, sigma=0.4, rng=seed + 9),
+            stages=[[CallSpec("airport_db", method="get",
+                              payload_bytes=24, use_key=True)]],
+            response_bytes=48,
+            request_key=True,
+        )},
+        num_dispatch_threads=1,
+    ))
+
+    graph.build()
+    # Partition maps need the built dispatch threads.
+    for thread_map, tier_name in ((airport_partitions, "airport_db"),
+                                  (citizens_partitions, "citizens_db")):
+        tier = graph.tiers[tier_name]
+        for index, thread in enumerate(tier.dispatch_threads):
+            thread_map[thread] = index
+    return FlightApp(
+        graph=graph,
+        airport_db=airport_db,
+        citizens_db=citizens_db,
+        optimized=optimized,
+    )

@@ -1,0 +1,191 @@
+"""The Media Serving application (Fig 2).
+
+Second end-to-end service of the section 3 characterization: client
+requests reach an nginx front-end and either compose a movie review
+(fanning out to MovieId, UniqueId, Text, User and Rating, then writing
+through MovieReview/UserReview to ReviewStorage) or browse movie
+information / reviews.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Sequence
+
+from repro.apps.microservices.graph import ServiceGraph
+from repro.apps.microservices.tier import CallSpec, MethodSpec, TierSpec
+from repro.sim.distributions import LogNormal
+from repro.workloads.rpc_sizes import MEDIA_SIZES
+
+
+def _seed(name: str, salt: int = 0) -> int:
+    return (zlib.crc32(name.encode()) + salt) % 100_000
+
+
+DEFAULT_MIX = {
+    "compose_review": 0.15,
+    "browse_movie": 0.55,
+    "read_reviews": 0.30,
+}
+
+COMPUTE_NS = {
+    "nginx": 15_000,
+    "compose_review": 22_000,
+    "movie_id": 8_000,
+    "unique_id": 7_000,
+    "review_text": 65_000,
+    "user": 9_000,
+    "rating": 6_000,
+    "movie_review": 18_000,
+    "user_review": 18_000,
+    "review_storage": 35_000,
+    "movie_info": 30_000,
+    "cast_info": 25_000,
+    "plot": 20_000,
+}
+
+
+def _req(tier: str):
+    sizes = MEDIA_SIZES.get(tier)
+    if sizes is None:
+        return 64
+    return sizes.request_dist(rng=_seed(tier))
+
+
+def _resp(tier: str):
+    sizes = MEDIA_SIZES.get(tier)
+    if sizes is None:
+        return 32
+    return sizes.response_dist(rng=_seed(tier, 1))
+
+
+def _leaf(name: str, threads: int = 2,
+          cores: Optional[Sequence[int]] = None) -> TierSpec:
+    return TierSpec(
+        name=name,
+        methods={"handle": MethodSpec(
+            compute=LogNormal(COMPUTE_NS[name], sigma=0.45, rng=_seed(name)),
+            response_bytes=_resp(name),
+        )},
+        num_dispatch_threads=threads,
+        cores=cores,
+    )
+
+
+def build_media(graph: ServiceGraph,
+                cores: Optional[Dict[str, Sequence[int]]] = None) -> ServiceGraph:
+    """Add the Media Serving tiers to a graph."""
+    cores = cores or {}
+
+    def pin(name):
+        return cores.get(name)
+
+    for leaf in ("movie_id", "unique_id", "user", "rating",
+                 "movie_info", "cast_info", "plot"):
+        graph.add_tier(_leaf(leaf, cores=pin(leaf)))
+    graph.add_tier(_leaf("review_storage", threads=3,
+                         cores=pin("review_storage")))
+
+    graph.add_tier(TierSpec(
+        name="review_text",
+        methods={"handle": MethodSpec(
+            compute=LogNormal(COMPUTE_NS["review_text"], sigma=0.45,
+                              rng=_seed("review_text")),
+            response_bytes=_resp("review_text"),
+        )},
+        num_dispatch_threads=2,
+        cores=pin("review_text"),
+    ))
+
+    for review in ("movie_review", "user_review"):
+        graph.add_tier(TierSpec(
+            name=review,
+            methods={
+                "handle": MethodSpec(  # write path
+                    compute=LogNormal(COMPUTE_NS[review], sigma=0.45,
+                                      rng=_seed(review)),
+                    stages=[[CallSpec("review_storage",
+                                      payload_bytes=_req(review))]],
+                    response_bytes=16,
+                ),
+                "read": MethodSpec(
+                    compute=LogNormal(COMPUTE_NS[review], sigma=0.45,
+                                      rng=_seed(review, 7)),
+                    stages=[[CallSpec("review_storage",
+                                      payload_bytes=_req(review))]],
+                    response_bytes=_resp(review),
+                ),
+            },
+            num_dispatch_threads=3,
+            cores=pin(review),
+        ))
+
+    graph.add_tier(TierSpec(
+        name="compose_review",
+        methods={"handle": MethodSpec(
+            compute=LogNormal(COMPUTE_NS["compose_review"], sigma=0.45,
+                              rng=_seed("compose_review")),
+            stages=[
+                [
+                    CallSpec("movie_id", payload_bytes=_req("movie_id")),
+                    CallSpec("unique_id", payload_bytes=32),
+                    CallSpec("review_text",
+                             payload_bytes=_req("review_text")),
+                    CallSpec("user", payload_bytes=48),
+                    CallSpec("rating", payload_bytes=_req("rating")),
+                ],
+                [
+                    CallSpec("movie_review",
+                             payload_bytes=_req("movie_review")),
+                    CallSpec("user_review",
+                             payload_bytes=_req("user_review")),
+                ],
+            ],
+            response_bytes=32,
+        )},
+        num_dispatch_threads=2,
+        cores=pin("compose_review"),
+    ))
+
+    graph.add_tier(TierSpec(
+        name="nginx",
+        methods={
+            "compose_review": MethodSpec(
+                compute=LogNormal(COMPUTE_NS["nginx"], sigma=0.4,
+                                  rng=_seed("nginx")),
+                stages=[[CallSpec("compose_review",
+                                  payload_bytes=_req("review_text"))]],
+                response_bytes=64,
+            ),
+            "browse_movie": MethodSpec(
+                compute=LogNormal(COMPUTE_NS["nginx"], sigma=0.4,
+                                  rng=_seed("nginx", 1)),
+                stages=[[
+                    CallSpec("movie_info", payload_bytes=48),
+                    CallSpec("cast_info", payload_bytes=48),
+                    CallSpec("plot", payload_bytes=48),
+                ]],
+                response_bytes=320,
+            ),
+            "read_reviews": MethodSpec(
+                compute=LogNormal(COMPUTE_NS["nginx"], sigma=0.4,
+                                  rng=_seed("nginx", 2)),
+                stages=[[CallSpec("movie_review", method="read",
+                                  payload_bytes=64)]],
+                response_bytes=480,
+            ),
+        },
+        num_dispatch_threads=4,
+        cores=pin("nginx"),
+    ))
+    return graph
+
+
+def media_graph(stack_name: str = "linux-tcp",
+                cores: Optional[Dict[str, Sequence[int]]] = None,
+                seed: int = 6) -> ServiceGraph:
+    """Convenience: a built Media Serving graph over the given stack."""
+    graph = ServiceGraph(stack_name=stack_name, seed=seed)
+    build_media(graph, cores=cores)
+    graph.build()
+    return graph

@@ -1,0 +1,211 @@
+"""The Social Network application (Fig 1) for the section 3 studies.
+
+Topology (the subset the paper profiles, s1-s6, plus the front-end, the
+ComposePost mid-tier and the storage back-ends):
+
+- nginx front-end exposing ``compose_post``, ``read_home_timeline`` and
+  ``read_user_timeline``;
+- ComposePost fans out to UniqueID (s3), Media (s1), User (s2) and Text
+  (s4); Text fans out to UrlShorten (s6) and UserMention (s5); the post is
+  then written to PostStorage and the timeline caches;
+- timeline reads hit the timeline tiers backed by PostStorage.
+
+Per-tier compute times are calibrated against Fig 3's fractions over the
+kernel-TCP baseline: communication is ~40% of tier latency on average, up
+to ~80% for the light User and UniqueID tiers, and smaller for the
+compute-heavy Text and UserMention tiers. RPC sizes come from
+:mod:`repro.workloads.rpc_sizes` (Fig 4).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Sequence
+
+from repro.apps.microservices.graph import ServiceGraph
+from repro.apps.microservices.tier import CallSpec, MethodSpec, TierSpec
+from repro.sim.distributions import LogNormal
+from repro.workloads.rpc_sizes import SOCIAL_NETWORK_SIZES
+
+def _stable_seed(name: str, salt: int = 0) -> int:
+    """Deterministic per-tier seed (str hash() is salted per process)."""
+    return (zlib.crc32(name.encode()) + salt) % 100_000
+
+
+#: The paper's s1..s6 labels.
+PROFILED_TIERS = {
+    "s1": "media",
+    "s2": "user",
+    "s3": "unique_id",
+    "s4": "text",
+    "s5": "user_mention",
+    "s6": "url_shorten",
+}
+
+#: Request mix of the DeathStarBench workload generator.
+DEFAULT_MIX = {
+    "compose_post": 0.10,
+    "read_home_timeline": 0.60,
+    "read_user_timeline": 0.30,
+}
+
+#: Per-tier median compute (ns), calibrated to Fig 3's networking
+#: fractions over the Linux-TCP baseline (~36 us unloaded RPC RTT).
+COMPUTE_NS = {
+    "nginx": 15_000,
+    "compose_post": 20_000,
+    "media": 30_000,
+    "user": 9_000,
+    "unique_id": 7_000,
+    "text": 70_000,
+    "user_mention": 60_000,
+    "url_shorten": 25_000,
+    "post_storage": 40_000,
+    "home_timeline": 28_000,
+    "user_timeline": 28_000,
+}
+
+
+def _req(tier: str):
+    """Fig 4 request-size distribution for calls into a tier."""
+    sizes = SOCIAL_NETWORK_SIZES.get(tier)
+    if sizes is None:
+        return 64
+    return sizes.request_dist(rng=_stable_seed(tier))
+
+
+def _resp(tier: str):
+    sizes = SOCIAL_NETWORK_SIZES.get(tier)
+    if sizes is None:
+        return 32
+    return sizes.response_dist(rng=_stable_seed(tier, 1))
+
+
+def _leaf(name: str, sigma: float = 0.45, threads: int = 2,
+          cores: Optional[Sequence[int]] = None) -> TierSpec:
+    return TierSpec(
+        name=name,
+        methods={"handle": MethodSpec(
+            compute=LogNormal(COMPUTE_NS[name], sigma=sigma,
+                              rng=_stable_seed(name)),
+            response_bytes=_resp(name),
+        )},
+        num_dispatch_threads=threads,
+        cores=cores,
+    )
+
+
+def build_social_network(
+    graph: ServiceGraph,
+    cores: Optional[Dict[str, Sequence[int]]] = None,
+) -> ServiceGraph:
+    """Add the Social Network tiers to a graph (caller then builds/runs).
+
+    ``cores`` optionally pins tiers to explicit cores (the Fig 5
+    interference experiment pins everything to 4 shared cores).
+    """
+    cores = cores or {}
+
+    def pin(name):
+        return cores.get(name)
+
+    for leaf in ("media", "user", "unique_id", "user_mention",
+                 "url_shorten"):
+        graph.add_tier(_leaf(leaf, cores=pin(leaf)))
+    graph.add_tier(_leaf("post_storage", threads=3, cores=pin("post_storage")))
+
+    graph.add_tier(TierSpec(
+        name="text",
+        methods={"handle": MethodSpec(
+            compute=LogNormal(COMPUTE_NS["text"], sigma=0.45, rng=41),
+            stages=[[
+                CallSpec("url_shorten", payload_bytes=_req("url_shorten")),
+                CallSpec("user_mention", payload_bytes=_req("user_mention")),
+            ]],
+            response_bytes=_resp("text"),
+        )},
+        num_dispatch_threads=2,
+        cores=pin("text"),
+    ))
+
+    for timeline in ("home_timeline", "user_timeline"):
+        graph.add_tier(TierSpec(
+            name=timeline,
+            methods={
+                "handle": MethodSpec(  # write path (from compose)
+                    compute=LogNormal(COMPUTE_NS[timeline], sigma=0.45,
+                                      rng=_stable_seed(timeline)),
+                    response_bytes=16,
+                ),
+                "read": MethodSpec(
+                    compute=LogNormal(COMPUTE_NS[timeline], sigma=0.45,
+                                      rng=_stable_seed(timeline, 7)),
+                    stages=[[CallSpec("post_storage",
+                                      payload_bytes=_req("post_storage"))]],
+                    response_bytes=_resp("home_timeline"),
+                ),
+            },
+            num_dispatch_threads=4,
+            cores=pin(timeline),
+        ))
+
+    graph.add_tier(TierSpec(
+        name="compose_post",
+        methods={"handle": MethodSpec(
+            compute=LogNormal(COMPUTE_NS["compose_post"], sigma=0.45, rng=43),
+            stages=[
+                [
+                    CallSpec("unique_id", payload_bytes=_req("unique_id")),
+                    CallSpec("media", payload_bytes=_req("media")),
+                    CallSpec("user", payload_bytes=_req("user")),
+                    CallSpec("text", payload_bytes=_req("text")),
+                ],
+                [
+                    CallSpec("post_storage",
+                             payload_bytes=_req("post_storage")),
+                    CallSpec("home_timeline", payload_bytes=64),
+                    CallSpec("user_timeline", payload_bytes=64),
+                ],
+            ],
+            response_bytes=32,
+        )},
+        num_dispatch_threads=2,
+        cores=pin("compose_post"),
+    ))
+
+    graph.add_tier(TierSpec(
+        name="nginx",
+        methods={
+            "compose_post": MethodSpec(
+                compute=LogNormal(COMPUTE_NS["nginx"], sigma=0.4, rng=47),
+                stages=[[CallSpec("compose_post",
+                                  payload_bytes=_req("text"))]],
+                response_bytes=64,
+            ),
+            "read_home_timeline": MethodSpec(
+                compute=LogNormal(COMPUTE_NS["nginx"], sigma=0.4, rng=48),
+                stages=[[CallSpec("home_timeline", method="read",
+                                  payload_bytes=_req("home_timeline"))]],
+                response_bytes=_resp("home_timeline"),
+            ),
+            "read_user_timeline": MethodSpec(
+                compute=LogNormal(COMPUTE_NS["nginx"], sigma=0.4, rng=49),
+                stages=[[CallSpec("user_timeline", method="read",
+                                  payload_bytes=_req("home_timeline"))]],
+                response_bytes=_resp("home_timeline"),
+            ),
+        },
+        num_dispatch_threads=4,
+        cores=pin("nginx"),
+    ))
+    return graph
+
+
+def social_network_graph(stack_name: str = "linux-tcp",
+                         cores: Optional[Dict[str, Sequence[int]]] = None,
+                         seed: int = 5) -> ServiceGraph:
+    """Convenience: a built Social Network graph over the given stack."""
+    graph = ServiceGraph(stack_name=stack_name, seed=seed)
+    build_social_network(graph, cores=cores)
+    graph.build()
+    return graph

@@ -1,0 +1,28 @@
+"""Experiment harness.
+
+:mod:`repro.harness.runner` builds rigs (machines + stacks + echo services +
+load generators) and runs them; :mod:`repro.harness.experiments` exposes one
+entry point per paper table/figure; :mod:`repro.harness.report` renders the
+paper-style text tables the benchmarks print.
+"""
+
+from repro.harness import experiments, report
+from repro.harness.runner import (
+    BenchResult,
+    EchoRig,
+    run_closed_loop,
+    run_open_loop,
+    run_raw_reads,
+    run_thread_scaling,
+)
+
+__all__ = [
+    "experiments",
+    "report",
+    "BenchResult",
+    "EchoRig",
+    "run_closed_loop",
+    "run_open_loop",
+    "run_raw_reads",
+    "run_thread_scaling",
+]

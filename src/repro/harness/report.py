@@ -1,0 +1,49 @@
+"""Text rendering of paper-style tables.
+
+The benchmarks print these so a run's output can be compared side by side
+with the paper's tables and figures (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width text table."""
+    materialized: List[List[str]] = [[_fmt(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def compare_row(name: str, paper: Optional[float], measured: float,
+                unit: str = "") -> str:
+    """One 'paper vs measured' line for EXPERIMENTS.md-style output."""
+    if paper is None:
+        return f"{name}: paper=N/A measured={measured:.2f}{unit}"
+    ratio = measured / paper if paper else float("inf")
+    return (f"{name}: paper={paper:.2f}{unit} measured={measured:.2f}{unit} "
+            f"(x{ratio:.2f})")

@@ -1,0 +1,329 @@
+"""Rigs and load generators for the echo-RPC experiments.
+
+The paper's section 5.2-5.5 experiments all share one setup: a client and a
+server on the same CPU, two NIC instances on one FPGA connected through a
+loopback network, 48-64 B echo RPCs. :class:`EchoRig` builds that setup for
+any stack; the module-level ``run_*`` helpers wrap the common measurement
+loops:
+
+- ``run_closed_loop`` — asynchronous clients with a fixed request window;
+  measures saturated throughput (the Mrps numbers of Fig 10 / Table 3);
+- ``run_open_loop`` — Poisson arrivals at a target load; measures the
+  latency-vs-load curves of Fig 11 (left);
+- ``run_thread_scaling`` / ``run_raw_reads`` — Fig 11 (right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hw.cpu import SoftwareThread
+from repro.hw.nic.config import NicHardConfig, NicSoftConfig
+from repro.hw.platform import Machine, MachineConfig
+from repro.hw.switch import ToRSwitch
+from repro.rpc import RpcClient, RpcThreadedServer, ThreadingModel
+from repro.sim import Exponential, LatencyRecorder, Simulator
+from repro.stacks import DaggerStack, connect, make_stack
+
+#: Core layout: clients fill the first half of the chip, servers the second.
+SERVER_CORE_BASE = 6
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one measurement run."""
+
+    throughput_mrps: float
+    p50_us: float
+    p90_us: float
+    p99_us: float
+    mean_us: float
+    count: int
+    drops: int
+    offered_mrps: Optional[float] = None
+
+    @classmethod
+    def from_recorder(cls, recorder: LatencyRecorder, drops: int,
+                      offered_mrps: Optional[float] = None) -> "BenchResult":
+        stats = recorder.summary()
+        return cls(
+            throughput_mrps=recorder.throughput_mrps(),
+            p50_us=stats.p50_us,
+            p90_us=stats.p90_us,
+            p99_us=stats.p99_us,
+            mean_us=stats.mean_ns / 1000.0,
+            count=recorder.count,
+            drops=drops,
+            offered_mrps=offered_mrps,
+        )
+
+
+def _echo_handler(service_ns: int = 0, response_bytes: int = 48):
+    """Build an echo handler with optional per-request compute."""
+
+    def echo(ctx, payload):
+        if service_ns > 0:
+            yield from ctx.exec(service_ns)
+        return payload, response_bytes
+
+    # Handlers must be generator functions even when service_ns == 0.
+    def echo_fast(ctx, payload):
+        return payload, response_bytes
+        yield  # pragma: no cover - makes this a generator function
+
+    return echo if service_ns > 0 else echo_fast
+
+
+class EchoRig:
+    """Client+server echo setup over a chosen stack, on one machine."""
+
+    def __init__(
+        self,
+        stack_name: str = "dagger",
+        interface: str = "upi",
+        batch_size: int = 1,
+        auto_batch: bool = False,
+        num_threads: int = 1,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        rpc_bytes: int = 48,
+        server_service_ns: int = 0,
+        loopback: bool = True,
+        tor_delay_ns: Optional[int] = None,
+        rx_ring_entries: int = 256,
+        hard_overrides: Optional[dict] = None,
+        seed: int = 1,
+    ):
+        self.sim = Simulator()
+        self.machine = Machine(self.sim, MachineConfig(), calibration, seed=seed)
+        self.calibration = calibration
+        self.rpc_bytes = rpc_bytes
+        self.num_threads = num_threads
+        self.switch = ToRSwitch(
+            self.sim, calibration, loopback=loopback, delay_ns=tor_delay_ns
+        )
+
+        if stack_name == "dagger":
+            hard = NicHardConfig(
+                num_flows=num_threads,
+                interface=interface,
+                rx_ring_entries=rx_ring_entries,
+                **(hard_overrides or {}),
+            )
+            soft = NicSoftConfig(batch_size=batch_size, auto_batch=auto_batch)
+            self.client_stack = DaggerStack(
+                self.machine, self.switch, "client", hard=hard, soft=soft
+            )
+            server_soft = NicSoftConfig(
+                batch_size=batch_size, auto_batch=auto_batch
+            )
+            self.server_stack = DaggerStack(
+                self.machine, self.switch, "server",
+                hard=hard, soft=server_soft,
+            )
+        else:
+            self.client_stack = make_stack(
+                stack_name, self.machine, self.switch, "client"
+            )
+            self.server_stack = make_stack(
+                stack_name, self.machine, self.switch, "server"
+            )
+
+        self.server = RpcThreadedServer(self.sim, calibration, name="echo")
+        self.server.register_handler(
+            "echo", _echo_handler(server_service_ns, response_bytes=rpc_bytes)
+        )
+        self.clients: List[RpcClient] = []
+        # Pack threads two-per-core like the paper's SMT experiment.
+        client_threads = self.machine.threads(num_threads, start_core=0)
+        server_threads = self.machine.threads(
+            num_threads, start_core=SERVER_CORE_BASE
+        )
+        for t in range(num_threads):
+            self.server.add_server_thread(
+                self.server_stack.port(t), server_threads[t],
+                model=ThreadingModel.DISPATCH,
+            )
+            conn = connect(self.client_stack, t, self.server_stack, t)
+            self.clients.append(
+                RpcClient(self.client_stack.port(t), client_threads[t], conn)
+            )
+        self.server.start()
+
+    @property
+    def drops(self) -> int:
+        return self.client_stack.drops + self.server_stack.drops
+
+    # -- measurement loops -----------------------------------------------------
+
+    def closed_loop(self, window: int = 64, nreq: int = 20000,
+                    warmup_ns: int = 100_000) -> BenchResult:
+        """Each client keeps ``window`` async RPCs in flight."""
+        recorder = LatencyRecorder(warmup_ns=warmup_ns)
+        sim = self.sim
+        done = sim.event()
+        per_client = nreq // len(self.clients)
+        state = {"completed": 0, "target": per_client * len(self.clients)}
+
+        def on_complete(call):
+            recorder.record(call.issued_at, call.completed_at)
+            state["completed"] += 1
+            if state["completed"] >= state["target"] and not done.triggered:
+                done.succeed()
+
+        def issue(client):
+            issued = 0
+            while issued < per_client:
+                while client.outstanding >= window:
+                    yield sim.timeout(100)
+                issued += 1
+                yield from client.call_async(
+                    "echo", b"x" * min(self.rpc_bytes, 8), self.rpc_bytes,
+                    callback=on_complete,
+                )
+
+        for client in self.clients:
+            sim.spawn(issue(client))
+
+        def waiter():
+            yield done
+
+        handle = sim.spawn(waiter())
+        from repro.sim import SimulationError
+
+        try:
+            sim.run_until_done(handle)
+        except SimulationError:
+            # Drops: some calls never complete. Drain and report what did.
+            # The issue loops stall once outstanding pins at the window, so
+            # fail the remaining calls to unblock and drain again.
+            for client in self.clients:
+                client.fail_pending("dropped by the fabric")
+        sim.run()
+        return BenchResult.from_recorder(recorder, self.drops)
+
+    def open_loop(self, load_mrps: float, nreq: int = 20000,
+                  warmup_ns: int = 200_000, seed: int = 7) -> BenchResult:
+        """Poisson arrivals at ``load_mrps``, split across the clients.
+
+        Latency is measured from the *intended arrival time*, so client-side
+        queueing above saturation shows up in the tail, as it should.
+        """
+        if load_mrps <= 0:
+            raise ValueError(f"load must be positive, got {load_mrps}")
+        recorder = LatencyRecorder(warmup_ns=warmup_ns)
+        sim = self.sim
+        done = sim.event()
+        per_client = nreq // len(self.clients)
+        state = {"completed": 0, "target": per_client * len(self.clients)}
+        interarrival = Exponential(
+            mean=len(self.clients) * 1000.0 / load_mrps, rng=seed
+        )
+
+        def issue(client):
+            issued = 0
+            next_arrival = sim.now
+            while issued < per_client:
+                gap = interarrival.sample_ns()
+                next_arrival += gap
+                if next_arrival > sim.now:
+                    yield sim.timeout(next_arrival - sim.now)
+                issued += 1
+                arrival = next_arrival
+
+                def on_complete(call, arrival=arrival):
+                    recorder.record(arrival, call.completed_at)
+                    state["completed"] += 1
+                    if (state["completed"] >= state["target"]
+                            and not done.triggered):
+                        done.succeed()
+
+                yield from client.call_async(
+                    "echo", b"x" * min(self.rpc_bytes, 8), self.rpc_bytes,
+                    callback=on_complete,
+                )
+
+        for client in self.clients:
+            sim.spawn(issue(client))
+
+        def waiter():
+            yield done
+
+        sim.run_until_done(sim.spawn(waiter()))
+        return BenchResult.from_recorder(
+            recorder, self.drops, offered_mrps=load_mrps
+        )
+
+
+def run_closed_loop(stack_name: str = "dagger", interface: str = "upi",
+                    batch_size: int = 1, auto_batch: bool = False,
+                    num_threads: int = 1, window: int = 64,
+                    nreq: int = 20000, rpc_bytes: int = 48,
+                    loopback: bool = True,
+                    tor_delay_ns: Optional[int] = None,
+                    calibration: Calibration = DEFAULT_CALIBRATION) -> BenchResult:
+    rig = EchoRig(
+        stack_name=stack_name, interface=interface, batch_size=batch_size,
+        auto_batch=auto_batch, num_threads=num_threads, rpc_bytes=rpc_bytes,
+        loopback=loopback, tor_delay_ns=tor_delay_ns, calibration=calibration,
+    )
+    return rig.closed_loop(window=window, nreq=nreq)
+
+
+def run_open_loop(load_mrps: float, stack_name: str = "dagger",
+                  interface: str = "upi", batch_size: int = 1,
+                  auto_batch: bool = False, num_threads: int = 1,
+                  nreq: int = 20000, rpc_bytes: int = 48,
+                  loopback: bool = True,
+                  calibration: Calibration = DEFAULT_CALIBRATION) -> BenchResult:
+    rig = EchoRig(
+        stack_name=stack_name, interface=interface, batch_size=batch_size,
+        auto_batch=auto_batch, num_threads=num_threads, rpc_bytes=rpc_bytes,
+        loopback=loopback, calibration=calibration,
+    )
+    return rig.open_loop(load_mrps, nreq=nreq)
+
+
+def run_thread_scaling(num_threads: int, batch_size: int = 4,
+                       nreq_per_thread: int = 8000,
+                       calibration: Calibration = DEFAULT_CALIBRATION) -> BenchResult:
+    """End-to-end multi-thread throughput (Fig 11 right, black line)."""
+    rig = EchoRig(
+        stack_name="dagger", interface="upi", batch_size=batch_size,
+        auto_batch=True, num_threads=num_threads, calibration=calibration,
+    )
+    return rig.closed_loop(window=64, nreq=nreq_per_thread * num_threads)
+
+
+def run_raw_reads(num_threads: int, nreads_per_thread: int = 20000,
+                  calibration: Calibration = DEFAULT_CALIBRATION) -> float:
+    """Raw idle UPI reads (Fig 11 right, red line); returns Mrps."""
+    sim = Simulator()
+    machine = Machine(sim, MachineConfig(), calibration, seed=3)
+    from repro.hw.interconnect.ccip import make_interface
+
+    interface = make_interface("upi", sim, calibration, machine.fpga)
+    threads = machine.threads(num_threads, start_core=0)
+    recorder = LatencyRecorder()
+    issue_cost = calibration.cpu_tx_ns + calibration.cpu_rx_ns
+
+    def reader(thread: SoftwareThread):
+        for _ in range(nreads_per_thread):
+            start = sim.now
+            yield from thread.exec(issue_cost)
+            sim.spawn(_read_once(start))
+
+    def _read_once(start):
+        yield from interface.raw_read()
+        recorder.record(start, sim.now)
+
+    handles = [sim.spawn(reader(thread)) for thread in threads]
+
+    def waiter(handles):
+        for handle in handles:
+            yield handle
+
+    sim.run_until_done(sim.spawn(waiter(handles)))
+    sim.run()
+    return recorder.throughput_mrps()

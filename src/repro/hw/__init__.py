@@ -1,0 +1,22 @@
+"""Hardware substrate models.
+
+Everything under :mod:`repro.hw` is a transaction-level model of the paper's
+experimental platform (Table 2): a 12-core Broadwell Xeon with SMT-2, an
+Arria 10 FPGA reachable over CCI-P (2x PCIe Gen3x8 links + 1x UPI link), the
+Dagger NIC synthesized in the FPGA's green region, and a ToR switch model.
+"""
+
+from repro.hw.platform import Machine, MachineConfig
+from repro.hw.cluster import Cluster
+from repro.hw.cpu import Core, SoftwareThread
+from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "Cluster",
+    "Core",
+    "SoftwareThread",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+]

@@ -1,0 +1,128 @@
+"""Cache models: generic direct-mapped cache and the Host Coherent Cache.
+
+The Dagger NIC keeps connection state and transport structures in a small
+(128 KB) direct-mapped Host Coherent Cache (HCC) in the FPGA blue region,
+kept coherent with host DRAM over CCI-P (section 4.1). A miss falls back to
+host memory at the interconnect's one-way latency. The connection manager
+(section 4.2) reuses the same structure with its 1W3R banked organisation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+
+class DirectMappedCache:
+    """A direct-mapped key->value cache with ``num_entries`` slots.
+
+    Keys are hashed to a slot; a slot holds exactly one (key, value) pair, so
+    two keys mapping to the same slot evict each other — exactly the conflict
+    behaviour of the RTL connection cache.
+    """
+
+    def __init__(self, num_entries: int, name: str = ""):
+        if num_entries < 1:
+            raise ValueError(f"num_entries must be >= 1, got {num_entries}")
+        self.num_entries = num_entries
+        self.name = name
+        self._slots: Dict[int, Tuple[Any, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _slot_of(self, key: Any) -> int:
+        return hash(key) % self.num_entries
+
+    def lookup(self, key: Any) -> Tuple[bool, Optional[Any]]:
+        """Return (hit, value)."""
+        slot = self._slot_of(key)
+        entry = self._slots.get(slot)
+        if entry is not None and entry[0] == key:
+            self.hits += 1
+            return True, entry[1]
+        self.misses += 1
+        return False, None
+
+    def insert(self, key: Any, value: Any) -> None:
+        slot = self._slot_of(key)
+        entry = self._slots.get(slot)
+        if entry is not None and entry[0] != key:
+            self.evictions += 1
+        self._slots[slot] = (key, value)
+
+    def invalidate(self, key: Any) -> bool:
+        """Drop the entry for ``key`` if present; True if it was cached."""
+        slot = self._slot_of(key)
+        entry = self._slots.get(slot)
+        if entry is not None and entry[0] == key:
+            del self._slots[slot]
+            return True
+        return False
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._slots)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class HostCoherentCache(DirectMappedCache):
+    """The 128 KB direct-mapped HCC in the FPGA blue bitstream.
+
+    Sized in cache lines (128 KB / 64 B = 2048 entries by default). Holds
+    connection state and transport metadata; actual payload data stays in
+    host DRAM (section 4.1), so only metadata lookups go through here.
+    """
+
+    def __init__(self, size_bytes: int = 128 * 1024, line_bytes: int = 64):
+        if size_bytes % line_bytes:
+            raise ValueError("cache size must be a multiple of the line size")
+        super().__init__(size_bytes // line_bytes, name="hcc")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+
+
+class LlcContentionDomain:
+    """Shared-LLC interference between threads of one machine (§5.6).
+
+    The paper could not report MICA multi-core scalability because the
+    co-located workload generator "reads 1.49 GB of data at a very high
+    rate", trashing the LLC it shares with the server. This model captures
+    that coarse effect: threads marked *LLC-heavy* inflate every other
+    thread's CPU costs by ``slowdown_per_heavy`` each (capped), without
+    slowing themselves down (their misses are already part of their own
+    cost model).
+    """
+
+    def __init__(self, slowdown_per_heavy: float = 0.16,
+                 max_multiplier: float = 2.2):
+        if slowdown_per_heavy < 0:
+            raise ValueError(
+                f"slowdown_per_heavy must be >= 0, got {slowdown_per_heavy}"
+            )
+        if max_multiplier < 1.0:
+            raise ValueError(
+                f"max_multiplier must be >= 1, got {max_multiplier}"
+            )
+        self.slowdown_per_heavy = slowdown_per_heavy
+        self.max_multiplier = max_multiplier
+        self._heavy = set()
+
+    def mark_heavy(self, thread) -> None:
+        self._heavy.add(thread)
+
+    def unmark_heavy(self, thread) -> None:
+        self._heavy.discard(thread)
+
+    @property
+    def heavy_count(self) -> int:
+        return len(self._heavy)
+
+    def multiplier_for(self, thread) -> float:
+        """Cost inflation the given thread suffers from LLC pressure."""
+        others = len(self._heavy) - (1 if thread in self._heavy else 0)
+        return min(self.max_multiplier,
+                   1.0 + self.slowdown_per_heavy * others)

@@ -1,0 +1,117 @@
+"""Calibration constants for the timing model.
+
+Every constant is in nanoseconds and is derived from a number the paper
+itself reports (section references inline). The reproduction target is the
+*shape* of the results; these constants anchor the model to the paper's
+platform so that the absolute numbers also land in the right range.
+
+Derivations for the main anchors:
+
+- ``cpu_tx_ns + cpu_rx_ns = 80`` — Fig 10 shows 12.4 Mrps single-core with
+  the UPI interface at batch 4, where the CPU is the bottleneck; 1e9/12.4e6
+  is ~80 ns of CPU work per RPC (two AVX-256 stores plus completion-queue
+  bookkeeping, section 4.4.1).
+- ``mmio_doorbell_ns = 152`` — plain doorbells reach 4.3 Mrps, i.e. ~232 ns
+  per RPC; subtracting the ~80 ns of store/poll work leaves ~150 ns for the
+  non-cacheable MMIO doorbell write (plus ~10 ns descriptor bookkeeping).
+  Doorbell batching divides the MMIO cost by B, matching the 7.9/9.9/10.8
+  Mrps ladder at B=3/7/11.
+- ``mmio_store32_ns = 84`` — the WQE-by-MMIO mode (two _mm256 MMIO stores
+  per 64 B RPC) tops out at 4.2 Mrps, i.e. ~238 ns per RPC = 2x84 + 70 base.
+- ``upi_flow_read_ns = 123`` — UPI at batch 1 reaches 8.1 Mrps; the
+  bottleneck is the per-transaction occupancy of the flow's RX FSM read
+  (1e9/8.1e6 = 123 ns). Extra cache lines in a batched read pipeline at
+  ``upi_read_line_ns`` each.
+- ``upi_endpoint_line_ns = 12`` — Fig 11 (right): raw idle UPI reads scale
+  to ~80 Mrps before the blue-region UPI endpoint saturates (12.5 ns per
+  line transfer); an end-to-end RPC crosses the endpoint twice (client-side
+  fetch, server-side delivery), capping end-to-end throughput at ~42 Mrps.
+- ``upi_oneway_ns = 400`` / ``pcie_dma_oneway_ns = 450`` — section 5.3's raw
+  shared-memory access comparison, and section 4.4's "CCI-P delivers data
+  within 400 ns".
+- ``tor_delay_ns = 300`` — the TOR delay Table 3 assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All tunable timing constants (nanoseconds unless noted)."""
+
+    # --- CPU software path -------------------------------------------------
+    cpu_tx_ns: int = 40  # serialize + ring store per 64 B RPC
+    cpu_rx_ns: int = 28  # completion-queue poll + payload read
+    cpu_dispatch_ns: int = 8  # server-side dispatch-thread bookkeeping
+    cpu_worker_handoff_ns: int = 500  # dispatch side: enqueue to workers
+    cpu_worker_wakeup_ns: int = 2500  # worker side: dequeue + thread wakeup
+                                      # (what makes the Optimized threading
+                                      # model ~10 us slower end-to-end, §5.7)
+    cpu_jitter_mean_ns: int = 2  # exponential per-op jitter (scheduling noise)
+    cpu_reassembly_per_line_ns: int = 40  # software RPC reassembly (§4.7)
+
+    # --- MMIO / PCIe -------------------------------------------------------
+    mmio_doorbell_ns: int = 152  # one non-cacheable doorbell write
+    doorbell_ring_ns: int = 10  # per-request descriptor bookkeeping
+    mmio_store32_ns: int = 84  # one 32 B AVX MMIO store into BAR space
+    pcie_mmio_deliver_ns: int = 1100  # MMIO payload CPU->FPGA propagation
+    pcie_doorbell_fetch_ns: int = 1450  # doorbell + descriptor + payload DMA
+    pcie_dma_oneway_ns: int = 450  # raw PCIe DMA read latency (§5.3)
+    pcie_nic_to_host_ns: int = 450  # NIC writes RX buffer over PCIe
+    pcie_outstanding: int = 128  # in-flight CCI-P requests (§4.4)
+
+    # --- UPI / CCI-P -------------------------------------------------------
+    upi_oneway_ns: int = 400  # host buffer -> NIC delivery (§4.4)
+    upi_nic_to_host_ns: int = 300  # NIC -> host RX ring write
+    upi_flow_read_ns: int = 123  # per-read-transaction FSM occupancy
+    upi_read_line_ns: int = 20  # each extra cache line in a batched read
+    upi_endpoint_line_ns: int = 12  # blue-region endpoint occupancy per line
+    upi_outstanding: int = 128
+
+    # --- NIC pipeline (green region, 200 MHz => 5 ns/cycle) ----------------
+    nic_cycle_ns: int = 5
+    nic_rpc_unit_cycles: int = 4  # (de)serialization pipeline stages
+    nic_transport_cycles: int = 3  # UDP/IP-like transport unit
+    nic_lb_cycles: int = 1  # load-balancer decision
+    nic_connection_lookup_cycles: int = 1  # connection cache hit (1W3R)
+    nic_connection_miss_ns: int = 600  # DRAM-backed connection fetch (§4.2)
+    nic_crypto_cycles_per_line: int = 4  # optional inline AES pipeline
+                                         # (§4.5), per cache line each way
+
+    # --- Ethernet / network ------------------------------------------------
+    eth_bytes_per_ns: float = 12.5  # 100 GbE serialization rate
+    tor_delay_ns: int = 300  # Table 3's assumed TOR latency
+    loopback_delay_ns: int = 20  # paper's on-FPGA loopback wire
+
+    # --- SMT ---------------------------------------------------------------
+    smt_slowdown: float = 1.176  # per-thread cost inflation with 2 threads
+                                 # per core (42 Mrps at 4 threads, Fig 11)
+
+    # --- Cache line --------------------------------------------------------
+    cache_line_bytes: int = 64
+
+    def lines_for(self, size_bytes: int) -> int:
+        """How many cache lines a payload of ``size_bytes`` occupies."""
+        if size_bytes < 0:
+            raise ValueError(f"negative payload size {size_bytes}")
+        return max(1, -(-size_bytes // self.cache_line_bytes))
+
+    def with_overrides(self, **overrides) -> "Calibration":
+        """A copy with some constants replaced (used by ablations)."""
+        return replace(self, **overrides)
+
+
+DEFAULT_CALIBRATION = Calibration()
+
+
+#: Application service-time anchors (ns), from section 5.6's measured
+#: throughput ceilings: memcached 0.6-1.5 Mrps single-core, MICA 4.3-5.2 Mrps.
+APP_SERVICE_TIMES_NS: Dict[str, int] = {
+    "memcached_get": 620,
+    "memcached_set": 2550,
+    "mica_get": 180,
+    "mica_set": 250,
+}

@@ -1,0 +1,60 @@
+"""Multi-machine clusters with physically distributed FPGAs.
+
+The paper runs every experiment on one machine (client and server NICs
+share one FPGA) because its vLab cluster had a single FPGA-enabled host,
+and names "deploy Dagger to a cluster environment with physically
+distributed FPGAs" as future work — specifically to measure MICA's
+multi-core throughput without client/server LLC contention.
+
+A :class:`Cluster` builds N independent machines (own cores, own FPGA, own
+CCI-P endpoints) connected through one ToR switch at the real 300 ns
+switch delay. Cross-machine traffic shares nothing but the wire, so
+endpoint caps and CPU contention are strictly per-machine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hw.platform import Machine, MachineConfig
+from repro.hw.switch import ToRSwitch
+from repro.sim.kernel import Simulator
+
+
+class Cluster:
+    """N machines behind one ToR switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_machines: int,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        machine_config: Optional[MachineConfig] = None,
+        tor_delay_ns: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if num_machines < 1:
+            raise ValueError(
+                f"cluster needs at least one machine, got {num_machines}"
+            )
+        self.sim = sim
+        self.calibration = calibration
+        self.switch = ToRSwitch(sim, calibration, loopback=False,
+                                delay_ns=tor_delay_ns)
+        self.machines: List[Machine] = [
+            Machine(sim, machine_config or MachineConfig(), calibration,
+                    seed=(seed << 4) + i)
+            for i in range(num_machines)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def machine(self, index: int) -> Machine:
+        if not 0 <= index < len(self.machines):
+            raise IndexError(
+                f"machine {index} out of range (cluster has "
+                f"{len(self.machines)})"
+            )
+        return self.machines[index]

@@ -1,0 +1,110 @@
+"""CPU core and software-thread models.
+
+A :class:`Core` is an out-of-order core with ``smt`` hardware thread slots
+(2 on the paper's Broadwell Xeon). Software threads pinned to a core contend
+for its slots; when two hardware threads are active simultaneously, each
+op's cost inflates by the calibrated SMT slowdown (this is what makes 4
+threads on 2 physical cores land at 42 Mrps instead of 49 in Fig 11).
+
+CPU costs carry a small exponential jitter term modelling pipeline /
+scheduling noise; it is what gives the simulated tail latencies their
+realistic (non-degenerate) shape at low load.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional
+
+from repro.hw.calibration import Calibration
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+
+class Core:
+    """One physical core with SMT slots."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        calibration: Calibration,
+        core_id: int,
+        smt: int = 2,
+        rng: Optional[random.Random] = None,
+        llc_domain=None,
+    ):
+        if smt < 1:
+            raise ValueError(f"smt must be >= 1, got {smt}")
+        self.sim = sim
+        self.calibration = calibration
+        self.core_id = core_id
+        self.smt = smt
+        self.slots = Resource(sim, capacity=smt, name=f"core{core_id}")
+        self.rng = rng or random.Random(core_id)
+        # Shared-LLC interference domain (machine-wide); None -> no model.
+        self.llc_domain = llc_domain
+        self._active = 0
+        self.busy_ns = 0  # accumulated busy time (utilization accounting)
+
+    def _jitter(self) -> int:
+        mean = self.calibration.cpu_jitter_mean_ns
+        if mean <= 0:
+            return 0
+        return int(self.rng.expovariate(1.0 / mean))
+
+    def execute(self, cost_ns: int, thread=None) -> Generator:
+        """Occupy one hardware thread slot for ``cost_ns`` of work.
+
+        The effective time inflates when the sibling SMT slot is also busy,
+        and under machine-wide LLC pressure from cache-heavy threads.
+        """
+        if cost_ns < 0:
+            raise ValueError(f"negative cost {cost_ns}")
+        yield self.slots.request()
+        self._active += 1
+        try:
+            scaled = cost_ns
+            if self._active >= 2:
+                scaled = int(cost_ns * self.calibration.smt_slowdown)
+            if self.llc_domain is not None:
+                scaled = int(scaled * self.llc_domain.multiplier_for(thread))
+            scaled += self._jitter()
+            self.busy_ns += scaled
+            yield self.sim.timeout(scaled)
+        finally:
+            self._active -= 1
+            self.slots.release()
+
+    @property
+    def contended(self) -> bool:
+        return self.slots.queue_length > 0
+
+
+class SoftwareThread:
+    """A software thread pinned to a core.
+
+    Thin wrapper: the thread's logic is a simulation process; every chunk of
+    CPU work it does goes through :meth:`exec` so core contention and SMT
+    effects apply. Statistics: ``ops`` counts completed exec calls.
+    """
+
+    def __init__(self, core: Core, name: str = ""):
+        self.core = core
+        self.name = name or f"thread@core{core.core_id}"
+        self.ops = 0
+
+    @property
+    def sim(self) -> Simulator:
+        return self.core.sim
+
+    def exec(self, cost_ns: int) -> Generator:
+        yield from self.core.execute(cost_ns, thread=self)
+        self.ops += 1
+
+    def mark_llc_heavy(self) -> None:
+        """Flag this thread as LLC-trashing (slows everyone else, §5.6)."""
+        if self.core.llc_domain is not None:
+            self.core.llc_domain.mark_heavy(self)
+
+    def __repr__(self) -> str:
+        return f"SoftwareThread({self.name})"

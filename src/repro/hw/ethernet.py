@@ -1,0 +1,50 @@
+"""Ethernet MAC/PHY serialization model.
+
+The NIC's transport unit hands serialized RPC packets to the MAC/PHY, which
+puts them on the wire at line rate. Serialization delay is bytes / rate; the
+port is a single serial resource, so back-to-back packets queue behind each
+other exactly like a real egress port.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.hw.calibration import Calibration
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+ETHERNET_OVERHEAD_BYTES = 24  # preamble + FCS + min IFG equivalents
+MIN_FRAME_BYTES = 64
+
+
+class EthernetPort:
+    """One egress port serializing frames at ``calibration.eth_bytes_per_ns``."""
+
+    def __init__(self, sim: Simulator, calibration: Calibration, name: str = "eth"):
+        self.sim = sim
+        self.calibration = calibration
+        self.name = name
+        self._port = Resource(sim, capacity=1, name=name)
+        self.frames = 0
+        self.bytes = 0
+
+    def frame_bytes(self, payload_bytes: int) -> int:
+        return max(MIN_FRAME_BYTES, payload_bytes) + ETHERNET_OVERHEAD_BYTES
+
+    def serialization_ns(self, payload_bytes: int) -> int:
+        wire_bytes = self.frame_bytes(payload_bytes)
+        return max(1, int(wire_bytes / self.calibration.eth_bytes_per_ns))
+
+    def transmit(self, payload_bytes: int) -> Generator:
+        """Occupy the port for the frame's serialization time."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload {payload_bytes}")
+        yield self._port.request()
+        try:
+            delay = self.serialization_ns(payload_bytes)
+            self.frames += 1
+            self.bytes += self.frame_bytes(payload_bytes)
+            yield self.sim.timeout(delay)
+        finally:
+            self._port.release()

@@ -1,0 +1,32 @@
+"""CPU <-> NIC interconnect models.
+
+The paper's central claim is that a coherent NUMA interconnect (UPI, reached
+through CCI-P) is a better NIC I/O than PCIe for small RPCs. This package
+models the four CPU-NIC interface schemes of section 4.4.1 at the
+transaction level:
+
+- :class:`~repro.hw.interconnect.pcie.PcieMmioInterface` — WQE-by-MMIO: the
+  CPU writes the whole RPC into FPGA BAR space with AVX MMIO stores.
+- :class:`~repro.hw.interconnect.pcie.PcieDoorbellInterface` — classic
+  doorbell: MMIO doorbell + DMA fetch, optionally with doorbell batching.
+- :class:`~repro.hw.interconnect.upi.UpiInterface` — the Dagger interface:
+  the CPU only stores to a shared buffer; the NIC's per-flow FSM pulls
+  cache lines over the coherent bus.
+- raw reads (:meth:`~repro.hw.interconnect.upi.UpiInterface.raw_read`) for
+  the Fig 11 endpoint-saturation microbenchmark.
+"""
+
+from repro.hw.interconnect.base import CpuNicInterface, TransferMode
+from repro.hw.interconnect.pcie import PcieDoorbellInterface, PcieMmioInterface
+from repro.hw.interconnect.upi import UpiInterface
+from repro.hw.interconnect.ccip import CcipMux, make_interface
+
+__all__ = [
+    "CpuNicInterface",
+    "TransferMode",
+    "PcieMmioInterface",
+    "PcieDoorbellInterface",
+    "UpiInterface",
+    "CcipMux",
+    "make_interface",
+]

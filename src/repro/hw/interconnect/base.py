@@ -1,0 +1,101 @@
+"""Common interface for CPU-NIC interconnect models.
+
+Each interface answers four questions for the NIC and the software stack:
+
+1. How much *extra CPU time* does transmitting one request cost, beyond the
+   baseline ring store? (MMIO doorbells and MMIO payload writes are CPU
+   work; coherent-bus stores are not.)
+2. How long is the NIC's per-flow fetch engine *occupied* issuing the read
+   for a batch? This serial pacing is the per-flow throughput bound (123 ns
+   per UPI read transaction at batch 1 -> 8.1 Mrps, Fig 10).
+3. How long until the data actually *arrives* at the NIC (latency), and how
+   much shared endpoint bandwidth does it consume?
+4. Same, for the NIC-to-host direction.
+
+``TransferMode.FETCH`` interfaces (doorbell, UPI) have the NIC pull data out
+of software rings; ``TransferMode.PUSH`` (MMIO) has the CPU write payloads
+straight into the device, so there is no fetch step at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Optional
+
+from repro.hw.calibration import Calibration
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+
+class TransferMode(enum.Enum):
+    FETCH = "fetch"  # NIC pulls requests from host rings
+    PUSH = "push"  # CPU pushes requests into the NIC over MMIO
+
+
+class CpuNicInterface:
+    """Base class for CPU-NIC interface models."""
+
+    name: str = "base"
+    mode: TransferMode = TransferMode.FETCH
+
+    def __init__(
+        self,
+        sim: Simulator,
+        calibration: Calibration,
+        endpoint: Resource,
+        write_endpoint: Optional[Resource] = None,
+    ):
+        self.sim = sim
+        self.calibration = calibration
+        self.endpoint = endpoint
+        # Reads (host->NIC fetch) and writes (NIC->host delivery) go through
+        # separate engines in the blue-region IP; sharing one would halve
+        # the end-to-end cap relative to the raw-read cap, which is not what
+        # Fig 11 (right) shows (~80 Mrps raw vs ~84 Mmsg/s end-to-end).
+        self.write_endpoint = write_endpoint or endpoint
+        self.lines_transferred = 0
+        self.transactions = 0
+
+    # -- CPU-side costs ------------------------------------------------------
+
+    def tx_cpu_cost_ns(self, lines: int, batch: int) -> int:
+        """Extra CPU ns per request for this interface (beyond ring store)."""
+        raise NotImplementedError
+
+    # -- NIC-side fetch (host -> NIC) -----------------------------------------
+
+    def issue_occupancy_ns(self, lines: int) -> int:
+        """Serial occupancy of a flow's fetch FSM to issue one batched read."""
+        raise NotImplementedError
+
+    def host_to_nic(self, lines: int) -> Generator:
+        """Transfer ``lines`` cache lines to the NIC; yields until arrival."""
+        raise NotImplementedError
+
+    # -- NIC-side delivery (NIC -> host) --------------------------------------
+
+    def nic_to_host(self, lines: int) -> Generator:
+        """Write ``lines`` cache lines into a host RX buffer."""
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _use_endpoint(self, occupancy_ns: int) -> Generator:
+        """Consume shared read-engine bandwidth (FIFO, pipelined)."""
+        yield self.endpoint.request()
+        try:
+            yield self.sim.timeout(occupancy_ns)
+        finally:
+            self.endpoint.release()
+
+    def _use_write_endpoint(self, occupancy_ns: int) -> Generator:
+        """Consume shared write-engine bandwidth (FIFO, pipelined)."""
+        yield self.write_endpoint.request()
+        try:
+            yield self.sim.timeout(occupancy_ns)
+        finally:
+            self.write_endpoint.release()
+
+    def _account(self, lines: int) -> None:
+        self.lines_transferred += lines
+        self.transactions += 1

@@ -1,0 +1,59 @@
+"""CCI-P: the protocol stack multiplexing UPI and PCIe links to the FPGA.
+
+CCI-P wraps one UPI link and two PCIe links behind a single interface
+(section 4.1). For experiments that instantiate several NIC instances on
+the same FPGA (Fig 14), :class:`CcipMux` hands each NIC an interface bound
+to the shared endpoints, so fair FIFO arbitration between tenants emerges
+at the endpoint resources.
+"""
+
+from __future__ import annotations
+
+from repro.hw.calibration import Calibration
+from repro.hw.interconnect.base import CpuNicInterface
+from repro.hw.interconnect.pcie import PcieDoorbellInterface, PcieMmioInterface
+from repro.hw.interconnect.upi import UpiInterface
+from repro.hw.platform import Fpga
+from repro.sim.kernel import Simulator
+
+_INTERFACES = {
+    "upi": UpiInterface,
+    "pcie-mmio": PcieMmioInterface,
+    "pcie-doorbell": PcieDoorbellInterface,
+}
+
+
+def make_interface(
+    kind: str, sim: Simulator, calibration: Calibration, fpga: Fpga
+) -> CpuNicInterface:
+    """Build a CPU-NIC interface bound to the FPGA's shared endpoints."""
+    try:
+        cls = _INTERFACES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown interface {kind!r}; choose from {sorted(_INTERFACES)}"
+        ) from None
+    if kind == "upi":
+        return cls(sim, calibration, fpga.upi_endpoint,
+                   write_endpoint=fpga.upi_write_endpoint)
+    return cls(sim, calibration, fpga.pcie_endpoint,
+               write_endpoint=fpga.pcie_write_endpoint)
+
+
+class CcipMux:
+    """Per-FPGA interface factory with shared-endpoint arbitration."""
+
+    def __init__(self, sim: Simulator, calibration: Calibration, fpga: Fpga):
+        self.sim = sim
+        self.calibration = calibration
+        self.fpga = fpga
+        self.issued = []
+
+    def interface(self, kind: str) -> CpuNicInterface:
+        iface = make_interface(kind, self.sim, self.calibration, self.fpga)
+        self.issued.append(iface)
+        return iface
+
+    @property
+    def total_lines(self) -> int:
+        return sum(iface.lines_transferred for iface in self.issued)

@@ -1,0 +1,109 @@
+"""NIC hard and soft configuration (section 4.1).
+
+*Hard configuration* mirrors SystemVerilog parameters chosen at synthesis
+time: number of flows, ring and FIFO depths, connection-cache size, the
+CPU-NIC interface scheme. Changing it means "re-synthesizing" — in the
+model, building a new NIC.
+
+*Soft configuration* mirrors the soft register file reachable over MMIO at
+runtime: CCI-P batch size, auto-batching, the load-balancing scheme, and
+the number of active flows. It is mutable on a live NIC, which is exactly
+what the Fig 11 auto-batching experiment exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Table 1: the connection cache tops out at ~153K connections given the
+#: available green-region BRAM.
+MAX_CONNECTION_CACHE_ENTRIES = 153_000
+#: Table 1: max number of NIC flows under the 50% utilization constraint.
+MAX_FLOWS = 512
+
+LOAD_BALANCER_SCHEMES = ("round-robin", "static", "object-level")
+
+
+@dataclass(frozen=True)
+class NicHardConfig:
+    """Synthesis-time parameters of one NIC instance."""
+
+    num_flows: int = 4
+    tx_ring_entries: int = 128  # per-flow software TX ring (requests)
+    rx_ring_entries: int = 128  # per-flow software RX ring (deliveries)
+    flow_fifo_entries: int = 64  # on-NIC per-flow ingress FIFO
+    connection_cache_entries: int = 1024
+    dram_backed_connections: bool = True  # §4.2 "future work", implemented
+    max_batch: int = 16  # largest CCI-P batch the FSMs support
+    interface: str = "upi"  # upi | pcie-doorbell | pcie-mmio
+    reliable_transport: bool = False  # §4.5 "future work": Protocol unit
+                                      # runs NACK/ACK reliability in HW
+    flow_control: bool = False  # §4.5 "future work": receiver-driven
+                                # credit-based congestion control in HW
+    flow_control_credits: int = 32  # per-connection sender window
+    credit_batch: int = 8  # credits returned per CREDIT grant
+    hw_reassembly: bool = False  # §4.7 "future work": CAM-based on-chip
+                                 # reassembly (no SW reassembly CPU cost)
+    inline_crypto: bool = False  # §4.5: optional encryption logic in the
+                                 # RPC unit (AES-GCM-style line pipeline)
+
+    def __post_init__(self):
+        if not 1 <= self.num_flows <= MAX_FLOWS:
+            raise ValueError(
+                f"num_flows must be in [1, {MAX_FLOWS}], got {self.num_flows}"
+            )
+        if not 1 <= self.connection_cache_entries <= MAX_CONNECTION_CACHE_ENTRIES:
+            raise ValueError(
+                "connection_cache_entries must be in "
+                f"[1, {MAX_CONNECTION_CACHE_ENTRIES}], "
+                f"got {self.connection_cache_entries}"
+            )
+        for name in ("tx_ring_entries", "rx_ring_entries", "flow_fifo_entries",
+                     "max_batch", "flow_control_credits", "credit_batch"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.flow_control and self.flow_control_credits > self.rx_ring_entries:
+            raise ValueError(
+                "flow_control_credits must not exceed rx_ring_entries "
+                f"({self.flow_control_credits} > {self.rx_ring_entries}): "
+                "the credit window is what makes ring overflow impossible"
+            )
+        if self.interface not in ("upi", "pcie-doorbell", "pcie-mmio"):
+            raise ValueError(f"unknown interface {self.interface!r}")
+
+
+@dataclass
+class NicSoftConfig:
+    """Runtime-tunable soft register file."""
+
+    batch_size: int = 1
+    auto_batch: bool = False
+    batch_timeout_ns: int = 3000  # fixed-B mode sends a partial batch after
+                                  # this long (what makes low-load latency
+                                  # "relatively high" but bounded, Fig 11)
+    load_balancer: str = "round-robin"
+    active_flows: int = 0  # 0 means "all hard-configured flows"
+
+    def validate(self, hard: NicHardConfig) -> None:
+        if not 1 <= self.batch_size <= hard.max_batch:
+            raise ValueError(
+                f"batch_size must be in [1, {hard.max_batch}], "
+                f"got {self.batch_size}"
+            )
+        if self.batch_timeout_ns < 0:
+            raise ValueError(
+                f"batch_timeout_ns must be >= 0, got {self.batch_timeout_ns}"
+            )
+        if self.load_balancer not in LOAD_BALANCER_SCHEMES:
+            raise ValueError(
+                f"unknown load balancer {self.load_balancer!r}; "
+                f"choose from {LOAD_BALANCER_SCHEMES}"
+            )
+        if not 0 <= self.active_flows <= hard.num_flows:
+            raise ValueError(
+                f"active_flows must be in [0, {hard.num_flows}], "
+                f"got {self.active_flows}"
+            )
+
+    def effective_flows(self, hard: NicHardConfig) -> int:
+        return self.active_flows or hard.num_flows

@@ -1,0 +1,327 @@
+"""Top-level Dagger NIC (Fig 6).
+
+Wires the per-RTL-block models together:
+
+- egress: software TX ring -> RX FSM (fetch over the interconnect) -> RPC
+  unit (serializer) -> connection lookup -> transport -> Ethernet -> switch;
+- ingress: switch -> RPC unit (de-serializer) -> connection lookup + load
+  balancer -> flow FIFOs -> flow scheduler -> interconnect -> software RX
+  ring.
+
+The green-region pipeline runs at 200 MHz and processes one RPC per cycle
+once full, modelled by a serial 5 ns pipeline resource (the "NIC itself is
+capable of processing up to 200 Mrps", section 5.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from repro.hw.calibration import Calibration
+from repro.hw.ethernet import EthernetPort
+from repro.hw.interconnect.base import CpuNicInterface, TransferMode
+from repro.hw.nic.config import NicHardConfig, NicSoftConfig
+from repro.hw.nic.connection_manager import ConnectionManager, ConnectionTuple
+from repro.hw.nic.load_balancer import LoadBalancer, make_balancer
+from repro.hw.nic.packet_monitor import PacketMonitor
+from repro.hw.nic.rings import FlowRings
+from repro.hw.nic.rx_path import RxPath
+from repro.hw.nic.tx_path import TxPath
+from repro.hw.switch import ToRSwitch
+from repro.rpc.messages import RpcKind, RpcPacket
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource, Store
+
+_connection_ids = itertools.count(1)
+
+
+def next_connection_id() -> int:
+    """Process-wide unique connection ids (as the CM would hand out)."""
+    return next(_connection_ids)
+
+
+class DaggerNic:
+    """One NIC instance (one tenant's "virtual but physical" NIC, Fig 14)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        calibration: Calibration,
+        interface: CpuNicInterface,
+        switch: ToRSwitch,
+        address: str,
+        hard: Optional[NicHardConfig] = None,
+        soft: Optional[NicSoftConfig] = None,
+        balancer: Optional[LoadBalancer] = None,
+    ):
+        self.sim = sim
+        self.calibration = calibration
+        self.interface = interface
+        self.switch = switch
+        self.address = address
+        self.hard = hard or NicHardConfig()
+        self.soft = soft or NicSoftConfig()
+        self.soft.validate(self.hard)
+
+        self.monitor = PacketMonitor()
+        self.connection_manager = ConnectionManager(
+            sim,
+            calibration,
+            self.hard.connection_cache_entries,
+            dram_backed=self.hard.dram_backed_connections,
+        )
+        # Custom application-specific balancers (e.g. MICA's object-level
+        # hash) can be injected; otherwise built from the soft config.
+        self.balancer = balancer or make_balancer(self.soft.load_balancer)
+        self._conn_balancers = {}  # per-connection balancer overrides
+        self.flow_rings = [
+            FlowRings(
+                sim, i, self.hard.tx_ring_entries, self.hard.rx_ring_entries
+            )
+            for i in range(self.hard.num_flows)
+        ]
+        self.pipeline = Resource(sim, capacity=1, name=f"{address}-pipeline")
+        self.eth = EthernetPort(sim, calibration, name=f"{address}-eth")
+        self._ingress_queue = Store(sim, name=f"{address}-ingress")
+        # Per-flow egress sequencers: fetched RPCs enter here in issue order
+        # and are pushed through the RPC pipeline strictly FIFO per flow
+        # (a connection-cache miss stalls the flow, it does not reorder it).
+        self._egress_queues = [
+            Store(sim, name=f"{address}-egress{i}")
+            for i in range(self.hard.num_flows)
+        ]
+        for flow_id in range(self.hard.num_flows):
+            sim.spawn(self._egress_sequencer(flow_id))
+        # Control packets (ACK/NACK/CREDIT) use their own sequencer so a
+        # data flow parked on credits can never block the protocol itself.
+        self._control_queue = Store(sim, name=f"{address}-control")
+        sim.spawn(self._control_sequencer())
+
+        # §4.5 extensions: a hardware reliable transport and/or a
+        # credit-based flow-control engine in the Protocol unit (both None
+        # when the NIC runs the paper's idle/UDP-like protocol).
+        self.transport = None
+        if self.hard.reliable_transport:
+            from repro.rpc.transport import ReliableTransport
+
+            self.transport = ReliableTransport(self)
+        self.flow_control = None
+        if self.hard.flow_control:
+            from repro.rpc.congestion import CreditFlowControl
+
+            self.flow_control = CreditFlowControl(
+                self, self.hard.flow_control_credits, self.hard.credit_batch
+            )
+            for rings in self.flow_rings:
+                rings.rx_ring.on_get = self.flow_control.on_host_dequeue
+
+        self.rx_path = RxPath(self)
+        self.tx_path = TxPath(self)
+        self.rx_path.start()
+        self.tx_path.start()
+        sim.spawn(self._ingress_unit())
+        switch.register(address, self.ingress)
+
+    # -- software-facing API ---------------------------------------------------
+
+    def open_connection(
+        self,
+        connection_id: int,
+        src_flow: int,
+        dest_address: str,
+        load_balancer: Optional[str] = None,
+    ) -> ConnectionTuple:
+        """Register a connection in the NIC's connection manager."""
+        if not 0 <= src_flow < self.hard.num_flows:
+            raise ValueError(
+                f"flow {src_flow} out of range (num_flows={self.hard.num_flows})"
+            )
+        entry = ConnectionTuple(
+            connection_id=connection_id,
+            src_flow=src_flow,
+            dest_address=dest_address,
+            load_balancer=load_balancer,
+        )
+        self.connection_manager.open_connection(entry)
+        return entry
+
+    def close_connection(self, connection_id: int) -> None:
+        self.connection_manager.close_connection(connection_id)
+
+    def soft_reconfigure(self, thread, **changes) -> Generator:
+        """Runtime soft reconfiguration (§4.1's Soft-Reconfiguration Unit).
+
+        Writes the NIC's soft register file over PCIe MMIO from the given
+        software thread — one MMIO per changed register — validates the
+        result against the hard configuration, and applies it atomically.
+        This is how the paper tunes batch size, balancer, and active flows
+        on a live NIC without re-synthesizing.
+        """
+        if not changes:
+            raise ValueError("soft_reconfigure needs at least one change")
+        candidate = NicSoftConfig(
+            batch_size=changes.get("batch_size", self.soft.batch_size),
+            auto_batch=changes.get("auto_batch", self.soft.auto_batch),
+            batch_timeout_ns=changes.get("batch_timeout_ns",
+                                         self.soft.batch_timeout_ns),
+            load_balancer=changes.get("load_balancer",
+                                      self.soft.load_balancer),
+            active_flows=changes.get("active_flows",
+                                     self.soft.active_flows),
+        )
+        unknown = set(changes) - {"batch_size", "auto_batch",
+                                  "batch_timeout_ns", "load_balancer",
+                                  "active_flows"}
+        if unknown:
+            raise ValueError(f"unknown soft registers: {sorted(unknown)}")
+        candidate.validate(self.hard)
+        # One non-cacheable MMIO write per touched soft register.
+        yield from thread.exec(
+            len(changes) * self.calibration.mmio_doorbell_ns
+        )
+        if candidate.load_balancer != self.soft.load_balancer:
+            self.balancer = make_balancer(candidate.load_balancer)
+        self.soft = candidate
+
+    def tx_cpu_cost_ns(self, packet: RpcPacket) -> int:
+        """Interface-specific CPU cost the sender pays for this packet."""
+        lines = packet.lines(self.calibration.cache_line_bytes)
+        batch = (self.hard.max_batch if self.soft.auto_batch
+                 else self.soft.batch_size)
+        return self.interface.tx_cpu_cost_ns(lines, batch)
+
+    def send_from_host(self, flow_id: int, packet: RpcPacket) -> Generator:
+        """Hand a packet to the NIC (yields; may block on a full TX ring)."""
+        if not 0 <= flow_id < self.hard.num_flows:
+            raise ValueError(
+                f"flow {flow_id} out of range (num_flows={self.hard.num_flows})"
+            )
+        packet.src_address = self.address
+        if packet.kind is RpcKind.REQUEST:
+            packet.src_flow = flow_id
+        packet.stamp("sw_tx", self.sim.now)
+        if self.interface.mode is TransferMode.PUSH:
+            # WQE-by-MMIO: payload crosses as CPU-issued MMIO writes; no
+            # ring, no fetch FSM.
+            lines = packet.lines(self.calibration.cache_line_bytes)
+            self.sim.spawn(self._push_transfer(packet, lines, flow_id))
+            yield self.sim.timeout(0)
+        else:
+            yield self.flow_rings[flow_id].tx_ring.put(packet)
+
+    def rx_ring(self, flow_id: int) -> Store:
+        """The software RX ring for a flow (what a dispatch thread polls)."""
+        return self.flow_rings[flow_id].rx_ring
+
+    # -- egress data path --------------------------------------------------------
+
+    def _push_transfer(self, packet: RpcPacket, lines: int,
+                       flow_id: int = 0) -> Generator:
+        yield from self.interface.host_to_nic(lines)
+        self.monitor.fetched_rpcs += 1
+        packet.stamp("nic_fetched", self.sim.now)
+        self.enqueue_egress(flow_id, packet)
+
+    def enqueue_egress(self, flow_id: int, packet: RpcPacket) -> None:
+        """Hand a fetched packet to its flow's in-order egress sequencer."""
+        if packet.kind is RpcKind.CONTROL:
+            self._control_queue.try_put(packet)
+        else:
+            self._egress_queues[flow_id].try_put(packet)
+
+    def _egress_sequencer(self, flow_id: int) -> Generator:
+        queue = self._egress_queues[flow_id]
+        while True:
+            packet = yield queue.get()
+            if self.flow_control is not None:
+                yield from self.flow_control.acquire(packet)
+            yield from self.egress_pipeline(packet)
+
+    def _control_sequencer(self) -> Generator:
+        while True:
+            packet = yield self._control_queue.get()
+            yield from self.egress_pipeline(packet)
+
+    def egress_pipeline(self, packet: RpcPacket) -> Generator:
+        """RPC unit (serializer) -> connection lookup -> transport -> wire."""
+        cal = self.calibration
+        yield from self.pipeline.use(cal.nic_cycle_ns)
+        yield self.sim.timeout(cal.nic_rpc_unit_cycles * cal.nic_cycle_ns)
+        if self.hard.inline_crypto and packet.kind is not RpcKind.CONTROL:
+            yield self.sim.timeout(self._crypto_ns(packet))
+        misses_before = self.connection_manager.cache.misses
+        entry = yield from self.connection_manager.lookup(packet.connection_id)
+        self.monitor.connection_misses += (
+            self.connection_manager.cache.misses - misses_before
+        )
+        if packet.kind is RpcKind.REQUEST:
+            packet.dst_address = entry.dest_address
+        if self.transport is not None:
+            self.transport.on_egress(packet)
+        yield self.sim.timeout(cal.nic_transport_cycles * cal.nic_cycle_ns)
+        yield from self.eth.transmit(packet.wire_bytes)
+        packet.stamp("wire_tx", self.sim.now)
+        self.monitor.tx_rpcs += 1
+        self.switch.send(packet.dst_address, packet)
+
+    # -- ingress data path ---------------------------------------------------------
+
+    def ingress(self, packet: RpcPacket) -> None:
+        """Switch-facing entry point (runs at packet arrival time)."""
+        self.monitor.rx_rpcs += 1
+        packet.stamp("nic_rx", self.sim.now)
+        self._ingress_queue.try_put(packet)
+
+    def _ingress_unit(self) -> Generator:
+        # The ingress pipeline accepts one packet per cycle; the remaining
+        # stage latency is paid per packet in a spawned continuation so the
+        # unit pipelines like the RTL instead of serializing ~7 cycles.
+        cal = self.calibration
+        while True:
+            packet = yield self._ingress_queue.get()
+            yield from self.pipeline.use(cal.nic_cycle_ns)
+            self.sim.spawn(self._ingress_steer(packet))
+
+    def _crypto_ns(self, packet: RpcPacket) -> int:
+        """Latency of the optional inline encryption stage (§4.5)."""
+        cal = self.calibration
+        lines = packet.lines(cal.cache_line_bytes)
+        return lines * cal.nic_crypto_cycles_per_line * cal.nic_cycle_ns
+
+    def _ingress_steer(self, packet: RpcPacket) -> Generator:
+        cal = self.calibration
+        yield self.sim.timeout(cal.nic_rpc_unit_cycles * cal.nic_cycle_ns)
+        if self.hard.inline_crypto and packet.kind is not RpcKind.CONTROL:
+            yield self.sim.timeout(self._crypto_ns(packet))
+        entry = yield from self.connection_manager.lookup(
+            packet.connection_id
+        )
+        yield self.sim.timeout(cal.nic_lb_cycles * cal.nic_cycle_ns)
+        if packet.kind is RpcKind.CONTROL:
+            # NIC-terminated protocol packet: never reaches a host ring.
+            from repro.rpc.congestion import CREDIT_METHOD
+
+            if (packet.method == CREDIT_METHOD
+                    and self.flow_control is not None):
+                self.flow_control.on_control(packet)
+            elif self.transport is not None:
+                self.transport.on_control(packet)
+            return
+        if packet.kind is RpcKind.RESPONSE:
+            # Responses are steered back to the flow their request used.
+            flow_id = packet.src_flow
+        else:
+            balancer = self.balancer
+            if entry.load_balancer is not None:
+                key = (entry.connection_id, entry.load_balancer)
+                balancer = self._conn_balancers.get(key)
+                if balancer is None:
+                    balancer = make_balancer(entry.load_balancer)
+                    self._conn_balancers[key] = balancer
+            flow_id = balancer.pick_flow(
+                packet,
+                self.soft.effective_flows(self.hard),
+                preferred_flow=entry.src_flow,
+            )
+        self.tx_path.enqueue(packet, flow_id)

@@ -1,0 +1,93 @@
+"""Request load balancers for the NIC's ingress path (sections 4.4.2, 5.7).
+
+The Load Balancer distributes incoming RPC *requests* over the NIC's active
+flows (responses are not balanced — they are steered back to the flow their
+request came from). Three schemes, as in the paper:
+
+- **round-robin** — "dynamic uniform steering": even spread over flows.
+- **static** — per-connection preferred flow from the connection tuple.
+- **object-level** — MICA's scheme: hash the request's key on the FPGA so
+  all requests for one key land on the partition-owning flow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.rpc.messages import RpcPacket
+
+
+class LoadBalancer:
+    """Base class: picks the target flow index for a request."""
+
+    name = "base"
+
+    def pick_flow(self, packet: RpcPacket, num_flows: int,
+                  preferred_flow: Optional[int] = None) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Dynamic uniform steering."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def pick_flow(self, packet: RpcPacket, num_flows: int,
+                  preferred_flow: Optional[int] = None) -> int:
+        del packet, preferred_flow
+        flow = self._next % num_flows
+        self._next = (self._next + 1) % num_flows
+        return flow
+
+
+class StaticBalancer(LoadBalancer):
+    """Static balancing from connection-tuple information."""
+
+    name = "static"
+
+    def pick_flow(self, packet: RpcPacket, num_flows: int,
+                  preferred_flow: Optional[int] = None) -> int:
+        if preferred_flow is None:
+            # No preference recorded: deterministic fallback on connection id.
+            return packet.connection_id % num_flows
+        if not 0 <= preferred_flow < num_flows:
+            raise ValueError(
+                f"preferred flow {preferred_flow} out of range "
+                f"(num_flows={num_flows})"
+            )
+        return preferred_flow
+
+
+class ObjectLevelBalancer(LoadBalancer):
+    """MICA's object-level core affinity: key hash -> partition/flow.
+
+    Requests must carry ``lb_key`` (the key hash computed by the stub);
+    requests without a key fall back to connection-id steering so non-KVS
+    traffic on the same NIC still works.
+    """
+
+    name = "object-level"
+
+    def pick_flow(self, packet: RpcPacket, num_flows: int,
+                  preferred_flow: Optional[int] = None) -> int:
+        del preferred_flow
+        if packet.lb_key is None:
+            return packet.connection_id % num_flows
+        return packet.lb_key % num_flows
+
+
+def make_balancer(scheme: str) -> LoadBalancer:
+    balancers = {
+        RoundRobinBalancer.name: RoundRobinBalancer,
+        StaticBalancer.name: StaticBalancer,
+        ObjectLevelBalancer.name: ObjectLevelBalancer,
+    }
+    try:
+        return balancers[scheme]()
+    except KeyError:
+        raise ValueError(
+            f"unknown load balancer {scheme!r}; choose from {sorted(balancers)}"
+        ) from None

@@ -1,0 +1,52 @@
+"""Packet Monitor: the NIC's statistics block (Fig 6).
+
+Plain counters, readable at any time by experiments (the paper reads them
+through soft registers). Drop accounting is what the KVS experiments use to
+keep server-side drops below 1%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PacketMonitor:
+    """Networking statistics for one NIC instance."""
+
+    tx_rpcs: int = 0  # RPCs sent to the network
+    rx_rpcs: int = 0  # RPCs received from the network
+    fetched_rpcs: int = 0  # RPCs pulled from host TX rings
+    delivered_rpcs: int = 0  # RPCs written into host RX rings
+    dropped_rx_ring: int = 0  # host RX ring was full
+    dropped_flow_fifo: int = 0  # on-NIC flow FIFO was full
+    batches: int = 0
+    batched_rpcs: int = 0  # sum of batch sizes (for mean occupancy)
+    connection_misses: int = 0
+
+    @property
+    def drops(self) -> int:
+        return self.dropped_rx_ring + self.dropped_flow_fifo
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of received RPCs that were dropped before delivery."""
+        if not self.rx_rpcs:
+            return 0.0
+        return self.drops / self.rx_rpcs
+
+    @property
+    def mean_batch(self) -> float:
+        return self.batched_rpcs / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot (what a soft-register read would return)."""
+        return {
+            "tx_rpcs": self.tx_rpcs,
+            "rx_rpcs": self.rx_rpcs,
+            "fetched_rpcs": self.fetched_rpcs,
+            "delivered_rpcs": self.delivered_rpcs,
+            "drops": self.drops,
+            "drop_rate": self.drop_rate,
+            "mean_batch": self.mean_batch,
+        }

@@ -1,0 +1,48 @@
+"""Software RX/TX rings, provisioned per NIC flow (Fig 8).
+
+Each NIC flow is 1-to-1 mapped to an RX/TX ring pair in software:
+
+- the **TX ring** holds outgoing RPCs until the NIC's RX FSM fetches them
+  (software blocks when the ring is full — "flow blocking", section 4.4);
+- the **RX ring** receives incoming RPCs written by the NIC's TX FSM; when
+  software does not drain it fast enough the NIC drops packets (counted by
+  the packet monitor, kept <1% in the paper's experiments).
+
+Free-buffer bookkeeping is implicit in the Store capacity: a put is the
+paper's "write to a free entry", a get is "bookkeeping releases the entry".
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Store
+
+
+class FlowRings:
+    """The ring pair backing one NIC flow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        tx_entries: int,
+        rx_entries: int,
+    ):
+        self.flow_id = flow_id
+        # Outgoing: software -> NIC. Blocking put models flow blocking.
+        self.tx_ring = Store(sim, capacity=tx_entries, name=f"tx-ring{flow_id}")
+        # Incoming: NIC -> software. Non-blocking NIC writes; overflow drops.
+        self.rx_ring = Store(
+            sim,
+            capacity=rx_entries,
+            name=f"rx-ring{flow_id}",
+            reject_when_full=True,
+        )
+
+    @property
+    def tx_occupancy(self) -> int:
+        return len(self.tx_ring)
+
+    @property
+    def rx_occupancy(self) -> int:
+        return len(self.rx_ring)

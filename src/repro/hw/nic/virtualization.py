@@ -1,0 +1,87 @@
+"""NIC virtualization: multiple NIC instances on one FPGA (Fig 14, §6).
+
+The paper serves an 8-tier application from one physical FPGA by
+instantiating one Dagger NIC per tier and giving the instances fair
+round-robin access to the CCI-P bus. :class:`VirtualizedFpga` is the
+factory for that setup: every NIC it creates shares the machine's FPGA
+endpoints (arbitration emerges from FIFO grants at the shared endpoint
+resources) and registers with the same switch model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hw.interconnect.ccip import CcipMux
+from repro.hw.nic.config import NicHardConfig, NicSoftConfig
+from repro.hw.nic.dagger_nic import DaggerNic
+from repro.hw.nic.load_balancer import LoadBalancer
+from repro.hw.nic.resources import estimate_resources
+from repro.hw.platform import Machine
+from repro.hw.switch import ToRSwitch
+
+
+class VirtualizedFpga:
+    """Factory for co-located NIC instances sharing one FPGA."""
+
+    def __init__(self, machine: Machine, switch: ToRSwitch,
+                 max_utilization: float = 0.5):
+        self.machine = machine
+        self.switch = switch
+        self.max_utilization = max_utilization
+        self.mux = CcipMux(machine.sim, machine.calibration, machine.fpga)
+        self.nics: Dict[str, DaggerNic] = {}
+
+    def add_nic(
+        self,
+        address: str,
+        hard: Optional[NicHardConfig] = None,
+        soft: Optional[NicSoftConfig] = None,
+        balancer: Optional[LoadBalancer] = None,
+    ) -> DaggerNic:
+        """Instantiate one tenant NIC; checks the FPGA still has room."""
+        if address in self.nics:
+            raise ValueError(f"NIC address {address!r} already in use")
+        hard = hard or NicHardConfig()
+        self._check_capacity(hard)
+        interface = self.mux.interface(hard.interface)
+        nic = DaggerNic(
+            self.machine.sim,
+            self.machine.calibration,
+            interface,
+            self.switch,
+            address,
+            hard=hard,
+            soft=soft,
+            balancer=balancer,
+        )
+        self.machine.fpga.attach_nic(nic)
+        self.nics[address] = nic
+        return nic
+
+    def _check_capacity(self, new_hard: NicHardConfig) -> None:
+        """Would adding this instance exceed the utilization budget?
+
+        Sums green-region footprints of all resident instances plus the
+        shared blue region.
+        """
+        configs = [nic.hard for nic in self.nics.values()] + [new_hard]
+        luts = 0.0
+        brams = 0.0
+        for index, config in enumerate(configs):
+            footprint = estimate_resources(
+                config, include_blue_region=(index == 0)
+            )
+            luts += footprint.luts
+            brams += footprint.m20k_blocks
+        from repro.hw.nic.resources import DEVICE_LUTS, DEVICE_M20K
+
+        if (luts / DEVICE_LUTS > self.max_utilization
+                or brams / DEVICE_M20K > self.max_utilization):
+            raise ValueError(
+                f"adding NIC would exceed {self.max_utilization:.0%} FPGA "
+                f"utilization ({len(configs)} instances)"
+            )
+
+    def __len__(self) -> int:
+        return len(self.nics)

@@ -1,0 +1,124 @@
+"""Machine model: the paper's CPU/FPGA hybrid platform (Table 2).
+
+A :class:`Machine` bundles the simulator, calibration, CPU cores, and an
+:class:`Fpga` with its shared CCI-P endpoints. NIC instances (one per tenant
+in the virtualized setup of Fig 14) attach to the FPGA and share its UPI /
+PCIe endpoints through fair arbitration, which is what ultimately caps
+aggregate throughput in Fig 11 (right).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hw.cache import HostCoherentCache, LlcContentionDomain
+from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hw.cpu import Core, SoftwareThread
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Table 2 of the paper: Intel Xeon E5-2600v4 + Arria 10 GX1150."""
+
+    name: str = "broadwell-harp"
+    cores: int = 12
+    smt: int = 2
+    freq_ghz: float = 2.4
+    llc_kb: int = 30720
+    fpga_max_freq_mhz: int = 400
+    upi_gbps: float = 19.2  # 1x UPI link
+    pcie_gbps: float = 15.74  # 2x PCIe Gen3x8 links
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError(f"need at least one core, got {self.cores}")
+        if self.smt < 1:
+            raise ValueError(f"smt must be >= 1, got {self.smt}")
+
+
+class Fpga:
+    """The FPGA side of the platform.
+
+    Owns the blue-region resources every NIC instance shares: the UPI
+    endpoint (the 80 Mrps line-transfer bottleneck of Fig 11), the PCIe DMA
+    engine, and the Host Coherent Cache.
+    """
+
+    def __init__(self, sim: Simulator, calibration: Calibration):
+        self.sim = sim
+        self.calibration = calibration
+        # Capacity 1 + per-line occupancy models a serial line-transfer
+        # engine; requests pipeline behind it in FIFO order (fair
+        # round-robin arbitration between NIC instances emerges from FIFO
+        # grants at equal request rates).
+        self.upi_endpoint = Resource(sim, capacity=1, name="upi-endpoint")
+        self.upi_write_endpoint = Resource(
+            sim, capacity=1, name="upi-write-endpoint"
+        )
+        self.pcie_endpoint = Resource(sim, capacity=1, name="pcie-endpoint")
+        self.pcie_write_endpoint = Resource(
+            sim, capacity=1, name="pcie-write-endpoint"
+        )
+        self.hcc = HostCoherentCache()
+        self.nics: List[object] = []
+
+    def attach_nic(self, nic) -> None:
+        self.nics.append(nic)
+
+
+class Machine:
+    """One server: cores + FPGA, all living in one simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[MachineConfig] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.config = config or MachineConfig()
+        self.calibration = calibration
+        self.rng = random.Random(seed)
+        # Machine-wide LLC interference domain (§5.6): inert until some
+        # thread is marked LLC-heavy via SoftwareThread.mark_llc_heavy().
+        self.llc_domain = LlcContentionDomain()
+        self.cores = [
+            Core(
+                sim,
+                calibration,
+                core_id=i,
+                smt=self.config.smt,
+                rng=random.Random((seed << 8) | i),
+                llc_domain=self.llc_domain,
+            )
+            for i in range(self.config.cores)
+        ]
+        self.fpga = Fpga(sim, calibration)
+
+    def core(self, index: int) -> Core:
+        if not 0 <= index < len(self.cores):
+            raise IndexError(
+                f"core {index} out of range (machine has {len(self.cores)})"
+            )
+        return self.cores[index]
+
+    def thread(self, core_index: int, name: str = "") -> SoftwareThread:
+        """Create a software thread pinned to the given core."""
+        return SoftwareThread(self.core(core_index), name=name)
+
+    def threads(self, count: int, start_core: int = 0) -> List[SoftwareThread]:
+        """Create ``count`` threads packed two-per-core from ``start_core``.
+
+        Mirrors the paper's thread-scaling experiment: logical threads fill
+        SMT slots before spilling to the next physical core.
+        """
+        made = []
+        for i in range(count):
+            core_index = start_core + i // self.config.smt
+            made.append(self.thread(core_index, name=f"t{i}"))
+        return made

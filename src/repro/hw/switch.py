@@ -1,0 +1,64 @@
+"""ToR switch model with a static switching table (Fig 14).
+
+The paper connects NIC instances through a simple model of a top-of-rack
+switch with pre-defined static L2 switching. Here each NIC registers its
+address with an ingress callback; ``send`` forwards a packet after the
+configured ToR delay (0.3 us by default, as assumed in Table 3) or the
+loopback delay when source and destination share the FPGA.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.hw.calibration import Calibration
+from repro.sim.kernel import Simulator
+
+
+class UnknownDestinationError(KeyError):
+    """Raised when a packet targets an address missing from the table."""
+
+
+class ToRSwitch:
+    """Static-table L2 switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        calibration: Calibration,
+        loopback: bool = False,
+        delay_ns: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.calibration = calibration
+        if delay_ns is not None:
+            self.delay_ns = delay_ns
+        elif loopback:
+            self.delay_ns = calibration.loopback_delay_ns
+        else:
+            self.delay_ns = calibration.tor_delay_ns
+        self._table: Dict[str, Callable[[Any], None]] = {}
+        self.packets_forwarded = 0
+
+    def register(self, address: str, ingress: Callable[[Any], None]) -> None:
+        """Add a static table entry: address -> NIC ingress function."""
+        if address in self._table:
+            raise ValueError(f"address {address!r} already registered")
+        self._table[address] = ingress
+
+    def addresses(self):
+        return sorted(self._table)
+
+    def send(self, dst_address: str, packet: Any) -> None:
+        """Forward ``packet`` to ``dst_address`` after the switch delay."""
+        try:
+            ingress = self._table[dst_address]
+        except KeyError:
+            raise UnknownDestinationError(dst_address) from None
+        self.packets_forwarded += 1
+
+        def _deliver():
+            yield self.sim.timeout(self.delay_ns)
+            ingress(packet)
+
+        self.sim.spawn(_deliver())

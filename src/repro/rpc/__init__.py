@@ -1,0 +1,36 @@
+"""The Dagger RPC framework.
+
+Functional reproduction of the paper's software stack (section 4.2): an
+IDL with code generator (Listing 1), client-side ``RpcClient`` /
+``RpcClientPool`` / ``CompletionQueue``, server-side ``RpcThreadedServer``
+with dispatch- and worker-thread models, and the wire message format the
+NIC understands.
+"""
+
+from repro.rpc.errors import (
+    RpcError,
+    ConnectionError_,
+    MethodNotFoundError,
+    SerializationError,
+    RpcDroppedError,
+)
+from repro.rpc.messages import RpcKind, RpcPacket
+from repro.rpc.client import CompletionQueue, RpcCall, RpcClient, RpcClientPool
+from repro.rpc.server import RpcServerThread, RpcThreadedServer, ThreadingModel
+
+__all__ = [
+    "RpcError",
+    "ConnectionError_",
+    "MethodNotFoundError",
+    "SerializationError",
+    "RpcDroppedError",
+    "RpcKind",
+    "RpcPacket",
+    "RpcClient",
+    "RpcClientPool",
+    "RpcCall",
+    "CompletionQueue",
+    "RpcThreadedServer",
+    "RpcServerThread",
+    "ThreadingModel",
+]

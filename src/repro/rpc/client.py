@@ -1,0 +1,216 @@
+"""Client-side RPC runtime: RpcClient, RpcClientPool, CompletionQueue.
+
+Mirrors the paper's API (section 4.2): an ``RpcClientPool`` encapsulates a
+pool of ``RpcClient`` objects that call remote procedures concurrently;
+each client owns (a share of) one NIC flow and its RX/TX ring pair, and an
+associated ``CompletionQueue`` accumulating completed requests. Both
+asynchronous (non-blocking) and synchronous (blocking) calls are supported,
+and the completion queue can invoke continuation callbacks on responses.
+
+A *port* is the stack-provided endpoint object (see
+:class:`repro.stacks.base.StackPort`): it exposes ``send``/``rx_ring`` and
+the CPU costs of the stack's TX/RX paths. The client's CQ poller runs as
+its own simulation process but executes its CPU work on the same
+``SoftwareThread``'s core, so receive processing naturally steals issue
+capacity — that is what makes single-core throughput come out right.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.hw.cpu import SoftwareThread
+from repro.rpc.errors import RpcDroppedError, RpcError
+from repro.rpc.messages import RpcKind, RpcPacket
+from repro.sim.kernel import Event, Simulator
+from repro.sim.resources import Store
+
+
+class RpcCall:
+    """Future for one in-flight RPC."""
+
+    def __init__(self, sim: Simulator, packet: RpcPacket,
+                 callback: Optional[Callable[["RpcCall"], None]] = None):
+        self.packet = packet
+        self.event = Event(sim)
+        self.callback = callback
+        self.issued_at = sim.now
+        self.completed_at: Optional[int] = None
+        self.response: Optional[RpcPacket] = None
+
+    @property
+    def rpc_id(self) -> int:
+        return self.packet.rpc_id
+
+    @property
+    def done(self) -> bool:
+        return self.event.triggered
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+    def _complete(self, response: RpcPacket, now: int) -> None:
+        self.response = response
+        self.completed_at = now
+        self.event.succeed(response)
+        if self.callback is not None:
+            self.callback(self)
+
+
+class CompletionQueue:
+    """Accumulates completed calls (section 4.2's CompletionQueue object)."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.completed = Store(sim, name="completion-queue")
+        self.completed_count = 0
+
+    def push(self, call: RpcCall) -> None:
+        self.completed_count += 1
+        self.completed.try_put(call)
+
+    def pop(self) -> Event:
+        """Event yielding the next completed RpcCall (blocking get)."""
+        return self.completed.get()
+
+
+class RpcClient:
+    """One RPC client bound to a stack port and a software thread.
+
+    A client may carry several *connections* over its single ring pair —
+    the Shared Receive Queue model of section 4.2 ("connections on a
+    certain RpcClient share the same RX/TX ring"). ``connection_id`` is
+    the default; per-call override via the ``connection_id`` argument.
+    """
+
+    def __init__(
+        self,
+        port,
+        thread: SoftwareThread,
+        connection_id: int,
+        name: str = "",
+    ):
+        self.port = port
+        self.thread = thread
+        self.connection_id = connection_id
+        self.connections = {connection_id}
+        self.name = name or f"client-conn{connection_id}"
+        self.sim = thread.sim
+        self.completion_queue = CompletionQueue(self.sim)
+        self._pending: Dict[int, RpcCall] = {}
+        self.calls_issued = 0
+        self.calls_completed = 0
+        self._poller = self.sim.spawn(self._poll_responses())
+
+    # -- issue path -----------------------------------------------------------
+
+    def add_connection(self, connection_id: int) -> None:
+        """Register an additional connection sharing this client's rings
+        (SRQ model); the stack-side registration happens via connect()."""
+        self.connections.add(connection_id)
+
+    def call_async(
+        self,
+        method: str,
+        payload: Any,
+        payload_bytes: int,
+        lb_key: Optional[int] = None,
+        connection_id: Optional[int] = None,
+        callback: Optional[Callable[[RpcCall], None]] = None,
+    ) -> Generator:
+        """Issue a non-blocking call; returns the RpcCall future.
+
+        Must be driven from the owning thread's process::
+
+            call = yield from client.call_async("get", req, 64)
+            ...
+            response = yield call.event
+        """
+        if connection_id is None:
+            connection_id = self.connection_id
+        elif connection_id not in self.connections:
+            raise RpcError(
+                f"{self.name}: connection {connection_id} not registered "
+                "on this client (add_connection first)"
+            )
+        packet = RpcPacket(
+            kind=RpcKind.REQUEST,
+            connection_id=connection_id,
+            method=method,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            lb_key=lb_key,
+        )
+        call = RpcCall(self.sim, packet, callback=callback)
+        self._pending[packet.rpc_id] = call
+        self.calls_issued += 1
+        yield from self.thread.exec(self.port.cpu_tx_ns(packet))
+        yield from self.port.send(packet)
+        return call
+
+    def call(self, method: str, payload: Any, payload_bytes: int,
+             lb_key: Optional[int] = None,
+             connection_id: Optional[int] = None) -> Generator:
+        """Blocking call: returns the response packet."""
+        call = yield from self.call_async(method, payload, payload_bytes,
+                                          lb_key=lb_key,
+                                          connection_id=connection_id)
+        response = yield call.event
+        return response
+
+    # -- receive path ----------------------------------------------------------
+
+    def _poll_responses(self) -> Generator:
+        while True:
+            packet = yield self.port.rx_ring.get()
+            yield from self.thread.exec(self.port.cpu_rx_ns(packet))
+            if packet.kind is not RpcKind.RESPONSE:
+                raise RpcError(
+                    f"{self.name} received a non-response packet: {packet!r}"
+                )
+            call = self._pending.pop(packet.rpc_id, None)
+            if call is None:
+                continue  # late duplicate or cancelled call
+            packet.stamp("sw_rx", self.sim.now)
+            self.calls_completed += 1
+            call._complete(packet, self.sim.now)
+            self.completion_queue.push(call)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def fail_pending(self, reason: str = "connection torn down") -> None:
+        """Fail every in-flight call (used by tests and shutdown paths)."""
+        pending, self._pending = self._pending, {}
+        for call in pending.values():
+            call.event.fail(RpcDroppedError(reason))
+
+
+class RpcClientPool:
+    """A pool of RpcClients for one client-server pair (section 4.2).
+
+    ``make_client`` is a stack-provided factory; the pool hands out clients
+    round-robin so multiple application threads can share it.
+    """
+
+    def __init__(self, make_client: Callable[[int], RpcClient], size: int):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.clients: List[RpcClient] = [make_client(i) for i in range(size)]
+        self._next = 0
+
+    def get_client(self) -> RpcClient:
+        client = self.clients[self._next % len(self.clients)]
+        self._next += 1
+        return client
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    @property
+    def total_completed(self) -> int:
+        return sum(client.calls_completed for client in self.clients)

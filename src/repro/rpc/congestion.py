@@ -1,0 +1,123 @@
+"""Credit-based flow control for the Protocol unit (§4.5 extension).
+
+The other half of the paper's "RPC-optimized protocol layers" follow-up:
+instead of recovering drops after the fact (see
+:mod:`repro.rpc.transport`), prevent them — a receiver-driven credit
+scheme, the congestion-control style the paper's citations (Homa, NeBuLa)
+argue fits datacenter RPCs.
+
+Mechanism:
+
+- the sender NIC may have at most ``flow_control_credits`` data packets
+  per connection outstanding beyond what the *receiver's host software*
+  has consumed;
+- the receiver NIC watches its host RX rings drain (the hardware sees the
+  free-buffer bookkeeping of Fig 8) and returns credits in batches of
+  ``credit_batch`` as NIC-terminated CREDIT control packets;
+- a sender without credits parks the packet at the flow's egress
+  sequencer until credits return (head-of-line within the flow, like a
+  paused hardware queue).
+
+Sized so the credit window never exceeds the receiver's ring capacity,
+ring overflow becomes impossible — zero drops instead of
+drop-and-retransmit, at the price of throughput tracking the consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Tuple
+
+from repro.rpc.messages import RpcKind, RpcPacket
+from repro.sim.resources import Store
+
+CREDIT_METHOD = "__credit__"
+CREDIT_BYTES = 16
+
+
+@dataclass
+class FlowControlStats:
+    grants_sent: int = 0
+    credits_granted: int = 0
+    stalls: int = 0  # times a packet had to wait for credits
+
+
+class CreditFlowControl:
+    """Per-NIC credit engine (sender and receiver roles)."""
+
+    def __init__(self, nic, initial_credits: int, credit_batch: int):
+        if initial_credits < 1:
+            raise ValueError(
+                f"initial_credits must be >= 1, got {initial_credits}"
+            )
+        if credit_batch < 1:
+            raise ValueError(f"credit_batch must be >= 1, got {credit_batch}")
+        self.nic = nic
+        self.initial_credits = initial_credits
+        self.credit_batch = credit_batch
+        self.stats = FlowControlStats()
+        # Sender: per-connection credit token stores.
+        self._credits: Dict[int, Store] = {}
+        # Receiver: consumed-but-not-yet-granted counts per (conn, peer).
+        self._pending_grants: Dict[Tuple[int, str], int] = {}
+
+    # -- sender side ------------------------------------------------------------
+
+    def _tokens(self, connection_id: int) -> Store:
+        store = self._credits.get(connection_id)
+        if store is None:
+            store = Store(self.nic.sim, name=f"credits-{connection_id}")
+            for _ in range(self.initial_credits):
+                store.try_put(1)
+            self._credits[connection_id] = store
+        return store
+
+    def available_credits(self, connection_id: int) -> int:
+        return len(self._tokens(connection_id))
+
+    def acquire(self, packet: RpcPacket) -> Generator:
+        """Block (in the egress sequencer) until a credit is available."""
+        if packet.kind is RpcKind.CONTROL:
+            return
+        tokens = self._tokens(packet.connection_id)
+        if tokens.try_get() is not None:
+            return
+        self.stats.stalls += 1
+        yield tokens.get()
+
+    # -- receiver side -------------------------------------------------------------
+
+    def on_host_dequeue(self, packet: RpcPacket) -> None:
+        """Host software consumed a packet: bank a credit for its sender."""
+        if packet.kind is RpcKind.CONTROL:
+            return
+        key = (packet.connection_id, packet.src_address)
+        banked = self._pending_grants.get(key, 0) + 1
+        if banked < self.credit_batch:
+            self._pending_grants[key] = banked
+            return
+        self._pending_grants[key] = 0
+        self._emit_grant(key[0], key[1], banked)
+
+    def _emit_grant(self, connection_id: int, peer: str, count: int) -> None:
+        self.stats.grants_sent += 1
+        self.stats.credits_granted += count
+        grant = RpcPacket(
+            kind=RpcKind.CONTROL,
+            connection_id=connection_id,
+            method=CREDIT_METHOD,
+            payload=count,
+            payload_bytes=CREDIT_BYTES,
+            src_address=self.nic.address,
+            dst_address=peer,
+        )
+        self.nic.enqueue_egress(0, grant)
+
+    # -- control handling (back at the sender) ---------------------------------------
+
+    def on_control(self, packet: RpcPacket) -> None:
+        if packet.method != CREDIT_METHOD:
+            raise ValueError(f"unknown control method {packet.method!r}")
+        tokens = self._tokens(packet.connection_id)
+        for _ in range(packet.payload):
+            tokens.try_put(1)

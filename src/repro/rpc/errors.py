@@ -1,0 +1,22 @@
+"""Exception taxonomy for the RPC framework."""
+
+
+class RpcError(Exception):
+    """Base class for all RPC-framework errors."""
+
+
+class ConnectionError_(RpcError):
+    """Connection missing, closed, or rejected (trailing underscore avoids
+    shadowing the builtin)."""
+
+
+class MethodNotFoundError(RpcError):
+    """The server has no handler registered for the requested method."""
+
+
+class SerializationError(RpcError):
+    """Message does not fit the IDL-declared layout."""
+
+
+class RpcDroppedError(RpcError):
+    """The request or response was dropped (ring overflow / queue full)."""

@@ -1,0 +1,42 @@
+"""The Dagger IDL and code generator (section 4.2, Listing 1).
+
+A Protobuf-inspired interface definition language::
+
+    Message GetRequest {
+        int32 timestamp;
+        char[32] key;
+    }
+
+    Service KeyValueStore {
+        rpc get(GetRequest) returns(GetResponse);
+    }
+
+``parse_idl`` produces the AST; ``generate_python`` emits a Python module
+(message classes with fixed-layout pack/unpack, a client stub per service,
+and a servicer base class that registers handlers on an
+:class:`~repro.rpc.server.RpcThreadedServer`); ``load_idl`` compiles that
+module and returns its namespace, which is how the examples and apps use it.
+
+Per the paper's stated limitation (section 4.5), messages carry only
+continuous fixed-size fields — scalars and char arrays — no references or
+nested variable-length structures.
+"""
+
+from repro.rpc.idl.ast_nodes import FieldDef, IdlFile, MessageDef, RpcDef, ServiceDef
+from repro.rpc.idl.lexer import IdlSyntaxError, Token, tokenize
+from repro.rpc.idl.parser import parse_idl
+from repro.rpc.idl.codegen import generate_python, load_idl
+
+__all__ = [
+    "FieldDef",
+    "MessageDef",
+    "RpcDef",
+    "ServiceDef",
+    "IdlFile",
+    "Token",
+    "tokenize",
+    "IdlSyntaxError",
+    "parse_idl",
+    "generate_python",
+    "load_idl",
+]

@@ -1,0 +1,158 @@
+"""AST node definitions for the Dagger IDL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Scalar type name -> byte width.
+SCALAR_TYPES: Dict[str, int] = {
+    "int8": 1,
+    "uint8": 1,
+    "int16": 2,
+    "uint16": 2,
+    "int32": 4,
+    "uint32": 4,
+    "int64": 8,
+    "uint64": 8,
+    "float32": 4,
+    "float64": 8,
+    "char": 1,
+}
+
+#: struct format characters for each scalar type (little-endian on the wire).
+STRUCT_FORMATS: Dict[str, str] = {
+    "int8": "b",
+    "uint8": "B",
+    "int16": "h",
+    "uint16": "H",
+    "int32": "i",
+    "uint32": "I",
+    "int64": "q",
+    "uint64": "Q",
+    "float32": "f",
+    "float64": "d",
+}
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """One message field: ``int32 timestamp;`` or ``char[32] key;``."""
+
+    name: str
+    type_name: str
+    array_len: Optional[int] = None  # only valid for char arrays
+
+    def __post_init__(self):
+        if self.type_name not in SCALAR_TYPES:
+            raise ValueError(f"unknown field type {self.type_name!r}")
+        if self.array_len is not None:
+            if self.type_name != "char":
+                raise ValueError(
+                    f"array fields must be char[], got {self.type_name}[]"
+                )
+            if self.array_len < 1:
+                raise ValueError(f"array length must be >= 1, got {self.array_len}")
+        if self.type_name == "char" and self.array_len is None:
+            raise ValueError("bare char fields are not allowed; use char[N]")
+
+    @property
+    def byte_size(self) -> int:
+        width = SCALAR_TYPES[self.type_name]
+        return width * (self.array_len or 1)
+
+
+@dataclass(frozen=True)
+class MessageDef:
+    """A fixed-layout message."""
+
+    name: str
+    fields: tuple  # tuple of FieldDef
+
+    def __post_init__(self):
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate field names in Message {self.name}")
+
+    @property
+    def byte_size(self) -> int:
+        return sum(f.byte_size for f in self.fields)
+
+
+@dataclass(frozen=True)
+class RpcDef:
+    """One remote procedure: ``rpc get(GetRequest) returns(GetResponse);``"""
+
+    name: str
+    request_type: str
+    response_type: str
+
+
+@dataclass(frozen=True)
+class ServiceDef:
+    """A service: a named set of rpcs."""
+
+    name: str
+    rpcs: tuple  # tuple of RpcDef
+
+    def __post_init__(self):
+        names = [r.name for r in self.rpcs]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate rpc names in Service {self.name}")
+
+
+@dataclass
+class IdlFile:
+    """A parsed IDL file: messages + services, with reference checking."""
+
+    messages: List[MessageDef] = field(default_factory=list)
+    services: List[ServiceDef] = field(default_factory=list)
+
+    def message(self, name: str) -> MessageDef:
+        for message in self.messages:
+            if message.name == name:
+                return message
+        raise KeyError(f"no Message named {name!r}")
+
+    def validate(self) -> None:
+        """Check all rpc request/response types resolve to messages."""
+        known = {message.name for message in self.messages}
+        if len(known) != len(self.messages):
+            raise ValueError("duplicate Message names")
+        if len({s.name for s in self.services}) != len(self.services):
+            raise ValueError("duplicate Service names")
+        for service in self.services:
+            for rpc in service.rpcs:
+                for type_name in (rpc.request_type, rpc.response_type):
+                    if type_name not in known:
+                        raise ValueError(
+                            f"Service {service.name}: rpc {rpc.name} references "
+                            f"undefined Message {type_name!r}"
+                        )
+
+
+def format_idl(idl: "IdlFile") -> str:
+    """Pretty-print an IdlFile back to IDL source (parse round-trips)."""
+    chunks: List[str] = []
+    for message in idl.messages:
+        lines = [f"Message {message.name} {{"]
+        for field_def in message.fields:
+            if field_def.array_len is not None:
+                lines.append(
+                    f"    {field_def.type_name}[{field_def.array_len}] "
+                    f"{field_def.name};"
+                )
+            else:
+                lines.append(f"    {field_def.type_name} {field_def.name};")
+        lines.append("}")
+        chunks.append("\n".join(lines))
+    for service in idl.services:
+        lines = [f"Service {service.name} {{"]
+        for rpc in service.rpcs:
+            lines.append(
+                f"    rpc {rpc.name}({rpc.request_type}) "
+                f"returns({rpc.response_type});"
+            )
+        lines.append("}")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"

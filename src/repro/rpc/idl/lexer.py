@@ -1,0 +1,66 @@
+"""Tokenizer for the Dagger IDL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+PUNCTUATION = "{}()[];,"
+KEYWORDS = ("Message", "Service", "rpc", "returns")
+
+
+class IdlSyntaxError(SyntaxError):
+    """IDL lexing/parsing error carrying line information."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'int' | 'punct' | 'keyword' | 'eof'
+    value: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize IDL source; ``//`` and ``#`` start line comments."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, line))
+            i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            tokens.append(Token("int", source[start:i], line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+        raise IdlSyntaxError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

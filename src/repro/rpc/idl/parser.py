@@ -1,0 +1,122 @@
+"""Recursive-descent parser for the Dagger IDL."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rpc.idl.ast_nodes import (
+    SCALAR_TYPES,
+    FieldDef,
+    IdlFile,
+    MessageDef,
+    RpcDef,
+    ServiceDef,
+)
+from repro.rpc.idl.lexer import IdlSyntaxError, Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: str = None) -> Token:
+        token = self.current
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value or kind
+            raise IdlSyntaxError(
+                f"expected {want!r}, found {token.value or token.kind!r}",
+                token.line,
+            )
+        return self.advance()
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_file(self) -> IdlFile:
+        idl = IdlFile()
+        while self.current.kind != "eof":
+            token = self.current
+            if token.kind == "keyword" and token.value == "Message":
+                idl.messages.append(self.parse_message())
+            elif token.kind == "keyword" and token.value == "Service":
+                idl.services.append(self.parse_service())
+            else:
+                raise IdlSyntaxError(
+                    f"expected 'Message' or 'Service', found {token.value!r}",
+                    token.line,
+                )
+        idl.validate()
+        return idl
+
+    def parse_message(self) -> MessageDef:
+        self.expect("keyword", "Message")
+        name = self.expect("ident").value
+        self.expect("punct", "{")
+        fields = []
+        while not (self.current.kind == "punct" and self.current.value == "}"):
+            fields.append(self.parse_field())
+        self.expect("punct", "}")
+        try:
+            return MessageDef(name, tuple(fields))
+        except ValueError as exc:
+            raise IdlSyntaxError(str(exc), self.current.line) from None
+
+    def parse_field(self) -> FieldDef:
+        type_token = self.expect("ident")
+        if type_token.value not in SCALAR_TYPES:
+            raise IdlSyntaxError(
+                f"unknown type {type_token.value!r} "
+                f"(supported: {', '.join(sorted(SCALAR_TYPES))})",
+                type_token.line,
+            )
+        array_len = None
+        if self.current.kind == "punct" and self.current.value == "[":
+            self.advance()
+            array_len = int(self.expect("int").value)
+            self.expect("punct", "]")
+        name = self.expect("ident").value
+        self.expect("punct", ";")
+        try:
+            return FieldDef(name, type_token.value, array_len)
+        except ValueError as exc:
+            raise IdlSyntaxError(str(exc), type_token.line) from None
+
+    def parse_service(self) -> ServiceDef:
+        self.expect("keyword", "Service")
+        name = self.expect("ident").value
+        self.expect("punct", "{")
+        rpcs = []
+        while not (self.current.kind == "punct" and self.current.value == "}"):
+            rpcs.append(self.parse_rpc())
+        self.expect("punct", "}")
+        try:
+            return ServiceDef(name, tuple(rpcs))
+        except ValueError as exc:
+            raise IdlSyntaxError(str(exc), self.current.line) from None
+
+    def parse_rpc(self) -> RpcDef:
+        self.expect("keyword", "rpc")
+        name = self.expect("ident").value
+        self.expect("punct", "(")
+        request_type = self.expect("ident").value
+        self.expect("punct", ")")
+        self.expect("keyword", "returns")
+        self.expect("punct", "(")
+        response_type = self.expect("ident").value
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        return RpcDef(name, request_type, response_type)
+
+
+def parse_idl(source: str) -> IdlFile:
+    """Parse IDL source text into a validated :class:`IdlFile`."""
+    return _Parser(tokenize(source)).parse_file()

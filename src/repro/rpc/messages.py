@@ -1,0 +1,86 @@
+"""RPC wire format.
+
+An :class:`RpcPacket` is the unit that moves through the whole system: the
+client stub builds one, the NIC fetches it over the interconnect, the
+transport sends it through the switch, and the server ring delivers it to a
+dispatch thread. Request types are distinguished by the ``kind`` field that
+"is a part of every RPC packet" (section 4.4), making the stack symmetric.
+
+Timestamps are attached at named trace points so experiments can break
+latency into CPU / interconnect / NIC / network components (used heavily by
+the Fig 3 characterization).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+HEADER_BYTES = 16  # rpc id, connection id, flow, kind, method id, length
+
+
+class RpcKind(enum.Enum):
+    REQUEST = "request"
+    RESPONSE = "response"
+    CONTROL = "control"  # NIC-terminated transport packets (ACK/NACK)
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class RpcPacket:
+    """One RPC message (request or response)."""
+
+    kind: RpcKind
+    connection_id: int
+    method: str
+    payload: Any
+    payload_bytes: int
+    src_address: str = ""
+    dst_address: str = ""
+    src_flow: int = 0
+    rpc_id: int = field(default_factory=lambda: next(_packet_ids))
+    lb_key: Optional[int] = None  # key hash for object-level load balancing
+    seq: Optional[int] = None  # per-connection sequence (reliable transport)
+    timestamps: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.payload_bytes < 0:
+            raise ValueError(f"negative payload size {self.payload_bytes}")
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+    def lines(self, line_bytes: int = 64) -> int:
+        """Cache lines this packet occupies in host/NIC buffers."""
+        return max(1, -(-self.wire_bytes // line_bytes))
+
+    def stamp(self, point: str, now: int) -> None:
+        """Record the first time the packet passes a named trace point."""
+        self.timestamps.setdefault(point, now)
+
+    def make_response(self, payload: Any, payload_bytes: int) -> "RpcPacket":
+        """Build the response packet for this request (addresses swapped)."""
+        if self.kind is not RpcKind.REQUEST:
+            raise ValueError("responses can only be built from requests")
+        return RpcPacket(
+            kind=RpcKind.RESPONSE,
+            connection_id=self.connection_id,
+            method=self.method,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            src_address=self.dst_address,
+            dst_address=self.src_address,
+            src_flow=self.src_flow,
+            rpc_id=self.rpc_id,  # responses carry the request's id
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RpcPacket(#{self.rpc_id} {self.kind.value} {self.method} "
+            f"conn={self.connection_id} {self.payload_bytes}B)"
+        )

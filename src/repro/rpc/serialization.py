@@ -1,0 +1,89 @@
+"""Wire serialization for IDL messages.
+
+Fixed layouts only (the paper's section 4.5 limitation): every message is a
+concatenation of little-endian scalars and fixed-width char arrays, so
+(de)serialization is a single ``struct`` pack/unpack — the software-side
+analogue of the NIC's streaming serializer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict
+
+from repro.rpc.errors import SerializationError
+from repro.rpc.idl.ast_nodes import STRUCT_FORMATS, FieldDef, MessageDef
+
+
+def struct_format(message: MessageDef) -> str:
+    """The ``struct`` format string for a message's wire layout."""
+    parts = ["<"]
+    for field_def in message.fields:
+        if field_def.type_name == "char":
+            parts.append(f"{field_def.array_len}s")
+        else:
+            parts.append(STRUCT_FORMATS[field_def.type_name])
+    return "".join(parts)
+
+
+def _coerce(field_def: FieldDef, value: Any) -> Any:
+    if field_def.type_name == "char":
+        if isinstance(value, str):
+            value = value.encode()
+        if not isinstance(value, (bytes, bytearray)):
+            raise SerializationError(
+                f"field {field_def.name}: expected bytes/str, "
+                f"got {type(value).__name__}"
+            )
+        if len(value) > field_def.array_len:
+            raise SerializationError(
+                f"field {field_def.name}: {len(value)} bytes exceeds "
+                f"char[{field_def.array_len}]"
+            )
+        return bytes(value).ljust(field_def.array_len, b"\x00")
+    if field_def.type_name in ("float32", "float64"):
+        return float(value)
+    if not isinstance(value, int):
+        raise SerializationError(
+            f"field {field_def.name}: expected int, got {type(value).__name__}"
+        )
+    return value
+
+
+def encode(message: MessageDef, values: Dict[str, Any]) -> bytes:
+    """Encode a dict of field values into the message's wire bytes."""
+    missing = {f.name for f in message.fields} - set(values)
+    if missing:
+        raise SerializationError(
+            f"{message.name}: missing fields {sorted(missing)}"
+        )
+    extra = set(values) - {f.name for f in message.fields}
+    if extra:
+        raise SerializationError(f"{message.name}: unknown fields {sorted(extra)}")
+    ordered = [_coerce(f, values[f.name]) for f in message.fields]
+    try:
+        return struct.pack(struct_format(message), *ordered)
+    except struct.error as exc:
+        raise SerializationError(f"{message.name}: {exc}") from None
+
+
+def decode(message: MessageDef, data: bytes) -> Dict[str, Any]:
+    """Decode wire bytes back into a dict of field values."""
+    expected = message.byte_size
+    if len(data) != expected:
+        raise SerializationError(
+            f"{message.name}: expected {expected} bytes, got {len(data)}"
+        )
+    unpacked = struct.unpack(struct_format(message), data)
+    return {f.name: v for f, v in zip(message.fields, unpacked)}
+
+
+def roundtrip_check(message: MessageDef, values: Dict[str, Any]) -> bool:
+    """True when values survive encode->decode unchanged (char fields are
+    compared after zero-padding, matching wire semantics)."""
+    decoded = decode(message, encode(message, values))
+    for field_def in message.fields:
+        original = _coerce(field_def, values[field_def.name])
+        if decoded[field_def.name] != original:
+            return False
+    return True

@@ -1,0 +1,164 @@
+"""Reliable transport for the NIC's Protocol unit (§4.5 future work).
+
+The paper ships with the Protocol unit idle (UDP-like, drops are lost) and
+names "reliable transports and RPC-specific congestion control" as
+follow-up work. This module implements that extension *in the NIC*, so
+reliability costs no host CPU — the property section 6 argues hardware
+RPC stacks enable.
+
+Design (NACK-driven selective repeat with cumulative ACKs):
+
+- the egress Protocol unit stamps each data packet with a per-connection
+  sequence number and keeps it in a retransmit buffer;
+- the ingress Protocol unit tracks, per (connection, peer), the highest
+  contiguously delivered sequence; when the NIC must drop a packet (flow
+  FIFO or host RX ring full) it immediately emits a **NACK** control
+  packet, and every ``ack_interval`` deliveries it emits a cumulative
+  **ACK**;
+- NACKs trigger retransmission from the buffer; ACKs free it.
+
+Control packets are NIC-terminated: they traverse the wire and the ingress
+pipeline but never touch host rings — the host never sees the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.rpc.messages import RpcKind, RpcPacket
+
+ACK_METHOD = "__ack__"
+NACK_METHOD = "__nack__"
+CONTROL_BYTES = 16
+
+
+@dataclass
+class TransportStats:
+    data_packets: int = 0
+    retransmissions: int = 0
+    acks_sent: int = 0
+    nacks_sent: int = 0
+    buffered_peak: int = 0
+    lost_unrecoverable: int = 0
+
+
+class ReliableTransport:
+    """Per-NIC reliable Protocol unit."""
+
+    def __init__(self, nic, ack_interval: int = 32, max_retries: int = 64):
+        if ack_interval < 1:
+            raise ValueError(f"ack_interval must be >= 1, got {ack_interval}")
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        self.nic = nic
+        self.ack_interval = ack_interval
+        self.max_retries = max_retries
+        self.stats = TransportStats()
+        self._retries: Dict[Tuple[int, int], int] = {}
+        # sender side: (connection) -> next seq; (connection, seq) -> packet
+        self._next_seq: Dict[int, int] = {}
+        self._unacked: Dict[Tuple[int, int], RpcPacket] = {}
+        # receiver side: (connection, peer) -> highest contiguous seq
+        self._delivered: Dict[Tuple[int, str], int] = {}
+        self._out_of_order: Dict[Tuple[int, str], set] = {}
+        self._since_ack: Dict[Tuple[int, str], int] = {}
+
+    # -- egress (sender) -------------------------------------------------------
+
+    def on_egress(self, packet: RpcPacket) -> None:
+        """Stamp a sequence number and buffer the packet for retransmit."""
+        if packet.kind is RpcKind.CONTROL:
+            return
+        if packet.seq is None:
+            seq = self._next_seq.get(packet.connection_id, 0)
+            self._next_seq[packet.connection_id] = seq + 1
+            packet.seq = seq
+            self.stats.data_packets += 1
+        self._unacked[(packet.connection_id, packet.seq)] = packet
+        self.stats.buffered_peak = max(self.stats.buffered_peak,
+                                       len(self._unacked))
+
+    @property
+    def unacked(self) -> int:
+        return len(self._unacked)
+
+    # -- ingress (receiver) -------------------------------------------------------
+
+    def on_delivered(self, packet: RpcPacket) -> None:
+        """Track delivery; emit a cumulative ACK every ack_interval."""
+        if packet.seq is None:
+            return
+        key = (packet.connection_id, packet.src_address)
+        highest = self._delivered.get(key, -1)
+        pending = self._out_of_order.setdefault(key, set())
+        if packet.seq == highest + 1:
+            highest += 1
+            while highest + 1 in pending:
+                pending.discard(highest + 1)
+                highest += 1
+            self._delivered[key] = highest
+        elif packet.seq > highest:
+            pending.add(packet.seq)
+        self._since_ack[key] = self._since_ack.get(key, 0) + 1
+        if self._since_ack[key] >= self.ack_interval:
+            self._since_ack[key] = 0
+            self._emit_control(ACK_METHOD, packet, self._delivered[key])
+            self.stats.acks_sent += 1
+
+    def on_receiver_drop(self, packet: RpcPacket) -> None:
+        """The NIC had to drop this packet: ask the sender to resend it."""
+        if packet.seq is None or packet.kind is RpcKind.CONTROL:
+            return
+        self._emit_control(NACK_METHOD, packet, packet.seq)
+        self.stats.nacks_sent += 1
+
+    def _emit_control(self, method: str, cause: RpcPacket, seq: int) -> None:
+        control = RpcPacket(
+            kind=RpcKind.CONTROL,
+            connection_id=cause.connection_id,
+            method=method,
+            payload=seq,
+            payload_bytes=CONTROL_BYTES,
+            src_address=self.nic.address,
+            dst_address=cause.src_address,
+            src_flow=cause.src_flow,
+        )
+        self.nic.enqueue_egress(0, control)
+
+    # -- control handling (back at the sender) -------------------------------------
+
+    def on_control(self, packet: RpcPacket) -> None:
+        if packet.method == ACK_METHOD:
+            self._handle_ack(packet.connection_id, packet.payload)
+        elif packet.method == NACK_METHOD:
+            self._handle_nack(packet.connection_id, packet.payload)
+        else:
+            raise ValueError(f"unknown control method {packet.method!r}")
+
+    def _handle_ack(self, connection_id: int, upto_seq: int) -> None:
+        stale = [key for key in self._unacked
+                 if key[0] == connection_id and key[1] <= upto_seq]
+        for key in stale:
+            del self._unacked[key]
+
+    def _handle_nack(self, connection_id: int, seq: int) -> None:
+        key = (connection_id, seq)
+        packet = self._unacked.get(key)
+        if packet is None:
+            # ACKed and freed before the NACK arrived: nothing to resend.
+            self.stats.lost_unrecoverable += 1
+            return
+        retries = self._retries.get(key, 0)
+        if retries >= self.max_retries:
+            # A receiver that never drains: give up like a real transport
+            # (otherwise NACK/retransmit livelocks the fabric).
+            del self._unacked[key]
+            self._retries.pop(key, None)
+            self.stats.lost_unrecoverable += 1
+            return
+        self._retries[key] = retries + 1
+        self.stats.retransmissions += 1
+        self.nic.enqueue_egress(packet.src_flow
+                                if packet.src_flow < self.nic.hard.num_flows
+                                else 0, packet)

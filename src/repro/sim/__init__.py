@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+A small, fast, from-scratch DES library in the style of SimPy: generator
+coroutines are *processes*, they yield *events* (timeouts, resource grants,
+store gets/puts, other processes) and are resumed when those events trigger.
+Simulated time is integer nanoseconds throughout the repository.
+"""
+
+from repro.sim.kernel import Simulator, Event, Timeout, Interrupt, SimulationError
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store, QueueFullError
+from repro.sim.stats import LatencyRecorder, SummaryStats, percentile
+from repro.sim.distributions import (
+    Distribution,
+    Constant,
+    Exponential,
+    LogNormal,
+    Uniform,
+    Empirical,
+    Zipfian,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "Resource",
+    "Store",
+    "QueueFullError",
+    "LatencyRecorder",
+    "SummaryStats",
+    "percentile",
+    "Distribution",
+    "Constant",
+    "Exponential",
+    "LogNormal",
+    "Uniform",
+    "Empirical",
+    "Zipfian",
+]

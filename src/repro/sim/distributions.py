@@ -1,0 +1,214 @@
+"""Seeded random distributions used by workloads and service-time models.
+
+Every distribution takes an explicit ``random.Random`` (or seed) so entire
+experiments are reproducible. The Zipfian generator uses the standard
+rejection-inversion-free CDF-table method, which is exact and fast enough for
+the key-space sizes the paper uses (10M/200M keys are sampled through a
+rank-compressed table).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence, Tuple, Union
+
+RandomLike = Union[int, random.Random, None]
+
+
+def make_rng(seed_or_rng: RandomLike) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+class Distribution:
+    """Base class: a sampler of non-negative values."""
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+    def sample_ns(self) -> int:
+        """Sample rounded to integer nanoseconds, floored at 0."""
+        return max(0, int(round(self.sample())))
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+class Constant(Distribution):
+    """Degenerate distribution: always ``value``."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ValueError(f"negative constant {value}")
+        self.value = value
+
+    def sample(self) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean (used for Poisson arrivals)."""
+
+    def __init__(self, mean: float, rng: RandomLike = None):
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self._mean = mean
+        self.rng = make_rng(rng)
+
+    def sample(self) -> float:
+        return self.rng.expovariate(1.0 / self._mean)
+
+    def mean(self) -> float:
+        return self._mean
+
+
+class Uniform(Distribution):
+    def __init__(self, low: float, high: float, rng: RandomLike = None):
+        if low < 0 or high < low:
+            raise ValueError(f"bad uniform range [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.rng = make_rng(rng)
+
+    def sample(self) -> float:
+        return self.rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class LogNormal(Distribution):
+    """Log-normal parameterised by its actual mean and sigma of log-space.
+
+    Heavy-ish tails make this the default for microservice compute times.
+    """
+
+    def __init__(self, mean: float, sigma: float = 0.5, rng: RandomLike = None):
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self._mean = mean
+        self.sigma = sigma
+        self.mu = math.log(mean) - sigma * sigma / 2.0
+        self.rng = make_rng(rng)
+
+    def sample(self) -> float:
+        return self.rng.lognormvariate(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        return self._mean
+
+
+class Empirical(Distribution):
+    """Sample from weighted (value, weight) points — used for RPC sizes."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]], rng: RandomLike = None):
+        if not points:
+            raise ValueError("empirical distribution needs at least one point")
+        self.values: List[float] = []
+        self.cumulative: List[float] = []
+        total = 0.0
+        for value, weight in points:
+            if weight < 0:
+                raise ValueError(f"negative weight {weight}")
+            total += weight
+            self.values.append(value)
+            self.cumulative.append(total)
+        if total <= 0:
+            raise ValueError("weights sum to zero")
+        self.total = total
+        self.rng = make_rng(rng)
+
+    def sample(self) -> float:
+        point = self.rng.random() * self.total
+        index = bisect.bisect_left(self.cumulative, point)
+        index = min(index, len(self.values) - 1)
+        return self.values[index]
+
+    def mean(self) -> float:
+        previous = 0.0
+        acc = 0.0
+        for value, cum in zip(self.values, self.cumulative):
+            acc += value * (cum - previous)
+            previous = cum
+        return acc / self.total
+
+
+class Zipfian:
+    """Zipf-distributed ranks over ``n`` items with skew ``theta``.
+
+    Matches the YCSB/Atikoglu usage in the paper (theta = 0.99 and 0.9999).
+    For large ``n`` the CDF table is rank-compressed: the first
+    ``head_exact`` ranks are exact (they carry nearly all the mass at these
+    skews) and the tail is bucketed geometrically, which keeps memory O(log n)
+    while preserving the hit-rate behaviour that matters for cache studies.
+    """
+
+    HEAD_EXACT = 4096
+
+    def __init__(self, n: int, theta: float = 0.99, rng: RandomLike = None):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta}")
+        self.n = n
+        self.theta = theta
+        self.rng = make_rng(rng)
+        head = min(n, self.HEAD_EXACT)
+        weights: List[float] = [1.0 / (rank ** theta) for rank in range(1, head + 1)]
+        # Geometric buckets over the tail; each bucket's mass is approximated
+        # by the integral of x^-theta over the bucket.
+        self._buckets: List[Tuple[int, int]] = [(rank, rank) for rank in range(1, head + 1)]
+        low = head + 1
+        while low <= n:
+            high = min(n, low * 2 - 1)
+            mass = self._integral_mass(low, high)
+            weights.append(mass)
+            self._buckets.append((low, high))
+            low = high + 1
+        self._cumulative: List[float] = []
+        total = 0.0
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total = total
+
+    def _integral_mass(self, low: int, high: int) -> float:
+        # integral of x^-theta from low-0.5 to high+0.5
+        a, b = low - 0.5, high + 0.5
+        if abs(self.theta - 1.0) < 1e-9:
+            return math.log(b / a)
+        exponent = 1.0 - self.theta
+        return (b ** exponent - a ** exponent) / exponent
+
+    def sample(self) -> int:
+        """Return a 0-based item index (0 is the hottest)."""
+        point = self.rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, point)
+        index = min(index, len(self._buckets) - 1)
+        low, high = self._buckets[index]
+        if low == high:
+            return low - 1
+        return self.rng.randint(low, high) - 1
+
+    def hot_fraction(self, top_k: int) -> float:
+        """Approximate probability mass of the hottest ``top_k`` items."""
+        if top_k < 1:
+            return 0.0
+        mass = 0.0
+        for (low, high), cum in zip(self._buckets, self._cumulative):
+            if high <= top_k:
+                mass = cum
+            else:
+                break
+        return mass / self._total

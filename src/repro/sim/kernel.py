@@ -1,0 +1,199 @@
+"""Event loop and primitive events for the discrete-event simulator.
+
+The kernel keeps a binary heap of ``(time, sequence, event)`` triples. Each
+:class:`Event` carries a list of callbacks; triggering an event schedules it
+on the heap, and when the loop pops it the callbacks run at that simulated
+time. Processes (see :mod:`repro.sim.process`) are generator coroutines that
+suspend by yielding events and are resumed by a callback installed on the
+yielded event.
+
+Time is an integer number of nanoseconds. Determinism is guaranteed: events
+scheduled for the same timestamp fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. re-triggering)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called (which schedules it on the event loop), and is
+    *processed* once its callbacks have run. Processes yield events to wait
+    for them; the value passed to :meth:`succeed` becomes the result of the
+    ``yield`` expression.
+    """
+
+    __slots__ = ("sim", "callbacks", "_triggered", "_processed", "value", "_exception")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._processed = False
+        self.value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (no exception)."""
+        return self._triggered and self._exception is None
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully ``delay`` ns from now."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self.value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that triggers itself ``delay`` ns after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._triggered = True
+        self.value = value
+        sim._schedule(self, delay)
+
+
+class Simulator:
+    """The event loop.
+
+    Usage::
+
+        sim = Simulator()
+        def proc(sim):
+            yield sim.timeout(10)
+            return 42
+        handle = sim.spawn(proc(sim))
+        sim.run()
+        assert handle.value == 42
+    """
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: list = []
+        self._seq: int = 0
+        self._active_processes: int = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that triggers ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator) -> "Process":
+        """Start a new process from a generator coroutine."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        event._run_callbacks()
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the heap drains or simulated time passes ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until`` and
+        any events scheduled later stay on the heap (the simulator can be
+        resumed with another ``run`` call).
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        heap = self._heap
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            _, _, event = heapq.heappop(heap)
+            self.now = when
+            event._run_callbacks()
+        if until is not None:
+            self.now = until
+
+    def run_until_done(self, process: "Process") -> Any:
+        """Run until a given process finishes; return its value.
+
+        Raises the process's exception if it failed.
+        """
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    "event heap drained before process completed (deadlock?)"
+                )
+            self.step()
+        if process._exception is not None:
+            process.defuse()
+            raise process._exception
+        return process.value

@@ -1,0 +1,130 @@
+"""Generator-coroutine processes for the simulator.
+
+A process wraps a generator. Each value the generator yields must be an
+:class:`~repro.sim.kernel.Event`; the process sleeps until that event
+triggers, then resumes with the event's value (or the event's exception
+thrown in). A process is itself an event that triggers when the generator
+returns, so processes can wait on each other by yielding the handle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.kernel import Event, Interrupt, SimulationError, Simulator
+
+
+class Process(Event):
+    """Handle for a running process; also an event (triggers at exit)."""
+
+    __slots__ = ("_generator", "_waiting_on", "name", "_defused")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__} "
+                "(did you forget to call the process function?)"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._defused = False
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off on a zero-delay event so creation order == start order.
+        start = Event(sim)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        interrupt_event = Event(self.sim)
+        interrupt_event.callbacks.append(self._deliver_interrupt)
+        interrupt_event.value = cause
+        interrupt_event.succeed(cause)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if self._triggered:
+            return  # finished between scheduling and delivery
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        self._step(Interrupt(event.value), throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._exception is not None:
+            self._step(event._exception, throw=True)
+        else:
+            self._step(event.value, throw=False)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except Interrupt as exc:
+            self._finish_fail(exc)
+            return
+        except Exception as exc:
+            self._finish_fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._finish_fail(
+                SimulationError(
+                    f"process {self.name} yielded {target!r}; processes must "
+                    "yield Event instances"
+                )
+            )
+            return
+        self._waiting_on = target
+        if target._processed:
+            # Already fired: resume on a fresh zero-delay wakeup to preserve
+            # run-to-completion semantics without recursion blowups.
+            wakeup = Event(self.sim)
+            wakeup.callbacks.append(self._resume)
+            if target._exception is not None:
+                wakeup.fail(target._exception)
+            else:
+                wakeup.succeed(target.value)
+            self._waiting_on = wakeup
+        else:
+            target.callbacks.append(self._resume)
+
+    def _finish_ok(self, value: Any) -> None:
+        self._triggered = True
+        self.value = value
+        self.sim._schedule(self, 0)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._triggered = True
+        self._exception = exc
+        self.sim._schedule(self, 0)
+
+    def defuse(self) -> None:
+        """Mark this process's failure as observed (it won't re-raise)."""
+        self._defused = True
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if self._exception is not None and not callbacks and not self._defused:
+            # Nobody is waiting on this process: surface the failure rather
+            # than letting it pass silently.
+            raise self._exception

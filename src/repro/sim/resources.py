@@ -1,0 +1,182 @@
+"""Shared resources: counted resources and FIFO stores.
+
+These are the queueing building blocks of the hardware models: a
+:class:`Resource` models a station with ``capacity`` parallel servers (a CPU
+core, a bus with N outstanding slots, a DMA engine); a :class:`Store` models
+a FIFO queue of items (a ring buffer, a flow FIFO, a completion queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+
+class QueueFullError(SimulationError):
+    """Raised when putting into a bounded Store configured to reject."""
+
+
+class Resource:
+    """A resource with ``capacity`` servers and a FIFO wait queue.
+
+    Usage inside a process::
+
+        grant = yield resource.request()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that triggers when a server is granted."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one server; hands it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, service_time: int):
+        """Process helper: acquire, hold for ``service_time`` ns, release."""
+        grant = yield self.request()
+        del grant
+        try:
+            yield self.sim.timeout(service_time)
+        finally:
+            self.release()
+
+
+class Store:
+    """A FIFO store of items with optional capacity.
+
+    ``put`` blocks when the store is full (unless ``reject_when_full``, in
+    which case it fails the put event with :class:`QueueFullError` — used to
+    model packet drops). ``get`` blocks when the store is empty.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "",
+        reject_when_full: bool = False,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.reject_when_full = reject_when_full
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying .value = item
+        self.drops = 0
+        #: Optional observer invoked with each item handed to a consumer
+        #: (used e.g. by credit-based flow control to watch ring drains).
+        self.on_get = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Return an event that triggers once the item is enqueued."""
+        event = Event(self.sim)
+        if self._getters:
+            # Direct hand-off to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self._notify_get(item)
+            event.succeed()
+        elif not self.is_full:
+            self._items.append(item)
+            event.succeed()
+        elif self.reject_when_full:
+            self.drops += 1
+            event.fail(QueueFullError(f"store {self.name!r} full"))
+        else:
+            event.value = item
+            self._putters.append(event)
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False (and counts a drop) when full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            self._notify_get(item)
+            return True
+        if not self.is_full:
+            self._items.append(item)
+            return True
+        self.drops += 1
+        return False
+
+    def get(self) -> Event:
+        """Return an event that triggers with the oldest item."""
+        event = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            event.succeed(item)
+            self._notify_get(item)
+            self._admit_putter()
+        elif self._putters:
+            putter = self._putters.popleft()
+            event.succeed(putter.value)
+            self._notify_get(putter.value)
+            putter.succeed()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            item = self._items.popleft()
+            self._notify_get(item)
+            self._admit_putter()
+            return item
+        return None
+
+    def _notify_get(self, item: Any) -> None:
+        if self.on_get is not None:
+            self.on_get(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            putter = self._putters.popleft()
+            self._items.append(putter.value)
+            putter.succeed()

@@ -1,0 +1,145 @@
+"""Latency/throughput statistics helpers.
+
+Experiments record per-request latencies in nanoseconds and report the same
+aggregates the paper does: median, 90th and 99th percentiles, and sustained
+throughput in requests per second of simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank-with-interpolation percentile (numpy 'linear' method).
+
+    ``pct`` is in [0, 100]. Raises ValueError on an empty sample set rather
+    than returning a misleading 0.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    data = sorted(samples)
+    if len(data) == 1:
+        return float(data[0])
+    rank = (pct / 100.0) * (len(data) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(data[low])
+    frac = rank - low
+    # a + frac*(b-a) is exact when a == b (a*(1-f)+b*f is not).
+    return data[low] + frac * (data[high] - data[low])
+
+
+@dataclass
+class SummaryStats:
+    """Aggregate view over a set of latency samples (nanoseconds)."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p90_ns: float
+    p99_ns: float
+    min_ns: float
+    max_ns: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "SummaryStats":
+        if not samples:
+            raise ValueError("no samples to summarize")
+        data = sorted(samples)
+        return cls(
+            count=len(data),
+            mean_ns=sum(data) / len(data),
+            p50_ns=percentile(data, 50),
+            p90_ns=percentile(data, 90),
+            p99_ns=percentile(data, 99),
+            min_ns=float(data[0]),
+            max_ns=float(data[-1]),
+        )
+
+    @property
+    def p50_us(self) -> float:
+        return self.p50_ns / 1000.0
+
+    @property
+    def p90_us(self) -> float:
+        return self.p90_ns / 1000.0
+
+    @property
+    def p99_us(self) -> float:
+        return self.p99_ns / 1000.0
+
+
+class LatencyRecorder:
+    """Accumulates request latencies and start/finish times.
+
+    ``warmup_ns`` lets experiments discard samples whose *finish* time falls
+    inside the warmup window, so queue-filling transients do not skew tails.
+    """
+
+    def __init__(self, name: str = "", warmup_ns: int = 0):
+        self.name = name
+        self.warmup_ns = warmup_ns
+        self.samples: List[int] = []
+        self.first_finish_ns: Optional[int] = None
+        self.last_finish_ns: Optional[int] = None
+        self.discarded = 0
+
+    def record(self, start_ns: int, finish_ns: int) -> None:
+        if finish_ns < start_ns:
+            raise ValueError(f"finish {finish_ns} before start {start_ns}")
+        if finish_ns < self.warmup_ns:
+            self.discarded += 1
+            return
+        if self.first_finish_ns is None:
+            self.first_finish_ns = finish_ns
+        self.last_finish_ns = finish_ns
+        self.samples.append(finish_ns - start_ns)
+
+    def extend(self, other: "LatencyRecorder") -> None:
+        """Merge another recorder's samples (for per-thread recorders)."""
+        self.samples.extend(other.samples)
+        self.discarded += other.discarded
+        for attr in ("first_finish_ns", "last_finish_ns"):
+            theirs = getattr(other, attr)
+            if theirs is None:
+                continue
+            mine = getattr(self, attr)
+            if mine is None:
+                setattr(self, attr, theirs)
+            elif attr == "first_finish_ns":
+                setattr(self, attr, min(mine, theirs))
+            else:
+                setattr(self, attr, max(mine, theirs))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def summary(self) -> SummaryStats:
+        return SummaryStats.from_samples(self.samples)
+
+    def throughput_rps(self) -> float:
+        """Sustained completion rate over the measured window, in req/s."""
+        if self.count < 2 or self.first_finish_ns is None:
+            raise ValueError("need at least two samples for throughput")
+        window_ns = self.last_finish_ns - self.first_finish_ns
+        if window_ns <= 0:
+            raise ValueError("zero-length measurement window")
+        return (self.count - 1) * 1e9 / window_ns
+
+    def throughput_mrps(self) -> float:
+        return self.throughput_rps() / 1e6
+
+
+def merge_recorders(recorders: Iterable[LatencyRecorder], name: str = "") -> LatencyRecorder:
+    """Combine several per-thread recorders into one aggregate view."""
+    merged = LatencyRecorder(name=name)
+    for recorder in recorders:
+        merged.extend(recorder)
+    return merged

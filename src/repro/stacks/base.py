@@ -1,0 +1,97 @@
+"""Stack interface: ports, stacks, and connection setup.
+
+A :class:`StackPort` is one endpoint channel (for Dagger: a NIC flow and
+its ring pair). The RPC runtime drives ports only through this interface,
+which is what lets the paper's applications be "ported with minimal
+changes" between stacks — here, with zero changes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.rpc.messages import RpcPacket
+from repro.sim.resources import Store
+
+
+class StackPort:
+    """One endpoint channel of a stack."""
+
+    address: str = ""
+    flow_id: int = 0
+
+    @property
+    def rx_ring(self) -> Store:
+        """The ring software polls for incoming packets."""
+        raise NotImplementedError
+
+    def send(self, packet: RpcPacket) -> Generator:
+        """Hand a packet to the stack (a generator; may block)."""
+        raise NotImplementedError
+
+    def cpu_tx_ns(self, packet: RpcPacket) -> int:
+        """CPU cost of transmitting this packet through this stack."""
+        raise NotImplementedError
+
+    def cpu_rx_ns(self, packet: RpcPacket) -> int:
+        """CPU cost of receiving this packet from this stack."""
+        raise NotImplementedError
+
+
+class RpcStack:
+    """One machine-side instance of a networking stack."""
+
+    name: str = "base"
+
+    def port(self, index: int) -> StackPort:
+        """The port for channel ``index`` (creating it if needed)."""
+        raise NotImplementedError
+
+    @property
+    def num_ports(self) -> int:
+        raise NotImplementedError
+
+    def register_connection(
+        self,
+        connection_id: int,
+        local_flow: int,
+        remote_address: str,
+        load_balancer: Optional[str] = None,
+    ) -> None:
+        """Record connection state on this side of the channel."""
+        raise NotImplementedError
+
+    @property
+    def drops(self) -> int:
+        """Packets this stack dropped (ring/FIFO overflow)."""
+        return 0
+
+
+def connect(
+    client_stack: RpcStack,
+    client_flow: int,
+    server_stack: RpcStack,
+    server_flow: int = 0,
+    connection_id: Optional[int] = None,
+    load_balancer: Optional[str] = None,
+) -> int:
+    """Open a connection between two stacks; returns the connection id.
+
+    Registers the tuple on both sides, as the Connection Manager requires:
+    the client side stores the server's address (for egress) and the client
+    flow (for response steering); the server side stores the client's
+    address and its preferred flow (for static load balancing).
+    """
+    from repro.hw.nic.dagger_nic import next_connection_id
+
+    if connection_id is None:
+        connection_id = next_connection_id()
+    client_port = client_stack.port(client_flow)
+    server_port = server_stack.port(server_flow)
+    client_stack.register_connection(
+        connection_id, client_flow, server_port.address, load_balancer
+    )
+    server_stack.register_connection(
+        connection_id, server_flow, client_port.address, load_balancer
+    )
+    return connection_id

@@ -1,0 +1,24 @@
+"""IX dataplane-OS baseline (Table 3).
+
+IX batches adaptively through its protected dataplane, which costs
+latency: 11.4 us RTT and ~1.5 Mrps per core for 64 B messages.
+"""
+
+from __future__ import annotations
+
+from repro.stacks.modeled import ModeledStack, ModeledStackParams
+
+IX_PARAMS = ModeledStackParams(
+    name="ix",
+    cpu_tx_ns=420,  # dataplane TX half of the 666 ns/req budget
+    cpu_rx_ns=246,
+    oneway_ns=4734,  # adaptive batching delay
+    per_byte_ns=0.1,
+)
+
+
+class IxStack(ModeledStack):
+    """IX: protected dataplane OS."""
+
+    params = IX_PARAMS
+    name = IX_PARAMS.name

@@ -1,0 +1,27 @@
+"""Linux kernel TCP/IP stack model — memcached's native transport.
+
+Calibrated so that memcached served over it shows the ~11.4x higher KVS
+access latency the paper reports relative to memcached-over-Dagger
+(section 5.6): syscall + kernel TCP/IP + interrupt costs on both CPU
+paths, and a long in-kernel queueing/wakeup latency.
+"""
+
+from __future__ import annotations
+
+from repro.stacks.modeled import ModeledStack, ModeledStackParams
+
+LINUX_TCP_PARAMS = ModeledStackParams(
+    name="linux-tcp",
+    cpu_tx_ns=1600,  # send syscall, TCP/IP, skb management
+    cpu_rx_ns=900,  # softirq + epoll wakeup + recv copy
+    oneway_ns=15450,  # kernel queueing + interrupt latency
+    per_byte_ns=0.25,  # copies in and out of kernel space
+    irq_cost_ns=800,  # softirq receive work, when IRQ threads are attached
+)
+
+
+class LinuxTcpStack(ModeledStack):
+    """Kernel networking + software RPC processing."""
+
+    params = LINUX_TCP_PARAMS
+    name = LINUX_TCP_PARAMS.name

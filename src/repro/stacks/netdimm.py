@@ -1,0 +1,26 @@
+"""NetDIMM baseline (Table 3): an ASIC NIC integrated into DIMM memory.
+
+NetDIMM transfers raw 64 B *messages* (it "does not focus on RPC stacks"),
+so Table 3 reports no RPC throughput for it; only the 2.2 us RTT row is
+reproduced. CPU costs are tiny because delivery happens inside the memory
+subsystem.
+"""
+
+from __future__ import annotations
+
+from repro.stacks.modeled import ModeledStack, ModeledStackParams
+
+NETDIMM_PARAMS = ModeledStackParams(
+    name="netdimm",
+    cpu_tx_ns=60,
+    cpu_rx_ns=40,
+    oneway_ns=700,
+    per_byte_ns=0.05,
+)
+
+
+class NetDimmStack(ModeledStack):
+    """In-DIMM integrated NIC (message-level only)."""
+
+    params = NETDIMM_PARAMS
+    name = NETDIMM_PARAMS.name

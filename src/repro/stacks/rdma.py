@@ -1,0 +1,26 @@
+"""FaSST-style two-sided RDMA datagram RPC baseline (Table 3).
+
+RDMA offloads transport to the adapter but keeps RPC processing on the
+host CPU, and the adapter sits across PCIe — both costs show up in the
+calibration: 4.8 Mrps per core (208 ns CPU per RPC) and a 2.8 us RTT for
+48 B RPCs.
+"""
+
+from __future__ import annotations
+
+from repro.stacks.modeled import ModeledStack, ModeledStackParams
+
+FASST_PARAMS = ModeledStackParams(
+    name="fasst-rdma",
+    cpu_tx_ns=130,  # WQE build + doorbell
+    cpu_rx_ns=78,  # CQE poll + RPC layer
+    oneway_ns=892,  # PCIe crossing + adapter processing
+    per_byte_ns=0.08,
+)
+
+
+class FasstRdmaStack(ModeledStack):
+    """Two-sided RDMA (UD send/recv) RPCs."""
+
+    params = FASST_PARAMS
+    name = FASST_PARAMS.name

@@ -1,0 +1,47 @@
+"""Name -> stack factory registry.
+
+The harness selects stacks by name ("dagger", "linux-tcp", ...). Dagger
+needs a :class:`Machine` (it owns real NIC hardware); the modeled baselines
+only need the simulator and a switch.
+"""
+
+from __future__ import annotations
+
+from repro.hw.platform import Machine
+from repro.hw.switch import ToRSwitch
+from repro.stacks.base import RpcStack
+from repro.stacks.dagger import DaggerStack
+from repro.stacks.dpdk import DpdkStack, ERpcStack
+from repro.stacks.ix import IxStack
+from repro.stacks.linux_tcp import LinuxTcpStack
+from repro.stacks.netdimm import NetDimmStack
+from repro.stacks.rdma import FasstRdmaStack
+
+STACKS = {
+    "dagger": DaggerStack,
+    "linux-tcp": LinuxTcpStack,
+    "dpdk": DpdkStack,
+    "erpc": ERpcStack,
+    "fasst-rdma": FasstRdmaStack,
+    "ix": IxStack,
+    "netdimm": NetDimmStack,
+}
+
+
+def make_stack(
+    name: str,
+    machine: Machine,
+    switch: ToRSwitch,
+    address: str,
+    **kwargs,
+) -> RpcStack:
+    """Build a stack instance by name on the given machine."""
+    try:
+        cls = STACKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown stack {name!r}; choose from {sorted(STACKS)}"
+        ) from None
+    if cls is DaggerStack:
+        return DaggerStack(machine, switch, address, **kwargs)
+    return cls(machine.sim, machine.calibration, switch, address, **kwargs)

@@ -1,0 +1,27 @@
+"""Workload and dataset generators.
+
+- :mod:`repro.workloads.rpc_sizes` — the Fig 4 RPC size distributions of
+  the Social Network / Media tiers.
+- :mod:`repro.workloads.kv_datasets` — the tiny/small KVS dataset shapes
+  and YCSB-style mixes of section 5.6.
+"""
+
+from repro.workloads.rpc_sizes import (
+    SOCIAL_NETWORK_SIZES,
+    MEDIA_SIZES,
+    TierSizes,
+    request_size_cdf,
+    sample_sizes,
+)
+from repro.workloads.kv_datasets import DATASETS, KvDataset, WORKLOAD_MIXES
+
+__all__ = [
+    "SOCIAL_NETWORK_SIZES",
+    "MEDIA_SIZES",
+    "TierSizes",
+    "request_size_cdf",
+    "sample_sizes",
+    "DATASETS",
+    "KvDataset",
+    "WORKLOAD_MIXES",
+]

@@ -1,0 +1,48 @@
+"""KVS dataset shapes and request mixes (section 5.6).
+
+Two datasets, as in MICA's evaluation: *tiny* (8 B keys, 8 B values, 200M
+pairs for MICA / 10M for memcached) and *small* (16 B keys, 32 B values).
+Two mixes: write-intensive (50/50) and read-intensive (95/5), accessed
+under zipfian skew 0.99 (plus the 0.9999 variant used to push MICA's cache
+locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class KvDataset:
+    """One dataset shape."""
+
+    name: str
+    key_bytes: int
+    value_bytes: int
+    mica_keys: int
+    memcached_keys: int
+
+    def num_keys(self, system: str) -> int:
+        if system == "mica":
+            return self.mica_keys
+        if system == "memcached":
+            return self.memcached_keys
+        raise ValueError(f"unknown system {system!r}")
+
+
+DATASETS: Dict[str, KvDataset] = {
+    "tiny": KvDataset("tiny", key_bytes=8, value_bytes=8,
+                      mica_keys=200_000_000, memcached_keys=10_000_000),
+    "small": KvDataset("small", key_bytes=16, value_bytes=32,
+                       mica_keys=200_000_000, memcached_keys=10_000_000),
+}
+
+#: get fraction per named mix.
+WORKLOAD_MIXES: Dict[str, float] = {
+    "write-intensive": 0.50,  # set/get = 50%/50%
+    "read-intensive": 0.95,  # set/get = 5%/95%
+}
+
+DEFAULT_SKEW = 0.99
+HIGH_SKEW = 0.9999

@@ -1,0 +1,142 @@
+"""RPC size distributions of the microservice tiers (Fig 4).
+
+Section 3.2's measurements, encoded as per-tier empirical distributions:
+
+- 75% of all RPC *requests* are smaller than 512 B;
+- more than 90% of *responses* are smaller than 64 B;
+- the Text tier's median request is ~580 B, while Media, User and UniqueID
+  never exceed 64 B — the "one-size-fits-all is a poor fit" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.distributions import Empirical, RandomLike, make_rng
+
+
+@dataclass(frozen=True)
+class TierSizes:
+    """Request/response size points (bytes, weight) for one tier."""
+
+    tier: str
+    request_points: Tuple[Tuple[int, float], ...]
+    response_points: Tuple[Tuple[int, float], ...]
+
+    def request_dist(self, rng: RandomLike = None) -> Empirical:
+        return Empirical(self.request_points, rng=rng)
+
+    def response_dist(self, rng: RandomLike = None) -> Empirical:
+        return Empirical(self.response_points, rng=rng)
+
+    def median_request(self) -> float:
+        return _weighted_median(self.request_points)
+
+
+def _weighted_median(points: Sequence[Tuple[int, float]]) -> float:
+    total = sum(w for _, w in points)
+    acc = 0.0
+    for value, weight in sorted(points):
+        acc += weight
+        if acc >= total / 2:
+            return float(value)
+    return float(points[-1][0])
+
+
+#: Fig 4 (right): per-tier request sizes for Social Network.
+SOCIAL_NETWORK_SIZES: Dict[str, TierSizes] = {
+    "media": TierSizes(
+        "media",
+        request_points=((32, 0.5), (48, 0.3), (64, 0.2)),
+        response_points=((16, 0.7), (32, 0.3)),
+    ),
+    "user": TierSizes(
+        "user",
+        request_points=((24, 0.4), (40, 0.4), (64, 0.2)),
+        response_points=((16, 0.6), (48, 0.4)),
+    ),
+    "unique_id": TierSizes(
+        "unique_id",
+        request_points=((16, 0.6), (32, 0.3), (64, 0.1)),
+        response_points=((16, 0.9), (32, 0.1)),
+    ),
+    "text": TierSizes(
+        "text",
+        request_points=((128, 0.15), (320, 0.2), (580, 0.35),
+                        (900, 0.2), (1400, 0.1)),
+        response_points=((16, 0.6), (48, 0.35), (128, 0.05)),
+    ),
+    "user_mention": TierSizes(
+        "user_mention",
+        request_points=((48, 0.3), (96, 0.3), (180, 0.25), (320, 0.15)),
+        response_points=((16, 0.7), (48, 0.3)),
+    ),
+    "url_shorten": TierSizes(
+        "url_shorten",
+        request_points=((64, 0.3), (120, 0.35), (240, 0.25), (480, 0.1)),
+        response_points=((32, 0.8), (64, 0.2)),
+    ),
+    "home_timeline": TierSizes(
+        "home_timeline",
+        request_points=((24, 0.7), (48, 0.3)),
+        response_points=((48, 0.45), (200, 0.3), (560, 0.25)),
+    ),
+    "post_storage": TierSizes(
+        "post_storage",
+        request_points=((320, 0.4), (640, 0.4), (1024, 0.2)),
+        response_points=((16, 0.7), (64, 0.3)),
+    ),
+}
+
+#: Media Serving (Fig 2) tiers have a similar footprint with a heavier
+#: review-text tail.
+MEDIA_SIZES: Dict[str, TierSizes] = {
+    "movie_id": TierSizes(
+        "movie_id",
+        request_points=((24, 0.6), (48, 0.4)),
+        response_points=((16, 0.8), (32, 0.2)),
+    ),
+    "rating": TierSizes(
+        "rating",
+        request_points=((24, 0.7), (40, 0.3)),
+        response_points=((16, 0.9), (32, 0.1)),
+    ),
+    "review_text": TierSizes(
+        "review_text",
+        request_points=((256, 0.25), (512, 0.3), (768, 0.3), (1600, 0.15)),
+        response_points=((16, 0.7), (48, 0.3)),
+    ),
+    "movie_review": TierSizes(
+        "movie_review",
+        request_points=((96, 0.4), (192, 0.4), (384, 0.2)),
+        response_points=((32, 0.78), (128, 0.22)),
+    ),
+    "user_review": TierSizes(
+        "user_review",
+        request_points=((96, 0.45), (192, 0.35), (384, 0.2)),
+        response_points=((32, 0.78), (128, 0.22)),
+    ),
+}
+
+
+def sample_sizes(tiers: Dict[str, TierSizes], samples_per_tier: int = 1000,
+                 rng: RandomLike = 23) -> Tuple[List[int], List[int]]:
+    """Draw (requests, responses) samples across all tiers (Fig 4 left)."""
+    generator = make_rng(rng)
+    requests: List[int] = []
+    responses: List[int] = []
+    for sizes in tiers.values():
+        request_dist = sizes.request_dist(generator)
+        response_dist = sizes.response_dist(generator)
+        for _ in range(samples_per_tier):
+            requests.append(int(request_dist.sample()))
+            responses.append(int(response_dist.sample()))
+    return requests, responses
+
+
+def request_size_cdf(samples: Sequence[int], at_bytes: int) -> float:
+    """Fraction of samples <= at_bytes (a point on the Fig 4 CDF)."""
+    if not samples:
+        raise ValueError("empty sample set")
+    return sum(1 for s in samples if s <= at_bytes) / len(samples)

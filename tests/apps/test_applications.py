@@ -1,0 +1,116 @@
+"""Integration tests for the built applications (scaled-down runs)."""
+
+import pytest
+
+from repro.apps.microservices.flight import DEFAULT_MIX, build_flight_app
+from repro.apps.microservices.media import (
+    DEFAULT_MIX as MEDIA_MIX,
+    media_graph,
+)
+from repro.apps.microservices.social_network import (
+    DEFAULT_MIX as SOCIAL_MIX,
+    PROFILED_TIERS,
+    social_network_graph,
+)
+
+
+# ---------------------------------------------------------- Social Network
+
+
+def test_social_network_builds_all_tiers():
+    graph = social_network_graph("linux-tcp")
+    expected = {"nginx", "compose_post", "media", "user", "unique_id",
+                "text", "user_mention", "url_shorten", "post_storage",
+                "home_timeline", "user_timeline"}
+    assert set(graph.tiers) == expected
+
+
+def test_social_network_compose_touches_all_profiled_tiers():
+    graph = social_network_graph("linux-tcp")
+    result = graph.run_load("nginx", {"compose_post": 1.0}, load_krps=2,
+                            nreq=200, warmup_ns=0)
+    assert result.drop_rate < 0.01
+    for tier in PROFILED_TIERS.values():
+        assert result.tracer.breakdown(tier).count > 0
+
+
+def test_social_network_fractions_match_fig3_shape():
+    graph = social_network_graph("linux-tcp")
+    result = graph.run_load("nginx", SOCIAL_MIX, load_krps=8, nreq=1200,
+                            warmup_ns=500_000)
+    fractions = {tier: result.tracer.breakdown(tier).network_fraction
+                 for tier in PROFILED_TIERS.values()}
+    assert fractions["user"] > 0.65
+    assert fractions["unique_id"] > 0.65
+    assert fractions["text"] < 0.55
+    assert sum(fractions.values()) / len(fractions) > 0.40
+
+
+def test_social_network_over_dagger_is_much_faster():
+    tcp = social_network_graph("linux-tcp")
+    tcp_result = tcp.run_load("nginx", SOCIAL_MIX, load_krps=5, nreq=600,
+                              warmup_ns=0)
+    dagger = social_network_graph("dagger")
+    dagger_result = dagger.run_load("nginx", SOCIAL_MIX, load_krps=5,
+                                    nreq=600, warmup_ns=0)
+    assert dagger_result.p50_us < 0.55 * tcp_result.p50_us
+
+
+# ------------------------------------------------------------ Media Serving
+
+
+def test_media_builds_and_serves():
+    graph = media_graph("linux-tcp")
+    result = graph.run_load("nginx", MEDIA_MIX, load_krps=5, nreq=500,
+                            warmup_ns=0)
+    assert result.drop_rate < 0.01
+    assert result.count > 400
+    assert result.tracer.breakdown("review_text").count > 0
+
+
+# ---------------------------------------------------------------- Flight
+
+
+def test_flight_simple_latency_path():
+    app = build_flight_app(optimized=False)
+    result = app.run(0.02, nreq=200, warmup_ns=0)
+    # Paper: ~13.3 us median at low load under the Simple model.
+    assert 9 < result.p50_us < 18
+    assert result.drop_rate < 0.01
+
+
+def test_flight_simple_saturates_low_krps():
+    app = build_flight_app(optimized=False)
+    result = app.run(3.5, nreq=1500, measure_from_issue=True, warmup_ns=0)
+    # Offered 3.5K but the Flight dispatch thread caps near 2.8K.
+    assert result.throughput_krps < 3.4
+    assert result.p99_us > 300
+
+
+def test_flight_optimized_higher_latency_higher_throughput():
+    app = build_flight_app(optimized=True)
+    low = app.run(5, nreq=800, warmup_ns=0)
+    assert low.p50_us > 15  # worker hand-off cost
+    app = build_flight_app(optimized=True)
+    high = app.run(30, nreq=2500, measure_from_issue=True, warmup_ns=0)
+    assert high.throughput_krps > 25
+    assert high.drop_rate < 0.01
+
+
+def test_flight_databases_really_store_records():
+    app = build_flight_app(optimized=False)
+    app.run(0.05, nreq=300, warmup_ns=0)
+    # Each passenger registration wrote an Airport record.
+    passenger_share = DEFAULT_MIX["passenger_frontend.register"]
+    expected = 300 * passenger_share
+    assert app.airport_db.total_items > expected * 0.5
+    # Staff checks and passport checks actually read the stores.
+    assert sum(p.gets for p in app.airport_db.partitions) > 0
+    assert sum(p.gets for p in app.citizens_db.partitions) > 0
+
+
+def test_flight_object_level_balancer_routes_to_owner():
+    app = build_flight_app(optimized=False)
+    app.run(0.05, nreq=300, warmup_ns=0)
+    assert app.airport_db.misrouted == 0
+    assert app.citizens_db.misrouted == 0

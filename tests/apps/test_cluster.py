@@ -1,0 +1,53 @@
+"""Tests for the cluster model and the multi-core KVS driver."""
+
+import pytest
+
+from repro.apps.kvs.cluster_bench import run_kvs_multicore
+from repro.hw.cluster import Cluster
+from repro.sim import Simulator
+
+
+def test_cluster_builds_independent_machines():
+    sim = Simulator()
+    cluster = Cluster(sim, 3)
+    assert len(cluster) == 3
+    a, b = cluster.machine(0), cluster.machine(1)
+    assert a is not b
+    assert a.fpga is not b.fpga
+    assert a.fpga.upi_endpoint is not b.fpga.upi_endpoint
+
+
+def test_cluster_index_bounds():
+    cluster = Cluster(Simulator(), 2)
+    with pytest.raises(IndexError):
+        cluster.machine(2)
+    with pytest.raises(ValueError):
+        Cluster(Simulator(), 0)
+
+
+def test_cluster_switch_uses_tor_delay():
+    cluster = Cluster(Simulator(), 2)
+    assert cluster.switch.delay_ns == cluster.calibration.tor_delay_ns
+
+
+def test_multicore_mica_runs_and_scales():
+    one = run_kvs_multicore(server_threads=1, nreq_per_thread=1200,
+                            num_keys=50_000)
+    two = run_kvs_multicore(server_threads=2, nreq_per_thread=1200,
+                            num_keys=50_000)
+    assert two.throughput_mrps > 1.4 * one.throughput_mrps
+    assert one.drop_rate < 0.01
+    assert two.drop_rate < 0.01
+
+
+def test_multicore_memcached_supported():
+    result = run_kvs_multicore(system="memcached", server_threads=2,
+                               nreq_per_thread=600, num_keys=20_000,
+                               get_fraction=0.95)
+    assert result.throughput_mrps > 1.0
+
+
+def test_multicore_unknown_system():
+    with pytest.raises(ValueError):
+        run_kvs_multicore(system="rocksdb", server_threads=1,
+                          nreq_per_thread=10)

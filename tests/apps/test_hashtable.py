@@ -1,0 +1,80 @@
+"""Unit tests for the chained hash table."""
+
+import pytest
+
+from repro.apps.kvs.hashtable import ChainedHashTable
+
+
+def test_set_get_roundtrip():
+    table = ChainedHashTable(16)
+    assert table.set(b"k", b"v")  # new key
+    assert table.get(b"k") == b"v"
+    assert not table.set(b"k", b"v2")  # update
+    assert table.get(b"k") == b"v2"
+    assert len(table) == 1
+
+
+def test_get_missing_returns_none():
+    table = ChainedHashTable(16)
+    assert table.get(b"missing") is None
+
+
+def test_delete():
+    table = ChainedHashTable(16)
+    table.set(b"k", b"v")
+    assert table.delete(b"k")
+    assert table.get(b"k") is None
+    assert not table.delete(b"k")
+    assert len(table) == 0
+
+
+def test_chaining_under_collisions():
+    table = ChainedHashTable(1)  # everything collides
+    for i in range(20):
+        table.set(b"k%d" % i, b"v%d" % i)
+    assert len(table) == 20
+    for i in range(20):
+        assert table.get(b"k%d" % i) == b"v%d" % i
+    assert table.chain_length(b"k0") == 20
+
+
+def test_versions_bump_on_writes():
+    table = ChainedHashTable(4)
+    v0 = table.version_of(b"k")
+    table.set(b"k", b"v")
+    v1 = table.version_of(b"k")
+    assert v1 == v0 + 1
+    table.set(b"k", b"v2")
+    assert table.version_of(b"k") == v1 + 1
+    table.delete(b"k")
+    assert table.version_of(b"k") == v1 + 2
+
+
+def test_reads_do_not_bump_versions():
+    table = ChainedHashTable(4)
+    table.set(b"k", b"v")
+    version = table.version_of(b"k")
+    table.get(b"k")
+    assert table.version_of(b"k") == version
+
+
+def test_contains_and_items():
+    table = ChainedHashTable(8)
+    table.set(b"a", b"1")
+    table.set(b"b", b"2")
+    assert b"a" in table
+    assert b"c" not in table
+    assert dict(table.items()) == {b"a": b"1", b"b": b"2"}
+
+
+def test_type_checks():
+    table = ChainedHashTable(8)
+    with pytest.raises(TypeError):
+        table.get("str")
+    with pytest.raises(TypeError):
+        table.set(b"k", "str")
+
+
+def test_bucket_count_validation():
+    with pytest.raises(ValueError):
+        ChainedHashTable(0)

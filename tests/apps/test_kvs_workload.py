@@ -1,0 +1,92 @@
+"""Integration tests for the KVS workload driver (scaled down)."""
+
+import pytest
+
+from repro.apps.kvs import run_kvs_workload
+from repro.apps.kvs.client import encode_key, generate_ops, kvs_idl, make_value
+from repro.rpc.errors import SerializationError
+
+
+def test_kvs_idl_shapes():
+    namespace = kvs_idl(8, 8)
+    assert namespace["GetRequest"].BYTE_SIZE == 8
+    assert namespace["SetRequest"].BYTE_SIZE == 16
+    namespace_small = kvs_idl(16, 32)
+    assert namespace_small["SetRequest"].BYTE_SIZE == 48
+
+
+def test_kvs_idl_cached():
+    assert kvs_idl(8, 8) is kvs_idl(8, 8)
+
+
+def test_kvs_idl_key_floor():
+    with pytest.raises(ValueError):
+        kvs_idl(4, 8)
+
+
+def test_encode_key_unique_and_sized():
+    keys = {encode_key(i, 16) for i in range(1000)}
+    assert len(keys) == 1000
+    assert all(len(k) == 16 for k in keys)
+
+
+def test_make_value_sized():
+    assert len(make_value(7, 32)) == 32
+    assert len(make_value(7, 8)) == 8
+
+
+def test_generate_ops_mix_and_range():
+    ops = generate_ops(2000, num_keys=1000, get_fraction=0.9, seed=3)
+    gets = sum(1 for op, _ in ops if op == "get")
+    assert abs(gets / len(ops) - 0.9) < 0.03
+    assert all(0 <= idx < 1000 for _, idx in ops)
+
+
+def test_generate_ops_deterministic():
+    a = generate_ops(100, 50, 0.5, seed=1)
+    b = generate_ops(100, 50, 0.5, seed=1)
+    assert a == b
+
+
+def test_generate_ops_validation():
+    with pytest.raises(ValueError):
+        generate_ops(10, 10, get_fraction=1.5)
+
+
+def test_mica_workload_end_to_end():
+    result = run_kvs_workload(system="mica", nreq=1500, num_keys=100_000,
+                              closed_loop_window=16)
+    assert result.hit_rate == 1.0  # every touched key was populated
+    assert result.drop_rate < 0.01
+    assert 2.0 < result.throughput_mrps < 6.5
+    assert result.p50_us > 1.5
+    assert result.misrouted == 0  # object-level LB routes correctly
+
+
+def test_memcached_workload_end_to_end():
+    result = run_kvs_workload(system="memcached", nreq=1000,
+                              num_keys=100_000, closed_loop_window=4)
+    assert result.hit_rate == 1.0
+    assert 0.3 < result.throughput_mrps < 1.2
+    assert result.p99_us > result.p50_us
+
+
+def test_mica_round_robin_misroutes():
+    result = run_kvs_workload(system="mica", nreq=1500, num_keys=100_000,
+                              num_threads=2, load_balancer="round-robin",
+                              closed_loop_window=16, warmup_ns=20_000)
+    # With 2 partitions and uniform steering, ~half the requests misroute.
+    assert result.misrouted > 400
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError, match="unknown KVS system"):
+        run_kvs_workload(system="redis", nreq=10)
+
+
+def test_over_baseline_stack():
+    result = run_kvs_workload(system="mica", stack_name="linux-tcp",
+                              nreq=400, num_keys=10_000,
+                              closed_loop_window=4, warmup_ns=50_000)
+    # Kernel networking dominates MICA access latency (the 4-5x gap).
+    assert result.p50_us > 25

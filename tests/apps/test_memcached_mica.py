@@ -1,0 +1,136 @@
+"""Unit tests for the memcached and MICA functional servers."""
+
+import random
+
+import pytest
+
+from repro.apps.kvs.memcached import MEMCACHED_COSTS, KvsCosts, MemcachedServer
+from repro.apps.kvs.mica import (
+    CROSS_PARTITION_PENALTY_NS,
+    MICA_COSTS,
+    MicaServer,
+    mica_key_hash,
+)
+
+
+# ----------------------------------------------------------------- costs
+
+
+def test_costs_scale_with_size():
+    costs = KvsCosts(get_ns=100, set_ns=200, per_byte_ns=1.0)
+    assert costs.get_cost(8, 8) == 116
+    assert costs.set_cost(16, 32) == 248
+
+
+def test_costs_slow_fraction():
+    costs = KvsCosts(get_ns=100, set_ns=200, slow_fraction=1.0,
+                     slow_extra_ns=500)
+    assert costs.get_cost(8, 8, random.Random(1)) == 600
+    assert costs.get_cost(8, 8, rng=None) == 100  # no rng -> no slow path
+
+
+def test_set_split_inline_and_deferred():
+    costs = KvsCosts(get_ns=100, set_ns=2000, set_inline_ns=500)
+    inline, deferred = costs.set_split(8, 8)
+    assert inline == 500
+    assert deferred == 1500
+    assert inline + deferred == costs.set_cost(8, 8)
+
+
+def test_set_split_fully_inline_by_default():
+    costs = KvsCosts(get_ns=100, set_ns=300)
+    assert costs.set_split(8, 8) == (300, 0)
+
+
+def test_memcached_costs_anchor():
+    # 50/50 mix lands near 0.6 Mrps worth of service time.
+    mix = (MEMCACHED_COSTS.get_cost(8, 8)
+           + MEMCACHED_COSTS.set_cost(8, 8)) / 2
+    assert 1300 < mix < 1700
+    assert MICA_COSTS.get_cost(8, 8) < MEMCACHED_COSTS.get_cost(8, 8) / 3
+
+
+# -------------------------------------------------------------- memcached
+
+
+def test_memcached_get_set():
+    server = MemcachedServer()
+    assert server.do_get(b"k") is None
+    server.do_set(b"k", b"v")
+    assert server.do_get(b"k") == b"v"
+    assert server.gets == 2
+    assert server.sets == 1
+    assert server.hits == 1
+    assert server.hit_rate == 0.5
+
+
+def test_memcached_populate():
+    server = MemcachedServer()
+    server.populate([(b"a", b"1"), (b"b", b"2")])
+    assert server.do_get(b"a") == b"1"
+    assert server.sets == 0  # bulk load is cost/stat free
+
+
+# ------------------------------------------------------------------- MICA
+
+
+def test_mica_key_hash_deterministic():
+    assert mica_key_hash(b"key") == mica_key_hash(b"key")
+    assert mica_key_hash(b"a") != mica_key_hash(b"b")
+    assert 0 <= mica_key_hash(b"anything") < 2 ** 64
+
+
+def test_mica_partitioning_is_exclusive():
+    server = MicaServer(num_partitions=4)
+    server.populate([(b"k%d" % i, b"v") for i in range(100)])
+    total = sum(len(p.table) for p in server.partitions)
+    assert total == 100
+    for i in range(100):
+        key = b"k%d" % i
+        owner = server.owner_of(key)
+        assert server.partitions[owner].table.get(key) == b"v"
+
+
+def test_mica_correct_partition_no_penalty():
+    server = MicaServer(num_partitions=2)
+    key = b"key"
+    owner = server.owner_of(key)
+    assert server.cross_partition_penalty_ns(key, owner) == 0
+    server.do_set(key, b"v", owner)
+    assert server.misrouted == 0
+    assert server.do_get(key, owner) == b"v"
+
+
+def test_mica_wrong_partition_penalized_but_correct():
+    server = MicaServer(num_partitions=2)
+    key = b"key"
+    owner = server.owner_of(key)
+    wrong = 1 - owner
+    assert (server.cross_partition_penalty_ns(key, wrong)
+            == CROSS_PARTITION_PENALTY_NS)
+    server.do_set(key, b"v", wrong)
+    assert server.misrouted == 1
+    # Data still lands in the owner's partition (correctness preserved).
+    assert server.partitions[owner].table.get(key) == b"v"
+    assert server.do_get(key, owner) == b"v"
+
+
+def test_mica_no_handling_partition_means_no_penalty():
+    server = MicaServer(num_partitions=2)
+    assert server.cross_partition_penalty_ns(b"k", None) == 0
+    server.do_set(b"k", b"v", None)
+    assert server.misrouted == 0
+
+
+def test_mica_hit_rate_and_totals():
+    server = MicaServer(num_partitions=2)
+    server.populate([(b"a", b"1")])
+    server.do_get(b"a")
+    server.do_get(b"zzz")
+    assert server.total_items == 1
+    assert server.hit_rate == 0.5
+
+
+def test_mica_partition_count_validation():
+    with pytest.raises(ValueError):
+        MicaServer(num_partitions=0)

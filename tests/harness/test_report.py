@@ -1,0 +1,33 @@
+"""Unit tests for the report renderers."""
+
+import pytest
+
+from repro.harness.report import compare_row, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [("a", 1.5), ("bbbb", 22)],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "1.50" in text  # floats get two decimals
+    assert "bbbb" in text
+
+
+def test_render_table_ragged_row_rejected():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [("only-one",)])
+
+
+def test_compare_row_with_paper_value():
+    line = compare_row("metric", 2.0, 2.4, unit="us")
+    assert "paper=2.00us" in line
+    assert "measured=2.40us" in line
+    assert "x1.20" in line
+
+
+def test_compare_row_without_paper_value():
+    line = compare_row("metric", None, 3.0)
+    assert "paper=N/A" in line

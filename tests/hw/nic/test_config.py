@@ -1,0 +1,163 @@
+"""Unit tests for NIC hard/soft configuration."""
+
+import pytest
+
+from repro.hw.nic.config import (
+    MAX_CONNECTION_CACHE_ENTRIES,
+    MAX_FLOWS,
+    NicHardConfig,
+    NicSoftConfig,
+)
+
+
+def test_defaults_valid():
+    hard = NicHardConfig()
+    soft = NicSoftConfig()
+    soft.validate(hard)
+
+
+def test_flow_bounds():
+    NicHardConfig(num_flows=1)
+    NicHardConfig(num_flows=MAX_FLOWS)
+    with pytest.raises(ValueError):
+        NicHardConfig(num_flows=0)
+    with pytest.raises(ValueError):
+        NicHardConfig(num_flows=MAX_FLOWS + 1)
+
+
+def test_connection_cache_bounds():
+    NicHardConfig(connection_cache_entries=MAX_CONNECTION_CACHE_ENTRIES)
+    with pytest.raises(ValueError):
+        NicHardConfig(connection_cache_entries=0)
+    with pytest.raises(ValueError):
+        NicHardConfig(
+            connection_cache_entries=MAX_CONNECTION_CACHE_ENTRIES + 1
+        )
+
+
+def test_ring_depth_validation():
+    with pytest.raises(ValueError):
+        NicHardConfig(tx_ring_entries=0)
+    with pytest.raises(ValueError):
+        NicHardConfig(rx_ring_entries=0)
+    with pytest.raises(ValueError):
+        NicHardConfig(flow_fifo_entries=0)
+    with pytest.raises(ValueError):
+        NicHardConfig(max_batch=0)
+
+
+def test_interface_validation():
+    for kind in ("upi", "pcie-doorbell", "pcie-mmio"):
+        NicHardConfig(interface=kind)
+    with pytest.raises(ValueError):
+        NicHardConfig(interface="rdma")
+
+
+def test_soft_batch_bounds():
+    hard = NicHardConfig(max_batch=8)
+    NicSoftConfig(batch_size=8).validate(hard)
+    with pytest.raises(ValueError):
+        NicSoftConfig(batch_size=9).validate(hard)
+    with pytest.raises(ValueError):
+        NicSoftConfig(batch_size=0).validate(hard)
+
+
+def test_soft_batch_timeout_validation():
+    hard = NicHardConfig()
+    with pytest.raises(ValueError):
+        NicSoftConfig(batch_timeout_ns=-1).validate(hard)
+
+
+def test_soft_balancer_validation():
+    hard = NicHardConfig()
+    for scheme in ("round-robin", "static", "object-level"):
+        NicSoftConfig(load_balancer=scheme).validate(hard)
+    with pytest.raises(ValueError):
+        NicSoftConfig(load_balancer="magic").validate(hard)
+
+
+def test_active_flows():
+    hard = NicHardConfig(num_flows=4)
+    soft = NicSoftConfig(active_flows=2)
+    soft.validate(hard)
+    assert soft.effective_flows(hard) == 2
+    assert NicSoftConfig(active_flows=0).effective_flows(hard) == 4
+    with pytest.raises(ValueError):
+        NicSoftConfig(active_flows=5).validate(hard)
+
+
+def test_soft_config_is_mutable_at_runtime():
+    # Soft reconfiguration: the auto-batcher flips these on a live NIC.
+    soft = NicSoftConfig(batch_size=1)
+    soft.batch_size = 4
+    soft.auto_batch = True
+    soft.validate(NicHardConfig())
+
+
+def test_soft_reconfigure_live_nic():
+    from repro.hw.interconnect.ccip import make_interface
+    from repro.hw.nic.dagger_nic import DaggerNic
+    from repro.hw.platform import Machine
+    from repro.hw.switch import ToRSwitch
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    machine = Machine(sim)
+    switch = ToRSwitch(sim, machine.calibration)
+    nic = DaggerNic(sim, machine.calibration,
+                    make_interface("upi", sim, machine.calibration,
+                                   machine.fpga),
+                    switch, "nic", hard=NicHardConfig(num_flows=4))
+    thread = machine.thread(0)
+
+    def reconfigure():
+        start = sim.now
+        yield from nic.soft_reconfigure(
+            thread, batch_size=4, auto_batch=True,
+            load_balancer="object-level", active_flows=2,
+        )
+        return sim.now - start
+
+    elapsed = sim.run_until_done(sim.spawn(reconfigure()))
+    assert nic.soft.batch_size == 4
+    assert nic.soft.auto_batch
+    assert nic.soft.effective_flows(nic.hard) == 2
+    assert nic.balancer.name == "object-level"
+    # Four register writes -> four MMIOs of cost.
+    assert elapsed >= 4 * machine.calibration.mmio_doorbell_ns
+
+
+def test_soft_reconfigure_validates():
+    from repro.hw.interconnect.ccip import make_interface
+    from repro.hw.nic.dagger_nic import DaggerNic
+    from repro.hw.platform import Machine
+    from repro.hw.switch import ToRSwitch
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    machine = Machine(sim)
+    switch = ToRSwitch(sim, machine.calibration)
+    nic = DaggerNic(sim, machine.calibration,
+                    make_interface("upi", sim, machine.calibration,
+                                   machine.fpga),
+                    switch, "nic", hard=NicHardConfig(num_flows=2))
+    thread = machine.thread(0)
+
+    def bad_batch():
+        yield from nic.soft_reconfigure(thread, batch_size=999)
+
+    with pytest.raises(ValueError):
+        sim.run_until_done(sim.spawn(bad_batch()))
+    assert nic.soft.batch_size == 1  # unchanged on failure
+
+    def bad_register():
+        yield from nic.soft_reconfigure(thread, voltage=3)
+
+    with pytest.raises(ValueError, match="unknown soft registers"):
+        sim.run_until_done(sim.spawn(bad_register()))
+
+    def empty():
+        yield from nic.soft_reconfigure(thread)
+
+    with pytest.raises(ValueError, match="at least one change"):
+        sim.run_until_done(sim.spawn(empty()))

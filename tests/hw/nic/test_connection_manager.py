@@ -1,0 +1,100 @@
+"""Unit tests for the connection manager (1W3R connection cache)."""
+
+import pytest
+
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.nic.connection_manager import ConnectionManager, ConnectionTuple
+from repro.rpc.errors import ConnectionError_
+from repro.sim import Simulator
+
+CAL = DEFAULT_CALIBRATION
+
+
+def make_cm(entries=4, dram_backed=True):
+    sim = Simulator()
+    return sim, ConnectionManager(sim, CAL, entries, dram_backed=dram_backed)
+
+
+def lookup(sim, cm, cid):
+    start = sim.now
+
+    def proc():
+        entry = yield from cm.lookup(cid)
+        return entry, sim.now - start
+
+    return sim.run_until_done(sim.spawn(proc()))
+
+
+def test_tuple_validation():
+    ConnectionTuple(1, 0, "server")
+    with pytest.raises(ValueError):
+        ConnectionTuple(-1, 0, "server")
+    with pytest.raises(ValueError):
+        ConnectionTuple(1, -1, "server")
+    with pytest.raises(ValueError):
+        ConnectionTuple(1, 0, "")
+
+
+def test_open_and_lookup_hit():
+    sim, cm = make_cm()
+    cm.open_connection(ConnectionTuple(1, 0, "server"))
+    entry, elapsed = lookup(sim, cm, 1)
+    assert entry.dest_address == "server"
+    assert elapsed == CAL.nic_connection_lookup_cycles * CAL.nic_cycle_ns
+
+
+def test_double_open_rejected():
+    _, cm = make_cm()
+    cm.open_connection(ConnectionTuple(1, 0, "server"))
+    with pytest.raises(ConnectionError_):
+        cm.open_connection(ConnectionTuple(1, 1, "other"))
+
+
+def test_lookup_unknown_connection():
+    sim, cm = make_cm()
+
+    def proc():
+        yield from cm.lookup(42)
+
+    with pytest.raises(ConnectionError_):
+        sim.run_until_done(sim.spawn(proc()))
+
+
+def test_close_connection():
+    sim, cm = make_cm()
+    cm.open_connection(ConnectionTuple(1, 0, "server"))
+    cm.close_connection(1)
+    assert cm.open_count == 0
+    with pytest.raises(ConnectionError_):
+        cm.close_connection(1)
+
+
+def test_evicted_connection_served_from_dram_with_penalty():
+    sim, cm = make_cm(entries=1)  # all ids conflict
+    cm.open_connection(ConnectionTuple(1, 0, "a"))
+    cm.open_connection(ConnectionTuple(2, 0, "b"))  # evicts 1
+    entry, elapsed = lookup(sim, cm, 1)
+    assert entry.dest_address == "a"
+    assert elapsed >= CAL.nic_connection_miss_ns
+    # The miss refilled the cache; the victim now misses instead.
+    _, elapsed_hit = lookup(sim, cm, 1)
+    assert elapsed_hit < CAL.nic_connection_miss_ns
+
+
+def test_without_dram_backing_eviction_is_fatal():
+    sim, cm = make_cm(entries=1, dram_backed=False)
+    cm.open_connection(ConnectionTuple(1, 0, "a"))
+    cm.open_connection(ConnectionTuple(2, 0, "b"))
+
+    def proc():
+        yield from cm.lookup(1)
+
+    with pytest.raises(ConnectionError_, match="evicted"):
+        sim.run_until_done(sim.spawn(proc()))
+
+
+def test_open_count():
+    _, cm = make_cm(entries=64)
+    for cid in range(10):
+        cm.open_connection(ConnectionTuple(cid, 0, "x"))
+    assert cm.open_count == 10

@@ -1,0 +1,77 @@
+"""Tests for the future-work hardware extensions' resource/cost effects."""
+
+from repro.hw.nic.config import NicHardConfig
+from repro.hw.nic.resources import estimate_resources
+from repro.hw.platform import Machine
+from repro.hw.switch import ToRSwitch
+from repro.rpc.messages import RpcKind, RpcPacket
+from repro.sim import Simulator
+from repro.stacks import DaggerStack
+
+
+def test_hw_reassembly_removes_cpu_cost():
+    sim = Simulator()
+    machine = Machine(sim)
+    switch = ToRSwitch(sim, machine.calibration)
+    sw = DaggerStack(machine, switch, "sw",
+                     hard=NicHardConfig(num_flows=1))
+    hw = DaggerStack(machine, switch, "hw",
+                     hard=NicHardConfig(num_flows=1, hw_reassembly=True))
+    big = RpcPacket(RpcKind.REQUEST, 1, "m", b"", 600)
+    assert hw.port(0).cpu_tx_ns(big) < sw.port(0).cpu_tx_ns(big)
+    assert hw.port(0).cpu_rx_ns(big) < sw.port(0).cpu_rx_ns(big)
+    small = RpcPacket(RpcKind.REQUEST, 1, "m", b"", 48)
+    assert hw.port(0).cpu_tx_ns(small) == sw.port(0).cpu_tx_ns(small)
+
+
+def test_hw_reassembly_costs_fpga_area():
+    base = estimate_resources(NicHardConfig())
+    cam = estimate_resources(NicHardConfig(hw_reassembly=True))
+    # CAMs are expensive (the paper's reason for leaving this to future
+    # work): a visible LUT/register hit.
+    assert cam.luts > base.luts + 10_000
+    assert cam.registers > base.registers
+    assert cam.m20k_blocks > base.m20k_blocks
+
+
+def test_reliable_transport_costs_fpga_area():
+    base = estimate_resources(NicHardConfig())
+    reliable = estimate_resources(NicHardConfig(reliable_transport=True))
+    assert reliable.luts > base.luts
+    assert reliable.m20k_blocks > base.m20k_blocks
+
+
+def test_extensions_stack():
+    both = estimate_resources(
+        NicHardConfig(hw_reassembly=True, reliable_transport=True)
+    )
+    cam_only = estimate_resources(NicHardConfig(hw_reassembly=True))
+    assert both.luts > cam_only.luts
+
+
+def test_inline_crypto_adds_latency_not_throughput_loss():
+    from repro.harness import EchoRig
+
+    plain = EchoRig(batch_size=4, auto_batch=True)
+    crypto = EchoRig(batch_size=4, auto_batch=True,
+                     hard_overrides={"inline_crypto": True})
+    plain_result = plain.open_loop(2.0, nreq=2500)
+    crypto_result = crypto.open_loop(2.0, nreq=2500)
+    # Four pipeline cycles per line each way, both directions: ~80-160 ns
+    # extra RTT for single-line RPCs.
+    gap_us = crypto_result.p50_us - plain_result.p50_us
+    assert 0.04 < gap_us < 0.30
+    # Pipelined crypto does not cost throughput for small RPCs.
+    plain_thr = EchoRig(batch_size=4, auto_batch=True).closed_loop(
+        window=64, nreq=4000).throughput_mrps
+    crypto_thr = EchoRig(batch_size=4, auto_batch=True,
+                         hard_overrides={"inline_crypto": True}).closed_loop(
+        window=64, nreq=4000).throughput_mrps
+    assert abs(crypto_thr - plain_thr) < 0.8
+
+
+def test_inline_crypto_costs_fpga_area():
+    base = estimate_resources(NicHardConfig())
+    crypto = estimate_resources(NicHardConfig(inline_crypto=True))
+    assert crypto.luts > base.luts + 10_000
+    assert crypto.registers > base.registers

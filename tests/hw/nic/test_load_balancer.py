@@ -1,0 +1,71 @@
+"""Unit tests for the request load balancers."""
+
+import pytest
+
+from repro.hw.nic.load_balancer import (
+    ObjectLevelBalancer,
+    RoundRobinBalancer,
+    StaticBalancer,
+    make_balancer,
+)
+from repro.rpc.messages import RpcKind, RpcPacket
+
+
+def packet(connection_id=1, lb_key=None):
+    return RpcPacket(RpcKind.REQUEST, connection_id, "m", b"", 64,
+                     lb_key=lb_key)
+
+
+def test_round_robin_cycles():
+    balancer = RoundRobinBalancer()
+    picks = [balancer.pick_flow(packet(), 3) for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_handles_shrinking_flow_count():
+    balancer = RoundRobinBalancer()
+    balancer.pick_flow(packet(), 4)
+    balancer.pick_flow(packet(), 4)
+    assert balancer.pick_flow(packet(), 2) in (0, 1)
+
+
+def test_static_uses_preferred_flow():
+    balancer = StaticBalancer()
+    assert balancer.pick_flow(packet(), 4, preferred_flow=2) == 2
+
+
+def test_static_fallback_to_connection_id():
+    balancer = StaticBalancer()
+    assert balancer.pick_flow(packet(connection_id=7), 4) == 3
+
+
+def test_static_rejects_out_of_range_preference():
+    balancer = StaticBalancer()
+    with pytest.raises(ValueError):
+        balancer.pick_flow(packet(), 2, preferred_flow=5)
+
+
+def test_object_level_is_deterministic_per_key():
+    balancer = ObjectLevelBalancer()
+    a = balancer.pick_flow(packet(lb_key=12345), 4)
+    b = balancer.pick_flow(packet(lb_key=12345), 4)
+    assert a == b == 12345 % 4
+
+
+def test_object_level_spreads_keys():
+    balancer = ObjectLevelBalancer()
+    flows = {balancer.pick_flow(packet(lb_key=k), 4) for k in range(100)}
+    assert flows == {0, 1, 2, 3}
+
+
+def test_object_level_without_key_falls_back():
+    balancer = ObjectLevelBalancer()
+    assert balancer.pick_flow(packet(connection_id=9), 4) == 1
+
+
+def test_make_balancer():
+    assert isinstance(make_balancer("round-robin"), RoundRobinBalancer)
+    assert isinstance(make_balancer("static"), StaticBalancer)
+    assert isinstance(make_balancer("object-level"), ObjectLevelBalancer)
+    with pytest.raises(ValueError):
+        make_balancer("bogus")

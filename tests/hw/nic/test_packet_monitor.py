@@ -1,0 +1,38 @@
+"""Unit tests for the packet monitor counters."""
+
+from repro.hw.nic.packet_monitor import PacketMonitor
+
+
+def test_initial_state():
+    monitor = PacketMonitor()
+    assert monitor.drops == 0
+    assert monitor.drop_rate == 0.0
+    assert monitor.mean_batch == 0.0
+
+
+def test_drop_accounting():
+    monitor = PacketMonitor()
+    monitor.rx_rpcs = 10
+    monitor.dropped_rx_ring = 2
+    monitor.dropped_flow_fifo = 1
+    assert monitor.drops == 3
+    assert monitor.drop_rate == 0.3
+
+
+def test_mean_batch():
+    monitor = PacketMonitor()
+    monitor.batches = 4
+    monitor.batched_rpcs = 10
+    assert monitor.mean_batch == 2.5
+
+
+def test_snapshot_round():
+    monitor = PacketMonitor()
+    monitor.tx_rpcs = 5
+    monitor.rx_rpcs = 4
+    snap = monitor.snapshot()
+    assert snap["tx_rpcs"] == 5
+    assert snap["rx_rpcs"] == 4
+    assert set(snap) == {"tx_rpcs", "rx_rpcs", "fetched_rpcs",
+                         "delivered_rpcs", "drops", "drop_rate",
+                         "mean_batch"}

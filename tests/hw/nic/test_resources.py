@@ -1,0 +1,80 @@
+"""Unit tests for the Table 1 FPGA resource estimator."""
+
+import pytest
+
+from repro.hw.nic.config import NicHardConfig
+from repro.hw.nic.resources import (
+    DEVICE_LUTS,
+    DEVICE_M20K,
+    estimate_resources,
+    max_nic_instances,
+)
+
+REFERENCE = NicHardConfig(num_flows=64, connection_cache_entries=65_536)
+
+
+def test_reference_config_matches_table1():
+    footprint = estimate_resources(REFERENCE)
+    assert abs(footprint.luts - 87_100) / 87_100 < 0.05
+    assert abs(footprint.m20k_blocks - 555) / 555 < 0.05
+    assert abs(footprint.registers - 120_800) / 120_800 < 0.05
+    assert abs(footprint.lut_utilization - 0.20) < 0.02
+    assert abs(footprint.bram_utilization - 0.20) < 0.02
+
+
+def test_512_flows_fit_under_half_utilization():
+    big = NicHardConfig(num_flows=512, connection_cache_entries=65_536)
+    assert estimate_resources(big).fits(0.5)
+
+
+def test_monotone_in_flows():
+    small = estimate_resources(NicHardConfig(num_flows=8))
+    large = estimate_resources(NicHardConfig(num_flows=128))
+    assert large.luts > small.luts
+    assert large.m20k_blocks > small.m20k_blocks
+    assert large.registers > small.registers
+
+
+def test_monotone_in_connection_cache():
+    small = estimate_resources(NicHardConfig(connection_cache_entries=1024))
+    large = estimate_resources(
+        NicHardConfig(connection_cache_entries=100_000)
+    )
+    assert large.luts > small.luts
+    assert large.m20k_blocks > small.m20k_blocks
+
+
+def test_blue_region_excluded_option():
+    with_blue = estimate_resources(REFERENCE, include_blue_region=True)
+    green_only = estimate_resources(REFERENCE, include_blue_region=False)
+    assert green_only.luts < with_blue.luts
+    assert green_only.m20k_blocks < with_blue.m20k_blocks
+
+
+def test_instances_scale_green_region_only():
+    one = estimate_resources(NicHardConfig(), instances=1)
+    four = estimate_resources(NicHardConfig(), instances=4)
+    green = estimate_resources(NicHardConfig(), include_blue_region=False)
+    assert four.luts == pytest.approx(one.luts + 3 * green.luts, abs=2)
+
+
+def test_instances_validation():
+    with pytest.raises(ValueError):
+        estimate_resources(NicHardConfig(), instances=0)
+
+
+def test_max_nic_instances_default_config():
+    # Section 6: the default NIC is small; many instances co-exist (the
+    # paper runs 8 for the Flight app).
+    assert max_nic_instances(NicHardConfig()) >= 8
+
+
+def test_max_nic_instances_reference_config():
+    # The big reference config occupies ~20%: only a few fit under 50%.
+    count = max_nic_instances(REFERENCE)
+    assert 1 <= count <= 8
+
+
+def test_device_budgets_positive():
+    assert DEVICE_LUTS > 0
+    assert DEVICE_M20K > 0

@@ -1,0 +1,34 @@
+"""Unit tests for the software RX/TX ring pairs."""
+
+from repro.hw.nic.rings import FlowRings
+from repro.sim import Simulator
+
+
+def test_ring_directions():
+    sim = Simulator()
+    rings = FlowRings(sim, flow_id=3, tx_entries=4, rx_entries=2)
+    assert rings.flow_id == 3
+    # TX ring blocks when full (flow blocking)...
+    assert rings.tx_ring.reject_when_full is False
+    assert rings.tx_ring.capacity == 4
+    # ...RX ring drops when full (the NIC cannot wait for software).
+    assert rings.rx_ring.reject_when_full is True
+    assert rings.rx_ring.capacity == 2
+
+
+def test_occupancy_accessors():
+    sim = Simulator()
+    rings = FlowRings(sim, 0, tx_entries=4, rx_entries=4)
+    assert rings.tx_occupancy == 0
+    rings.tx_ring.try_put("a")
+    rings.rx_ring.try_put("b")
+    assert rings.tx_occupancy == 1
+    assert rings.rx_occupancy == 1
+
+
+def test_rx_overflow_counts_drops():
+    sim = Simulator()
+    rings = FlowRings(sim, 0, tx_entries=4, rx_entries=1)
+    assert rings.rx_ring.try_put("a")
+    assert not rings.rx_ring.try_put("b")
+    assert rings.rx_ring.drops == 1

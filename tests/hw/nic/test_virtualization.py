@@ -1,0 +1,67 @@
+"""Unit tests for multi-NIC virtualization on one FPGA (Fig 14)."""
+
+import pytest
+
+from repro.hw.nic.config import NicHardConfig
+from repro.hw.nic.virtualization import VirtualizedFpga
+from repro.hw.platform import Machine
+from repro.hw.switch import ToRSwitch
+from repro.rpc.messages import RpcKind, RpcPacket
+from repro.sim import Simulator
+
+
+def make_vfpga():
+    sim = Simulator()
+    machine = Machine(sim)
+    switch = ToRSwitch(sim, machine.calibration, loopback=True)
+    return sim, machine, VirtualizedFpga(machine, switch)
+
+
+def test_instantiates_eight_nics():
+    _, machine, vfpga = make_vfpga()
+    for i in range(8):
+        vfpga.add_nic(f"tier{i}", hard=NicHardConfig(num_flows=2))
+    assert len(vfpga) == 8
+    assert len(machine.fpga.nics) == 8
+
+
+def test_duplicate_address_rejected():
+    _, _, vfpga = make_vfpga()
+    vfpga.add_nic("a")
+    with pytest.raises(ValueError):
+        vfpga.add_nic("a")
+
+
+def test_capacity_limit_enforced():
+    _, _, vfpga = make_vfpga()
+    huge = NicHardConfig(num_flows=512, connection_cache_entries=65_536)
+    vfpga.add_nic("big0", hard=huge)
+    with pytest.raises(ValueError, match="utilization"):
+        for i in range(8):
+            vfpga.add_nic(f"big{i + 1}", hard=huge)
+
+
+def test_instances_share_endpoints():
+    _, machine, vfpga = make_vfpga()
+    a = vfpga.add_nic("a")
+    b = vfpga.add_nic("b")
+    assert a.interface.endpoint is b.interface.endpoint
+    assert a.interface.endpoint is machine.fpga.upi_endpoint
+
+
+def test_cross_nic_traffic_through_switch():
+    sim, _, vfpga = make_vfpga()
+    a = vfpga.add_nic("a", hard=NicHardConfig(num_flows=1))
+    b = vfpga.add_nic("b", hard=NicHardConfig(num_flows=1))
+    a.open_connection(1, 0, "b")
+    b.open_connection(1, 0, "a")
+
+    def proc():
+        yield from a.send_from_host(
+            0, RpcPacket(RpcKind.REQUEST, 1, "m", b"", 64)
+        )
+
+    sim.spawn(proc())
+    sim.run()
+    assert b.monitor.delivered_rpcs == 1
+    assert vfpga.mux.total_lines >= 2  # fetch at a + delivery at b

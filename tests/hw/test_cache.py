@@ -1,0 +1,80 @@
+"""Unit tests for the direct-mapped cache and the HCC."""
+
+import pytest
+
+from repro.hw.cache import DirectMappedCache, HostCoherentCache
+
+
+def test_miss_then_hit():
+    cache = DirectMappedCache(16)
+    hit, value = cache.lookup("a")
+    assert not hit and value is None
+    cache.insert("a", 1)
+    hit, value = cache.lookup("a")
+    assert hit and value == 1
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_conflict_eviction():
+    cache = DirectMappedCache(1)  # every key maps to slot 0
+    cache.insert("a", 1)
+    cache.insert("b", 2)
+    assert cache.evictions == 1
+    hit, _ = cache.lookup("a")
+    assert not hit
+    hit, value = cache.lookup("b")
+    assert hit and value == 2
+
+
+def test_update_same_key_is_not_eviction():
+    cache = DirectMappedCache(4)
+    cache.insert("a", 1)
+    cache.insert("a", 2)
+    assert cache.evictions == 0
+    assert cache.lookup("a") == (True, 2)
+
+
+def test_invalidate():
+    cache = DirectMappedCache(8)
+    cache.insert("a", 1)
+    assert cache.invalidate("a")
+    assert not cache.invalidate("a")
+    hit, _ = cache.lookup("a")
+    assert not hit
+
+
+def test_invalidate_wrong_key_in_slot():
+    cache = DirectMappedCache(1)
+    cache.insert("a", 1)
+    cache.insert("b", 2)  # evicts a
+    assert not cache.invalidate("a")
+    assert cache.lookup("b") == (True, 2)
+
+
+def test_occupancy_and_hit_rate():
+    cache = DirectMappedCache(64)
+    assert cache.hit_rate == 0.0
+    for i in range(10):
+        cache.insert(i, i)
+    assert cache.occupancy <= 10
+    for i in range(10):
+        cache.lookup(i)
+    assert 0.0 < cache.hit_rate <= 1.0
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ValueError):
+        DirectMappedCache(0)
+
+
+def test_hcc_dimensions():
+    hcc = HostCoherentCache()
+    assert hcc.size_bytes == 128 * 1024  # §4.1: 128 KB
+    assert hcc.line_bytes == 64
+    assert hcc.num_entries == 2048
+
+
+def test_hcc_rejects_unaligned_size():
+    with pytest.raises(ValueError):
+        HostCoherentCache(size_bytes=1000, line_bytes=64)

@@ -1,0 +1,75 @@
+"""Unit tests for the calibration constants and helpers."""
+
+import pytest
+
+from repro.hw.calibration import APP_SERVICE_TIMES_NS, Calibration, DEFAULT_CALIBRATION
+
+
+def test_default_anchor_single_core_budget():
+    # cpu_tx + cpu_rx ~ 80 ns -> ~12.4 Mrps per core (Fig 10 anchor).
+    cal = DEFAULT_CALIBRATION
+    per_rpc = cal.cpu_tx_ns + cal.cpu_rx_ns
+    assert 60 <= per_rpc <= 90
+
+
+def test_doorbell_anchor():
+    cal = DEFAULT_CALIBRATION
+    # One doorbell per request lands near 232 ns total CPU (4.3 Mrps).
+    total = (cal.cpu_tx_ns + cal.cpu_rx_ns + cal.doorbell_ring_ns
+             + cal.mmio_doorbell_ns)
+    assert 210 <= total <= 250
+
+
+def test_upi_flow_read_is_batch1_bound():
+    cal = DEFAULT_CALIBRATION
+    assert abs(1e9 / cal.upi_flow_read_ns / 1e6 - 8.1) < 0.3
+
+
+def test_endpoint_caps():
+    cal = DEFAULT_CALIBRATION
+    raw_cap_mrps = 1e9 / cal.upi_endpoint_line_ns / 1e6
+    assert 75 <= raw_cap_mrps <= 90  # Fig 11 right, red line plateau
+
+
+def test_oneway_latencies():
+    cal = DEFAULT_CALIBRATION
+    assert cal.upi_oneway_ns == 400  # §4.4
+    assert cal.pcie_dma_oneway_ns == 450  # §5.3
+    assert cal.upi_oneway_ns < cal.pcie_dma_oneway_ns
+
+
+def test_lines_for():
+    cal = DEFAULT_CALIBRATION
+    assert cal.lines_for(0) == 1
+    assert cal.lines_for(1) == 1
+    assert cal.lines_for(64) == 1
+    assert cal.lines_for(65) == 2
+    assert cal.lines_for(128) == 2
+    assert cal.lines_for(129) == 3
+
+
+def test_lines_for_rejects_negative():
+    with pytest.raises(ValueError):
+        DEFAULT_CALIBRATION.lines_for(-1)
+
+
+def test_with_overrides_makes_copy():
+    cal = DEFAULT_CALIBRATION
+    modified = cal.with_overrides(upi_oneway_ns=999)
+    assert modified.upi_oneway_ns == 999
+    assert cal.upi_oneway_ns == 400
+    assert modified.cpu_tx_ns == cal.cpu_tx_ns
+
+
+def test_calibration_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_CALIBRATION.upi_oneway_ns = 1
+
+
+def test_app_service_times_present():
+    for key in ("memcached_get", "memcached_set", "mica_get", "mica_set"):
+        assert APP_SERVICE_TIMES_NS[key] > 0
+    assert (APP_SERVICE_TIMES_NS["memcached_set"]
+            > APP_SERVICE_TIMES_NS["memcached_get"])
+    assert (APP_SERVICE_TIMES_NS["mica_get"]
+            < APP_SERVICE_TIMES_NS["memcached_get"])

@@ -1,0 +1,107 @@
+"""Unit tests for the Ethernet port and ToR switch models."""
+
+import pytest
+
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.ethernet import ETHERNET_OVERHEAD_BYTES, MIN_FRAME_BYTES, EthernetPort
+from repro.hw.switch import ToRSwitch, UnknownDestinationError
+from repro.sim import Simulator
+
+CAL = DEFAULT_CALIBRATION
+
+
+# -------------------------------------------------------------- Ethernet
+
+
+def test_frame_bytes_min_size():
+    port = EthernetPort(Simulator(), CAL)
+    assert port.frame_bytes(1) == MIN_FRAME_BYTES + ETHERNET_OVERHEAD_BYTES
+    assert port.frame_bytes(64) == 64 + ETHERNET_OVERHEAD_BYTES
+    assert port.frame_bytes(1500) == 1500 + ETHERNET_OVERHEAD_BYTES
+
+
+def test_serialization_time_scales():
+    port = EthernetPort(Simulator(), CAL)
+    assert port.serialization_ns(64) < port.serialization_ns(1500)
+    # 100 GbE: a minimum frame serializes in a handful of ns.
+    assert port.serialization_ns(64) <= 10
+
+
+def test_transmit_occupies_port_serially():
+    sim = Simulator()
+    port = EthernetPort(sim, CAL)
+    finishes = []
+
+    def sender():
+        yield from port.transmit(1500)
+        finishes.append(sim.now)
+
+    sim.spawn(sender())
+    sim.spawn(sender())
+    sim.run()
+    assert finishes[1] == 2 * finishes[0]
+    assert port.frames == 2
+    assert port.bytes == 2 * port.frame_bytes(1500)
+
+
+def test_transmit_rejects_negative():
+    sim = Simulator()
+    port = EthernetPort(sim, CAL)
+
+    def sender():
+        yield from port.transmit(-1)
+
+    with pytest.raises(ValueError):
+        sim.run_until_done(sim.spawn(sender()))
+
+
+# ------------------------------------------------------------------ Switch
+
+
+def test_switch_delivers_after_delay():
+    sim = Simulator()
+    switch = ToRSwitch(sim, CAL, loopback=False)
+    received = []
+    switch.register("dst", lambda pkt: received.append((pkt, sim.now)))
+    switch.send("dst", "hello")
+    sim.run()
+    assert received == [("hello", CAL.tor_delay_ns)]
+
+
+def test_switch_loopback_delay():
+    sim = Simulator()
+    switch = ToRSwitch(sim, CAL, loopback=True)
+    assert switch.delay_ns == CAL.loopback_delay_ns
+
+
+def test_switch_explicit_delay_wins():
+    sim = Simulator()
+    switch = ToRSwitch(sim, CAL, loopback=True, delay_ns=5)
+    assert switch.delay_ns == 5
+
+
+def test_switch_unknown_destination():
+    sim = Simulator()
+    switch = ToRSwitch(sim, CAL)
+    with pytest.raises(UnknownDestinationError):
+        switch.send("nowhere", "pkt")
+
+
+def test_switch_duplicate_registration():
+    sim = Simulator()
+    switch = ToRSwitch(sim, CAL)
+    switch.register("a", lambda pkt: None)
+    with pytest.raises(ValueError):
+        switch.register("a", lambda pkt: None)
+
+
+def test_switch_counts_and_addresses():
+    sim = Simulator()
+    switch = ToRSwitch(sim, CAL)
+    switch.register("b", lambda pkt: None)
+    switch.register("a", lambda pkt: None)
+    switch.send("a", 1)
+    switch.send("b", 2)
+    sim.run()
+    assert switch.packets_forwarded == 2
+    assert switch.addresses() == ["a", "b"]

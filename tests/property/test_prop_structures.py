@@ -1,0 +1,93 @@
+"""Property-based tests for core data structures against model oracles."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kvs.hashtable import ChainedHashTable
+from repro.apps.kvs.mica import MicaServer
+from repro.hw.cache import DirectMappedCache
+from repro.sim import Zipfian, percentile
+
+_keys = st.binary(min_size=1, max_size=6)
+_values = st.binary(min_size=0, max_size=8)
+
+
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["set", "get", "delete"]), _keys, _values),
+    max_size=200,
+), buckets=st.integers(min_value=1, max_value=16))
+@settings(max_examples=80, deadline=None)
+def test_hashtable_matches_dict_model(ops, buckets):
+    table = ChainedHashTable(buckets)
+    model = {}
+    for op, key, value in ops:
+        if op == "set":
+            table.set(key, value)
+            model[key] = value
+        elif op == "get":
+            assert table.get(key) == model.get(key)
+        else:
+            assert table.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(table) == len(model)
+    assert dict(table.items()) == model
+
+
+@given(ops=st.lists(st.tuples(_keys, _values), max_size=150),
+       entries=st.integers(min_value=1, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_direct_mapped_cache_never_lies(ops, entries):
+    """A hit always returns the last value inserted for that key."""
+    cache = DirectMappedCache(entries)
+    last_written = {}
+    for key, value in ops:
+        cache.insert(key, value)
+        last_written[key] = value
+        hit, got = cache.lookup(key)
+        assert hit and got == value  # just-inserted key always hits
+    for key in last_written:
+        hit, got = cache.lookup(key)
+        if hit:
+            assert got == last_written[key]
+    assert cache.occupancy <= entries
+
+
+@given(
+    pairs=st.lists(st.tuples(_keys, _values), min_size=1, max_size=100,
+                   unique_by=lambda kv: kv[0]),
+    partitions=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_mica_partitions_form_a_partition(pairs, partitions):
+    """Every key lives in exactly one partition — the EREW invariant."""
+    server = MicaServer(num_partitions=partitions)
+    server.populate(pairs)
+    assert server.total_items == len(pairs)
+    for key, value in pairs:
+        holders = [p.index for p in server.partitions
+                   if p.table.get(key) is not None]
+        assert holders == [server.owner_of(key)]
+        assert server.do_get(key) == value
+
+
+@given(n=st.integers(min_value=1, max_value=10_000),
+       theta=st.floats(min_value=0.5, max_value=1.2),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=60, deadline=None)
+def test_zipfian_samples_in_range(n, theta, seed):
+    dist = Zipfian(n, theta=theta, rng=seed)
+    for _ in range(50):
+        assert 0 <= dist.sample() < n
+    assert 0.0 <= dist.hot_fraction(n) <= 1.0 + 1e-9
+
+
+@given(samples=st.lists(st.integers(min_value=0, max_value=10 ** 9),
+                        min_size=1, max_size=200),
+       pcts=st.lists(st.floats(min_value=0, max_value=100), min_size=2,
+                     max_size=10))
+@settings(max_examples=80, deadline=None)
+def test_percentile_monotone_and_bounded(samples, pcts):
+    values = [percentile(samples, p) for p in sorted(pcts)]
+    assert values == sorted(values)
+    for value in values:
+        assert min(samples) <= value <= max(samples)

@@ -1,0 +1,35 @@
+"""Unit tests for the IDL pretty-printer."""
+
+from repro.rpc.idl import parse_idl
+from repro.rpc.idl.ast_nodes import format_idl
+
+SOURCE = """
+Message Pair {
+    int32 a;
+    char[16] b;
+}
+Service S {
+    rpc swap(Pair) returns(Pair);
+}
+"""
+
+
+def test_format_round_trips():
+    idl = parse_idl(SOURCE)
+    printed = format_idl(idl)
+    reparsed = parse_idl(printed)
+    assert reparsed.messages == idl.messages
+    assert reparsed.services == idl.services
+
+
+def test_format_layout():
+    printed = format_idl(parse_idl(SOURCE))
+    assert "Message Pair {" in printed
+    assert "    char[16] b;" in printed
+    assert "    rpc swap(Pair) returns(Pair);" in printed
+    assert printed.endswith("}\n")
+
+
+def test_format_empty_message():
+    printed = format_idl(parse_idl("Message Empty {}"))
+    assert printed == "Message Empty {\n}\n"

@@ -1,0 +1,173 @@
+"""Unit tests for the IDL lexer, parser, and code generator."""
+
+import pytest
+
+from repro.rpc.errors import SerializationError
+from repro.rpc.idl import IdlSyntaxError, generate_python, load_idl, parse_idl, tokenize
+
+LISTING_1 = """
+Message GetRequest {
+    int32 timestamp;
+    char[32] key;
+}
+Message GetResponse {
+    int32 timestamp;
+    char[32] value;
+}
+Message SetRequest {
+    int32 timestamp;
+    char[32] key;
+    char[32] value;
+}
+Message SetResponse {
+    int32 timestamp;
+}
+Service KeyValueStore {
+    rpc get(GetRequest) returns(GetResponse);
+    rpc set(SetRequest) returns(SetResponse);
+}
+"""
+
+
+# ------------------------------------------------------------------- lexer
+
+
+def test_tokenize_kinds():
+    tokens = tokenize("Message M { int32 x; }")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["keyword", "ident", "punct", "ident", "ident",
+                     "punct", "punct", "eof"]
+
+
+def test_tokenize_comments():
+    tokens = tokenize("# comment\n// another\nMessage M {}")
+    assert tokens[0].value == "Message"
+    assert tokens[0].line == 3
+
+
+def test_tokenize_tracks_lines():
+    tokens = tokenize("Message\nM\n{\n}")
+    assert [t.line for t in tokens[:4]] == [1, 2, 3, 4]
+
+
+def test_tokenize_bad_character():
+    with pytest.raises(IdlSyntaxError, match="line 1"):
+        tokenize("Message M { int32 $x; }")
+
+
+# ------------------------------------------------------------------ parser
+
+
+def test_parse_listing_1():
+    idl = parse_idl(LISTING_1)
+    assert [m.name for m in idl.messages] == [
+        "GetRequest", "GetResponse", "SetRequest", "SetResponse"]
+    assert idl.message("GetRequest").byte_size == 36
+    service = idl.services[0]
+    assert service.name == "KeyValueStore"
+    assert [(r.name, r.request_type, r.response_type) for r in service.rpcs] \
+        == [("get", "GetRequest", "GetResponse"),
+            ("set", "SetRequest", "SetResponse")]
+
+
+def test_parse_empty_message():
+    idl = parse_idl("Message Empty {}")
+    assert idl.message("Empty").byte_size == 0
+
+
+def test_parse_unknown_type():
+    with pytest.raises(IdlSyntaxError, match="unknown type"):
+        parse_idl("Message M { string s; }")
+
+
+def test_parse_missing_semicolon():
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("Message M { int32 x }")
+
+
+def test_parse_undefined_rpc_type():
+    with pytest.raises(ValueError, match="undefined Message"):
+        parse_idl("Service S { rpc f(Nope) returns(Nope); }")
+
+
+def test_parse_duplicate_message_names():
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_idl("Message M { int32 x; } Message M { int32 y; }")
+
+
+def test_parse_duplicate_field_names():
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("Message M { int32 x; int32 x; }")
+
+
+def test_parse_top_level_garbage():
+    with pytest.raises(IdlSyntaxError, match="expected 'Message'"):
+        parse_idl("Banana B {}")
+
+
+# ----------------------------------------------------------------- codegen
+
+
+def test_generated_module_exports():
+    namespace = load_idl(LISTING_1)
+    for name in ("GetRequest", "GetResponse", "SetRequest", "SetResponse",
+                 "KeyValueStoreClient", "KeyValueStoreServicer"):
+        assert name in namespace
+    assert set(namespace["__all__"]) >= {"GetRequest", "KeyValueStoreClient"}
+
+
+def test_generated_message_roundtrip():
+    namespace = load_idl(LISTING_1)
+    GetRequest = namespace["GetRequest"]
+    request = GetRequest(timestamp=9, key=b"abc")
+    data = request.pack()
+    assert len(data) == GetRequest.BYTE_SIZE == 36
+    again = GetRequest.unpack(data)
+    assert again == request
+    assert again.timestamp == 9
+    assert again.key.rstrip(b"\x00") == b"abc"
+
+
+def test_generated_message_defaults():
+    namespace = load_idl(LISTING_1)
+    request = namespace["GetRequest"]()
+    assert request.timestamp == 0
+    assert request.key == b""
+    assert len(request.pack()) == 36
+
+
+def test_generated_message_repr_and_eq():
+    namespace = load_idl(LISTING_1)
+    GetRequest = namespace["GetRequest"]
+    a = GetRequest(timestamp=1, key=b"k")
+    assert "timestamp=1" in repr(a)
+    assert a != GetRequest(timestamp=2, key=b"k")
+    assert a.__eq__(42) is NotImplemented
+
+
+def test_generated_unpack_length_check():
+    namespace = load_idl(LISTING_1)
+    with pytest.raises(SerializationError):
+        namespace["GetRequest"].unpack(b"short")
+
+
+def test_generated_pack_oversize_char():
+    namespace = load_idl(LISTING_1)
+    request = namespace["GetRequest"](timestamp=1, key=b"x" * 33)
+    with pytest.raises(SerializationError):
+        request.pack()
+
+
+def test_servicer_unimplemented_raises():
+    namespace = load_idl(LISTING_1)
+    servicer = namespace["KeyValueStoreServicer"]()
+    with pytest.raises(NotImplementedError):
+        servicer.get(None, None)
+
+
+def test_generated_source_is_valid_python():
+    source = generate_python(LISTING_1)
+    compile(source, "<test>", "exec")
+    assert "class GetRequest:" in source
+    assert "class KeyValueStoreClient:" in source
+    assert "Do not edit" in source

@@ -1,0 +1,102 @@
+"""Unit tests for wire serialization of IDL messages."""
+
+import pytest
+
+from repro.rpc.errors import SerializationError
+from repro.rpc.idl.ast_nodes import FieldDef, MessageDef
+from repro.rpc.serialization import decode, encode, roundtrip_check, struct_format
+
+KV = MessageDef("KvRequest", (
+    FieldDef("timestamp", "int32"),
+    FieldDef("key", "char", 32),
+))
+
+
+def test_struct_format():
+    assert struct_format(KV) == "<i32s"
+
+
+def test_byte_size():
+    assert KV.byte_size == 36
+
+
+def test_encode_decode_roundtrip():
+    values = {"timestamp": 42, "key": b"hello"}
+    data = encode(KV, values)
+    assert len(data) == 36
+    decoded = decode(KV, data)
+    assert decoded["timestamp"] == 42
+    assert decoded["key"] == b"hello".ljust(32, b"\x00")
+
+
+def test_str_keys_are_encoded():
+    data = encode(KV, {"timestamp": 1, "key": "text-key"})
+    assert decode(KV, data)["key"].startswith(b"text-key")
+
+
+def test_missing_field_rejected():
+    with pytest.raises(SerializationError, match="missing"):
+        encode(KV, {"timestamp": 1})
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(SerializationError, match="unknown"):
+        encode(KV, {"timestamp": 1, "key": b"", "extra": 2})
+
+
+def test_oversized_char_field_rejected():
+    with pytest.raises(SerializationError, match="exceeds"):
+        encode(KV, {"timestamp": 1, "key": b"x" * 33})
+
+
+def test_wrong_scalar_type_rejected():
+    with pytest.raises(SerializationError):
+        encode(KV, {"timestamp": "not an int", "key": b""})
+
+
+def test_out_of_range_scalar_rejected():
+    with pytest.raises(SerializationError):
+        encode(KV, {"timestamp": 2 ** 40, "key": b""})
+
+
+def test_decode_wrong_length_rejected():
+    with pytest.raises(SerializationError, match="expected 36 bytes"):
+        decode(KV, b"\x00" * 35)
+
+
+def test_float_fields():
+    message = MessageDef("F", (FieldDef("value", "float64"),))
+    data = encode(message, {"value": 3.25})
+    assert decode(message, data)["value"] == 3.25
+
+
+def test_all_scalar_widths():
+    message = MessageDef("Widths", (
+        FieldDef("a", "int8"), FieldDef("b", "uint8"),
+        FieldDef("c", "int16"), FieldDef("d", "uint16"),
+        FieldDef("e", "int32"), FieldDef("f", "uint32"),
+        FieldDef("g", "int64"), FieldDef("h", "uint64"),
+    ))
+    assert message.byte_size == 1 + 1 + 2 + 2 + 4 + 4 + 8 + 8
+    values = dict(a=-1, b=255, c=-2, d=65535, e=-3, f=1, g=-4, h=2 ** 63)
+    assert decode(message, encode(message, values)) == values
+
+
+def test_roundtrip_check_helper():
+    assert roundtrip_check(KV, {"timestamp": 5, "key": b"abc"})
+
+
+def test_field_def_validation():
+    with pytest.raises(ValueError):
+        FieldDef("x", "string")
+    with pytest.raises(ValueError):
+        FieldDef("x", "int32", array_len=4)  # arrays only for char
+    with pytest.raises(ValueError):
+        FieldDef("x", "char")  # bare char not allowed
+    with pytest.raises(ValueError):
+        FieldDef("x", "char", array_len=0)
+
+
+def test_message_def_duplicate_fields():
+    with pytest.raises(ValueError):
+        MessageDef("M", (FieldDef("a", "int32"), FieldDef("a", "int32")))

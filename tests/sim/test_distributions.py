@@ -1,0 +1,122 @@
+"""Unit tests for the seeded distributions."""
+
+import random
+
+import pytest
+
+from repro.sim import Constant, Empirical, Exponential, LogNormal, Uniform, Zipfian
+
+
+def test_constant():
+    dist = Constant(42)
+    assert dist.sample() == 42
+    assert dist.mean() == 42
+    assert dist.sample_ns() == 42
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        Constant(-1)
+
+
+def test_exponential_mean_converges():
+    dist = Exponential(mean=100.0, rng=1)
+    samples = [dist.sample() for _ in range(20000)]
+    assert sum(samples) / len(samples) == pytest.approx(100.0, rel=0.05)
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        Exponential(0)
+
+
+def test_uniform_bounds():
+    dist = Uniform(10, 20, rng=2)
+    for _ in range(1000):
+        value = dist.sample()
+        assert 10 <= value <= 20
+    assert dist.mean() == 15
+
+
+def test_lognormal_mean_converges():
+    dist = LogNormal(mean=500.0, sigma=0.5, rng=3)
+    samples = [dist.sample() for _ in range(40000)]
+    assert sum(samples) / len(samples) == pytest.approx(500.0, rel=0.05)
+
+
+def test_lognormal_positive():
+    dist = LogNormal(mean=10.0, sigma=1.0, rng=4)
+    assert all(dist.sample() > 0 for _ in range(1000))
+
+
+def test_empirical_respects_weights():
+    dist = Empirical([(1, 0.9), (100, 0.1)], rng=5)
+    samples = [dist.sample() for _ in range(20000)]
+    ones = sum(1 for s in samples if s == 1)
+    assert ones / len(samples) == pytest.approx(0.9, abs=0.02)
+    assert dist.mean() == pytest.approx(0.9 * 1 + 0.1 * 100)
+
+
+def test_empirical_rejects_empty_and_bad_weights():
+    with pytest.raises(ValueError):
+        Empirical([])
+    with pytest.raises(ValueError):
+        Empirical([(1, -1)])
+    with pytest.raises(ValueError):
+        Empirical([(1, 0)])
+
+
+def test_zipfian_rank_zero_is_hottest():
+    dist = Zipfian(1000, theta=0.99, rng=6)
+    counts = {}
+    for _ in range(50000):
+        rank = dist.sample()
+        assert 0 <= rank < 1000
+        counts[rank] = counts.get(rank, 0) + 1
+    assert counts[0] == max(counts.values())
+    # At theta=0.99 the hottest key draws a noticeable share of traffic.
+    assert counts[0] / 50000 > 0.08
+
+
+def test_zipfian_skew_ordering():
+    mild = Zipfian(100000, theta=0.99, rng=7)
+    extreme = Zipfian(100000, theta=0.9999, rng=7)
+    assert extreme.hot_fraction(100) > mild.hot_fraction(100) * 0.99
+
+
+def test_zipfian_hot_fraction_monotone():
+    dist = Zipfian(10000, theta=0.99, rng=8)
+    assert dist.hot_fraction(1) < dist.hot_fraction(10) < dist.hot_fraction(100)
+    assert dist.hot_fraction(0) == 0.0
+
+
+def test_zipfian_large_keyspace_is_memory_compact():
+    # 200M keys, as in the paper's MICA dataset; table must stay small.
+    dist = Zipfian(200_000_000, theta=0.99, rng=9)
+    assert len(dist._cumulative) < Zipfian.HEAD_EXACT + 64
+    for _ in range(1000):
+        assert 0 <= dist.sample() < 200_000_000
+
+
+def test_zipfian_single_item():
+    dist = Zipfian(1, theta=0.99, rng=10)
+    assert dist.sample() == 0
+
+
+def test_zipfian_rejects_bad_args():
+    with pytest.raises(ValueError):
+        Zipfian(0)
+    with pytest.raises(ValueError):
+        Zipfian(10, theta=0)
+
+
+def test_distributions_are_deterministic_with_seed():
+    a = [Exponential(10, rng=11).sample() for _ in range(5)]
+    b = [Exponential(10, rng=11).sample() for _ in range(5)]
+    assert a == b
+
+
+def test_shared_rng_instance():
+    rng = random.Random(12)
+    dist = Uniform(0, 1, rng=rng)
+    assert dist.rng is rng

@@ -1,0 +1,270 @@
+"""Unit tests for the DES event loop and processes."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator, SimulationError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+        return sim.now
+
+    handle = sim.spawn(proc())
+    assert sim.run_until_done(handle) == 100
+    assert sim.now == 100
+
+
+def test_zero_delay_timeout_runs_same_time():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(0)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def proc(name, delay):
+        yield sim.timeout(delay)
+        order.append((name, sim.now))
+
+    sim.spawn(proc("a", 10))
+    sim.spawn(proc("b", 5))
+    sim.spawn(proc("c", 10))
+    sim.run()
+    assert order == [("b", 5), ("a", 10), ("c", 10)]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(7)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(3)
+        return "payload"
+
+    def outer():
+        result = yield sim.spawn(inner())
+        return result + "!"
+
+    handle = sim.spawn(outer())
+    assert sim.run_until_done(handle) == "payload!"
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(1)
+        return 5
+
+    def outer(child):
+        yield sim.timeout(50)  # child finished long ago
+        value = yield child
+        return value
+
+    child = sim.spawn(inner())
+    handle = sim.spawn(outer(child))
+    assert sim.run_until_done(handle) == 5
+    assert sim.now == 50
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    results = []
+
+    def waiter():
+        value = yield gate
+        results.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(42)
+        gate.succeed("open")
+
+    sim.spawn(waiter())
+    sim.spawn(opener())
+    sim.run()
+    assert results == [(42, "open")]
+
+
+def test_event_double_trigger_is_error():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    handle = sim.spawn(waiter())
+    sim.spawn(failer())
+    assert sim.run_until_done(handle) == "caught boom"
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("broken")
+
+    def outer():
+        try:
+            yield sim.spawn(bad())
+        except RuntimeError as exc:
+            return str(exc)
+
+    handle = sim.spawn(outer())
+    assert sim.run_until_done(handle) == "broken"
+
+
+def test_unobserved_process_exception_surfaces():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("unhandled")
+
+    sim.spawn(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+            log.append("slept full")
+        except Interrupt as interrupt:
+            log.append(("interrupted", sim.now, interrupt.cause))
+
+    def interrupter(target):
+        yield sim.timeout(10)
+        target.interrupt("wake up")
+
+    target = sim.spawn(sleeper())
+    sim.spawn(interrupter(target))
+    sim.run()
+    assert log == [("interrupted", 10, "wake up")]
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    handle = sim.spawn(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        handle.interrupt()
+
+
+def test_run_until_leaves_future_events_pending():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(100)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=50)
+    assert sim.now == 50
+    assert seen == []
+    sim.run()
+    assert seen == [100]
+
+
+def test_run_until_past_is_error():
+    sim = Simulator()
+    sim.run(until=10)
+    with pytest.raises(SimulationError):
+        sim.run(until=5)
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    handle = sim.spawn(bad())
+    with pytest.raises(SimulationError, match="must[\\s\\S]*yield Event"):
+        sim.run_until_done(handle)
+
+
+def test_deadlock_detected_by_run_until_done():
+    sim = Simulator()
+    gate = sim.event()  # never triggered
+
+    def stuck():
+        yield gate
+
+    handle = sim.spawn(stuck())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_done(handle)
+
+
+def test_deep_chain_of_immediate_events_no_recursion_error():
+    sim = Simulator()
+
+    def proc():
+        for _ in range(5000):
+            yield sim.timeout(0)
+        return sim.now
+
+    handle = sim.spawn(proc())
+    assert sim.run_until_done(handle) == 0

@@ -1,0 +1,77 @@
+"""Additional kernel coverage: peek, Event.ok, process naming, fail API."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.timeout(25)
+    sim.timeout(10)
+    assert sim.peek() == 10
+
+
+def test_event_ok_semantics():
+    sim = Simulator()
+    good = sim.event()
+    assert not good.ok
+    good.succeed()
+    assert good.ok
+    bad = sim.event()
+    bad.fail(RuntimeError("x"))
+    assert bad.triggered and not bad.ok
+    # The failure is consumed by this check; drain without waiters raising
+    # would be wrong here, so attach a swallow callback.
+    bad.callbacks.append(lambda e: None)
+    good.callbacks.append(lambda e: None)
+    sim.run()
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_process_name_defaults_to_generator_name():
+    sim = Simulator()
+
+    def my_proc():
+        yield sim.timeout(1)
+
+    handle = sim.spawn(my_proc())
+    assert handle.name == "my_proc"
+    assert handle.is_alive
+    sim.run()
+    assert not handle.is_alive
+
+
+def test_run_until_done_propagates_failure():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise KeyError("boom")
+
+    handle = sim.spawn(bad())
+    with pytest.raises(KeyError):
+        sim.run_until_done(handle)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(5, value="payload")
+        return value
+
+    assert sim.run_until_done(sim.spawn(proc())) == "payload"
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        event.succeed(delay=-1)

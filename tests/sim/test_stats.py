@@ -1,0 +1,94 @@
+"""Unit tests for statistics helpers."""
+
+import pytest
+
+from repro.sim import LatencyRecorder, SummaryStats, percentile
+from repro.sim.stats import merge_recorders
+
+
+def test_percentile_basics():
+    data = list(range(1, 101))
+    assert percentile(data, 0) == 1
+    assert percentile(data, 100) == 100
+    assert percentile(data, 50) == pytest.approx(50.5)
+
+
+def test_percentile_single_sample():
+    assert percentile([7], 99) == 7.0
+
+
+def test_percentile_interpolates():
+    assert percentile([10, 20], 25) == pytest.approx(12.5)
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range_raises():
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_summary_stats_fields():
+    stats = SummaryStats.from_samples([1000, 2000, 3000, 4000])
+    assert stats.count == 4
+    assert stats.mean_ns == pytest.approx(2500)
+    assert stats.min_ns == 1000
+    assert stats.max_ns == 4000
+    assert stats.p50_us == pytest.approx(2.5)
+
+
+def test_summary_stats_empty_raises():
+    with pytest.raises(ValueError):
+        SummaryStats.from_samples([])
+
+
+def test_recorder_records_latency():
+    recorder = LatencyRecorder()
+    recorder.record(100, 300)
+    recorder.record(200, 700)
+    assert recorder.count == 2
+    assert sorted(recorder.samples) == [200, 500]
+
+
+def test_recorder_warmup_discards():
+    recorder = LatencyRecorder(warmup_ns=1000)
+    recorder.record(0, 500)  # finishes inside warmup
+    recorder.record(900, 1500)
+    assert recorder.count == 1
+    assert recorder.discarded == 1
+
+
+def test_recorder_rejects_time_travel():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(100, 50)
+
+
+def test_recorder_throughput():
+    recorder = LatencyRecorder()
+    # 11 finishes spaced 100 ns apart -> 10 intervals over 1000 ns = 1e7 rps.
+    for i in range(11):
+        recorder.record(i * 100, i * 100 + 50)
+    assert recorder.throughput_rps() == pytest.approx(1e10 / 1000)
+    assert recorder.throughput_mrps() == pytest.approx(10.0)
+
+
+def test_recorder_throughput_needs_samples():
+    recorder = LatencyRecorder()
+    recorder.record(0, 10)
+    with pytest.raises(ValueError):
+        recorder.throughput_rps()
+
+
+def test_merge_recorders():
+    a = LatencyRecorder()
+    b = LatencyRecorder()
+    a.record(0, 100)
+    b.record(50, 250)
+    merged = merge_recorders([a, b])
+    assert merged.count == 2
+    assert merged.first_finish_ns == 100
+    assert merged.last_finish_ns == 250

@@ -1,0 +1,77 @@
+"""Tests for Store.on_get observation (used by credit flow control)."""
+
+from repro.sim import Simulator, Store
+
+
+def test_on_get_fires_for_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    seen = []
+    store.on_get = seen.append
+    store.try_put("a")
+    assert store.try_get() == "a"
+    assert seen == ["a"]
+
+
+def test_on_get_fires_for_blocking_get():
+    sim = Simulator()
+    store = Store(sim)
+    seen = []
+    store.on_get = seen.append
+
+    def consumer():
+        item = yield store.get()
+        return item
+
+    def producer():
+        yield sim.timeout(5)
+        yield store.put("x")
+
+    handle = sim.spawn(consumer())
+    sim.spawn(producer())
+    assert sim.run_until_done(handle) == "x"
+    assert seen == ["x"]
+
+
+def test_on_get_fires_on_direct_handoff():
+    sim = Simulator()
+    store = Store(sim)
+    seen = []
+    store.on_get = seen.append
+
+    def consumer():
+        yield store.get()
+
+    sim.spawn(consumer())
+    sim.run()
+    store.try_put("direct")
+    assert seen == ["direct"]
+
+
+def test_on_get_fires_when_get_unblocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    seen = []
+    store.on_get = seen.append
+
+    def producer():
+        yield store.put("a")
+        yield store.put("b")  # blocks until a consumer drains
+
+    def consumer():
+        yield sim.timeout(10)
+        first = yield store.get()
+        second = yield store.get()
+        return first, second
+
+    sim.spawn(producer())
+    handle = sim.spawn(consumer())
+    assert sim.run_until_done(handle) == ("a", "b")
+    assert seen == ["a", "b"]
+
+
+def test_no_hook_by_default():
+    sim = Simulator()
+    store = Store(sim)
+    store.try_put(1)
+    assert store.try_get() == 1  # simply no crash

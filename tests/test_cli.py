@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import _REGISTRY, main
+
+
+def test_registry_covers_every_paper_artifact():
+    expected = {"table1", "table3", "table4", "fig3", "fig4", "fig5",
+                "fig10", "fig11-load", "fig11-scale", "fig12", "fig15",
+                "sec53"}
+    assert set(_REGISTRY) == expected
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out
+    assert "Table 3" in out
+
+
+def test_run_cheap_experiments(capsys):
+    assert main(["run", "table1", "sec53", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "UPI" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_calibration_command(capsys):
+    assert main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "upi_oneway_ns" in out
+    assert "400" in out
+
+
+def test_resources_command(capsys):
+    assert main(["resources", "--flows", "64",
+                 "--connections", "65536"]) == 0
+    out = capsys.readouterr().out
+    assert "LUTs" in out
+    assert "20.0%" in out
+
+
+def test_resources_with_extensions(capsys):
+    assert main(["resources", "--hw-reassembly", "--reliable"]) == 0
+    out = capsys.readouterr().out
+    assert "instances fitting" in out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

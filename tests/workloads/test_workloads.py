@@ -1,0 +1,78 @@
+"""Unit tests for the workload/dataset generators."""
+
+import pytest
+
+from repro.workloads import (
+    DATASETS,
+    MEDIA_SIZES,
+    SOCIAL_NETWORK_SIZES,
+    WORKLOAD_MIXES,
+    request_size_cdf,
+    sample_sizes,
+)
+from repro.workloads.kv_datasets import DEFAULT_SKEW, HIGH_SKEW
+
+
+# ----------------------------------------------------------------- sizes
+
+
+def test_fig4_headline_cdf_points():
+    requests, responses = sample_sizes(SOCIAL_NETWORK_SIZES, 2000)
+    assert request_size_cdf(requests, 512) >= 0.75
+    assert request_size_cdf(responses, 64) >= 0.90
+
+
+def test_per_tier_medians():
+    assert SOCIAL_NETWORK_SIZES["text"].median_request() == 580
+    for tier in ("media", "user", "unique_id"):
+        assert SOCIAL_NETWORK_SIZES[tier].median_request() <= 64
+
+
+def test_small_tiers_never_exceed_64b():
+    # "the Media, User, and UniqueID services never have RPCs larger than
+    # 64B" (§3.2).
+    for tier in ("media", "user", "unique_id"):
+        sizes = SOCIAL_NETWORK_SIZES[tier]
+        assert max(v for v, _ in sizes.request_points) <= 64
+
+
+def test_media_sizes_present_and_sane():
+    requests, responses = sample_sizes(MEDIA_SIZES, 1000)
+    assert request_size_cdf(responses, 64) >= 0.90
+    assert MEDIA_SIZES["review_text"].median_request() >= 512
+
+
+def test_distributions_sample_declared_points():
+    sizes = SOCIAL_NETWORK_SIZES["text"]
+    dist = sizes.request_dist(rng=1)
+    declared = {v for v, _ in sizes.request_points}
+    assert all(dist.sample() in declared for _ in range(200))
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(ValueError):
+        request_size_cdf([], 64)
+
+
+# --------------------------------------------------------------- datasets
+
+
+def test_dataset_shapes():
+    tiny = DATASETS["tiny"]
+    small = DATASETS["small"]
+    assert (tiny.key_bytes, tiny.value_bytes) == (8, 8)
+    assert (small.key_bytes, small.value_bytes) == (16, 32)
+    assert tiny.num_keys("mica") == 200_000_000
+    assert tiny.num_keys("memcached") == 10_000_000
+
+
+def test_dataset_unknown_system():
+    with pytest.raises(ValueError):
+        DATASETS["tiny"].num_keys("redis")
+
+
+def test_mixes():
+    assert WORKLOAD_MIXES["write-intensive"] == 0.50
+    assert WORKLOAD_MIXES["read-intensive"] == 0.95
+    assert DEFAULT_SKEW == 0.99
+    assert HIGH_SKEW == 0.9999
