@@ -8,6 +8,9 @@ Commands:
 - ``calibration`` — dump the timing-model constants and their anchors.
 - ``resources [--flows N] [--connections N] [...]`` — estimate the FPGA
   footprint of a NIC configuration (Table 1's estimator).
+- ``trace [--stack S] [--interface I] [...]`` — run a traced echo
+  benchmark and print the per-RPC stage breakdown plus the unified
+  metrics-registry snapshot (optionally dumping spans as JSON lines).
 """
 
 from __future__ import annotations
@@ -178,6 +181,41 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.harness.report import render_breakdown, render_metrics
+    from repro.harness.runner import EchoRig
+    from repro.obs import JsonLinesSink, dump_metrics, dump_trace
+
+    try:
+        rig = EchoRig(
+            stack_name=args.stack,
+            interface=args.interface,
+            batch_size=args.batch,
+            num_threads=args.threads,
+            trace=True,
+        )
+        if args.open_loop_mrps is not None:
+            result = rig.open_loop(args.open_loop_mrps, nreq=args.nreq)
+        else:
+            result = rig.closed_loop(window=args.window, nreq=args.nreq)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(render_breakdown(
+        result.breakdown,
+        title=f"Per-stage latency breakdown ({args.stack}/{args.interface}, "
+              f"{result.count} RPCs, {result.throughput_mrps:.2f} Mrps)",
+    ))
+    print()
+    print(render_metrics(result.metrics))
+    if args.jsonl:
+        with JsonLinesSink(args.jsonl) as sink:
+            emitted = dump_trace(rig.tracer, sink)
+            dump_metrics(rig.registry, sink)
+        print(f"\nwrote {emitted + 1} records to {args.jsonl}")
+    return 0
+
+
 def cmd_calibration(_args) -> int:
     from dataclasses import fields
 
@@ -229,6 +267,22 @@ def main(argv=None) -> int:
     run_parser.add_argument("experiments", nargs="+",
                             help="experiment ids (or 'all')")
     sub.add_parser("calibration", help="dump timing-model constants")
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run a traced echo benchmark; print the per-stage breakdown",
+    )
+    trace_parser.add_argument("--stack", default="dagger")
+    trace_parser.add_argument("--interface", default="upi")
+    trace_parser.add_argument("--batch", type=int, default=1)
+    trace_parser.add_argument("--threads", type=int, default=1)
+    trace_parser.add_argument("--window", type=int, default=8,
+                              help="closed-loop in-flight window per client")
+    trace_parser.add_argument("--nreq", type=int, default=4000)
+    trace_parser.add_argument("--open-loop-mrps", type=float, default=None,
+                              help="use Poisson open-loop at this load "
+                                   "instead of the closed loop")
+    trace_parser.add_argument("--jsonl", default=None, metavar="PATH",
+                              help="also dump spans + metrics as JSON lines")
     resources_parser = sub.add_parser(
         "resources", help="estimate a NIC configuration's FPGA footprint"
     )
@@ -245,6 +299,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "calibration": cmd_calibration,
         "resources": cmd_resources,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

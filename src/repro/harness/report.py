@@ -39,6 +39,46 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def render_breakdown(breakdown, title: str = "Per-stage latency breakdown") -> str:
+    """Render a repro.obs.Breakdown as a Fig 3-style table.
+
+    One row per pipeline stage (p50/mean in us, share of the end-to-end
+    p50), plus a footer comparing the sum of stage p50s against the
+    measured end-to-end p50 — the consistency check the tracer is for.
+    """
+    rows = [(label, f"{p50_us:.3f}", f"{mean_us:.3f}", f"{share:.1%}", count)
+            for label, p50_us, mean_us, share, count in breakdown.rows()]
+    table = render_table(
+        ["stage", "p50 us", "mean us", "share", "count"], rows, title=title
+    )
+    lines = [table]
+    if breakdown.e2e is not None:
+        stage_sum_us = breakdown.stage_p50_sum_ns / 1000.0
+        e2e_us = breakdown.e2e.p50_us
+        deviation = (stage_sum_us / e2e_us - 1.0) if e2e_us else 0.0
+        lines.append(
+            f"stage p50 sum = {stage_sum_us:.3f} us vs end-to-end p50 = "
+            f"{e2e_us:.3f} us ({deviation:+.1%}); "
+            f"{breakdown.spans_used} spans"
+            + (f", {breakdown.spans_skipped} skipped (warmup/incomplete)"
+               if breakdown.spans_skipped else "")
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict, title: str = "Metrics registry") -> str:
+    """Render a MetricsRegistry snapshot as one flat component/metric table."""
+    rows = []
+    for component in sorted(snapshot):
+        for name in sorted(snapshot[component]):
+            value = snapshot[component][name]
+            if isinstance(value, dict):  # histogram summary
+                value = ", ".join(f"{k}={_fmt(v)}"
+                                  for k, v in sorted(value.items()))
+            rows.append((component, name, value))
+    return render_table(["component", "metric", "value"], rows, title=title)
+
+
 def compare_row(name: str, paper: Optional[float], measured: float,
                 unit: str = "") -> str:
     """One 'paper vs measured' line for EXPERIMENTS.md-style output."""

@@ -23,6 +23,13 @@ from repro.hw.cpu import SoftwareThread
 from repro.hw.nic.config import NicHardConfig, NicSoftConfig
 from repro.hw.platform import Machine, MachineConfig
 from repro.hw.switch import ToRSwitch
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracer,
+    attach_tracer,
+    breakdown,
+    register_dagger_nic,
+)
 from repro.rpc import RpcClient, RpcThreadedServer, ThreadingModel
 from repro.sim import Exponential, LatencyRecorder, Simulator
 from repro.stacks import DaggerStack, connect, make_stack
@@ -43,13 +50,24 @@ class BenchResult:
     count: int
     drops: int
     offered_mrps: Optional[float] = None
+    #: Per-stage latency breakdown (repro.obs.Breakdown) when the rig ran
+    #: with tracing enabled; None otherwise.
+    breakdown: Optional[object] = None
+    #: Metrics-registry snapshot dict when tracing was enabled.
+    metrics: Optional[dict] = None
 
     @classmethod
     def from_recorder(cls, recorder: LatencyRecorder, drops: int,
-                      offered_mrps: Optional[float] = None) -> "BenchResult":
+                      offered_mrps: Optional[float] = None,
+                      breakdown: Optional[object] = None,
+                      metrics: Optional[dict] = None) -> "BenchResult":
         stats = recorder.summary()
+        # Throughput needs a measurement window; a single-sample run (e.g.
+        # nreq=1 smoke tests) reports latency only.
+        throughput = (recorder.throughput_mrps() if recorder.count >= 2
+                      else 0.0)
         return cls(
-            throughput_mrps=recorder.throughput_mrps(),
+            throughput_mrps=throughput,
             p50_us=stats.p50_us,
             p90_us=stats.p90_us,
             p99_us=stats.p99_us,
@@ -57,6 +75,8 @@ class BenchResult:
             count=recorder.count,
             drops=drops,
             offered_mrps=offered_mrps,
+            breakdown=breakdown,
+            metrics=metrics,
         )
 
 
@@ -94,6 +114,7 @@ class EchoRig:
         rx_ring_entries: int = 256,
         hard_overrides: Optional[dict] = None,
         seed: int = 1,
+        trace: bool = False,
     ):
         self.sim = Simulator()
         self.machine = Machine(self.sim, MachineConfig(), calibration, seed=seed)
@@ -151,9 +172,50 @@ class EchoRig:
             )
         self.server.start()
 
+        # Observability: the registry always absorbs the NIC stats (reading
+        # it is snapshot-time work); the span tracer only exists when asked
+        # for, so untraced runs keep every hook at `tracer is None`.
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[SpanTracer] = None
+        nics = [stack.nic for stack in (self.client_stack, self.server_stack)
+                if isinstance(stack, DaggerStack)]
+        for nic, role in zip(nics, ("client", "server")):
+            register_dagger_nic(self.registry, nic, component=f"nic.{role}")
+        if trace:
+            self.tracer = SpanTracer()
+            attach_tracer(self.tracer, self.clients)
+            attach_tracer(self.tracer, self.server.server_threads)
+            attach_tracer(self.tracer, nics)
+            attach_tracer(self.tracer, [nic.interface for nic in nics])
+
     @property
     def drops(self) -> int:
         return self.client_stack.drops + self.server_stack.drops
+
+    def _client_quotas(self, nreq: int) -> List[int]:
+        """Split ``nreq`` across the clients without dropping the remainder.
+
+        The first ``nreq % num_clients`` clients issue one extra request, so
+        every requested RPC is issued regardless of divisibility (and small
+        ``nreq`` can no longer leave target == 0, which used to hang).
+        """
+        if nreq < 1:
+            raise ValueError(f"nreq must be >= 1, got {nreq}")
+        base, extra = divmod(nreq, len(self.clients))
+        return [base + (1 if i < extra else 0)
+                for i in range(len(self.clients))]
+
+    def _traced_result(self, recorder: LatencyRecorder, warmup_ns: int,
+                       offered_mrps: Optional[float] = None) -> BenchResult:
+        """Build a BenchResult, attaching breakdown/metrics when traced."""
+        bd = snap = None
+        if self.tracer is not None:
+            bd = breakdown(self.tracer, warmup_ns=warmup_ns)
+            snap = self.registry.snapshot()
+        return BenchResult.from_recorder(
+            recorder, self.drops, offered_mrps=offered_mrps,
+            breakdown=bd, metrics=snap,
+        )
 
     # -- measurement loops -----------------------------------------------------
 
@@ -163,8 +225,8 @@ class EchoRig:
         recorder = LatencyRecorder(warmup_ns=warmup_ns)
         sim = self.sim
         done = sim.event()
-        per_client = nreq // len(self.clients)
-        state = {"completed": 0, "target": per_client * len(self.clients)}
+        quotas = self._client_quotas(nreq)
+        state = {"completed": 0, "target": nreq}
 
         def on_complete(call):
             recorder.record(call.issued_at, call.completed_at)
@@ -172,9 +234,9 @@ class EchoRig:
             if state["completed"] >= state["target"] and not done.triggered:
                 done.succeed()
 
-        def issue(client):
+        def issue(client, quota):
             issued = 0
-            while issued < per_client:
+            while issued < quota:
                 while client.outstanding >= window:
                     yield sim.timeout(100)
                 issued += 1
@@ -183,8 +245,8 @@ class EchoRig:
                     callback=on_complete,
                 )
 
-        for client in self.clients:
-            sim.spawn(issue(client))
+        for client, quota in zip(self.clients, quotas):
+            sim.spawn(issue(client, quota))
 
         def waiter():
             yield done
@@ -201,7 +263,7 @@ class EchoRig:
             for client in self.clients:
                 client.fail_pending("dropped by the fabric")
         sim.run()
-        return BenchResult.from_recorder(recorder, self.drops)
+        return self._traced_result(recorder, warmup_ns)
 
     def open_loop(self, load_mrps: float, nreq: int = 20000,
                   warmup_ns: int = 200_000, seed: int = 7) -> BenchResult:
@@ -215,16 +277,16 @@ class EchoRig:
         recorder = LatencyRecorder(warmup_ns=warmup_ns)
         sim = self.sim
         done = sim.event()
-        per_client = nreq // len(self.clients)
-        state = {"completed": 0, "target": per_client * len(self.clients)}
+        quotas = self._client_quotas(nreq)
+        state = {"completed": 0, "target": nreq}
         interarrival = Exponential(
             mean=len(self.clients) * 1000.0 / load_mrps, rng=seed
         )
 
-        def issue(client):
+        def issue(client, quota):
             issued = 0
             next_arrival = sim.now
-            while issued < per_client:
+            while issued < quota:
                 gap = interarrival.sample_ns()
                 next_arrival += gap
                 if next_arrival > sim.now:
@@ -244,16 +306,15 @@ class EchoRig:
                     callback=on_complete,
                 )
 
-        for client in self.clients:
-            sim.spawn(issue(client))
+        for client, quota in zip(self.clients, quotas):
+            sim.spawn(issue(client, quota))
 
         def waiter():
             yield done
 
         sim.run_until_done(sim.spawn(waiter()))
-        return BenchResult.from_recorder(
-            recorder, self.drops, offered_mrps=load_mrps
-        )
+        return self._traced_result(recorder, warmup_ns,
+                                   offered_mrps=load_mrps)
 
 
 def run_closed_loop(stack_name: str = "dagger", interface: str = "upi",

@@ -37,6 +37,9 @@ class CpuNicInterface:
 
     name: str = "base"
     mode: TransferMode = TransferMode.FETCH
+    #: Optional repro.obs.SpanTracer; transfers are bulk events (a CCI-P
+    #: read moves a whole batch), so they are aggregated per component.
+    tracer = None
 
     def __init__(
         self,
@@ -99,3 +102,5 @@ class CpuNicInterface:
     def _account(self, lines: int) -> None:
         self.lines_transferred += lines
         self.transactions += 1
+        if self.tracer is not None:
+            self.tracer.record_transfer(self.name, lines, self.sim.now)

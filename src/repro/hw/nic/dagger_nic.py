@@ -44,6 +44,9 @@ def next_connection_id() -> int:
 class DaggerNic:
     """One NIC instance (one tenant's "virtual but physical" NIC, Fig 14)."""
 
+    #: Optional repro.obs.SpanTracer; None keeps the data paths hook-free.
+    tracer = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -201,6 +204,8 @@ class DaggerNic:
         if packet.kind is RpcKind.REQUEST:
             packet.src_flow = flow_id
         packet.stamp("sw_tx", self.sim.now)
+        if self.tracer is not None:
+            self.tracer.record_packet(packet, "sw_tx", self.sim.now)
         if self.interface.mode is TransferMode.PUSH:
             # WQE-by-MMIO: payload crosses as CPU-issued MMIO writes; no
             # ring, no fetch FSM.
@@ -221,6 +226,8 @@ class DaggerNic:
         yield from self.interface.host_to_nic(lines)
         self.monitor.fetched_rpcs += 1
         packet.stamp("nic_fetched", self.sim.now)
+        if self.tracer is not None:
+            self.tracer.record_packet(packet, "nic_fetched", self.sim.now)
         self.enqueue_egress(flow_id, packet)
 
     def enqueue_egress(self, flow_id: int, packet: RpcPacket) -> None:
@@ -262,6 +269,8 @@ class DaggerNic:
         yield self.sim.timeout(cal.nic_transport_cycles * cal.nic_cycle_ns)
         yield from self.eth.transmit(packet.wire_bytes)
         packet.stamp("wire_tx", self.sim.now)
+        if self.tracer is not None:
+            self.tracer.record_packet(packet, "wire_tx", self.sim.now)
         self.monitor.tx_rpcs += 1
         self.switch.send(packet.dst_address, packet)
 
@@ -271,6 +280,8 @@ class DaggerNic:
         """Switch-facing entry point (runs at packet arrival time)."""
         self.monitor.rx_rpcs += 1
         packet.stamp("nic_rx", self.sim.now)
+        if self.tracer is not None:
+            self.tracer.record_packet(packet, "nic_rx", self.sim.now)
         self._ingress_queue.try_put(packet)
 
     def _ingress_unit(self) -> Generator:

@@ -131,10 +131,13 @@ class TxPath:
         nic = self.nic
         rings = nic.flow_rings[flow_id]
         yield from nic.interface.nic_to_host(lines)
+        tracer = nic.tracer
         for pkt in batch:
             pkt.stamp("host_delivered", nic.sim.now)
             if rings.rx_ring.try_put(pkt):
                 nic.monitor.delivered_rpcs += 1
+                if tracer is not None:
+                    tracer.record_packet(pkt, "host_delivered", nic.sim.now)
                 if nic.transport is not None:
                     nic.transport.on_delivered(pkt)
             else:

@@ -1,0 +1,61 @@
+"""Observability layer: per-RPC span tracing + a unified metrics registry.
+
+The paper's headline results (Figs 3, 10, 11) are per-RPC latency
+*breakdowns* — where, between client issue and response completion, the
+nanoseconds go. This package provides the substrate for producing them
+from any simulated run:
+
+- :class:`SpanTracer` (``repro.obs.trace``) — records per-RPC lifecycle
+  events in simulated time, fed by lightweight hooks in the RPC runtime,
+  the NIC RX/TX paths, and the interconnect models. Off by default: every
+  hook site is a single ``tracer is not None`` check, so untraced runs pay
+  nothing.
+- :class:`MetricsRegistry` (``repro.obs.registry``) — counters, gauges,
+  and histograms keyed by component name, plus collectors that absorb the
+  existing scattered stats objects (``PacketMonitor``, ``TransportStats``,
+  ``FlowControlStats``, interconnect transfer counters) behind one
+  ``snapshot()`` API.
+- Sinks (``repro.obs.sinks``) — in-memory for tests, JSON-lines for
+  offline analysis.
+- :func:`breakdown` (``repro.obs.breakdown``) — folds a trace into the
+  Fig 3-style per-stage latency table.
+
+See docs/observability.md for a walkthrough.
+"""
+
+from repro.obs.breakdown import Breakdown, StageStats, breakdown
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    register_dagger_nic,
+)
+from repro.obs.sinks import InMemorySink, JsonLinesSink, dump_metrics, dump_trace
+from repro.obs.trace import (
+    CANONICAL_POINTS,
+    RpcSpan,
+    SpanTracer,
+    attach_tracer,
+    packet_point,
+)
+
+__all__ = [
+    "Breakdown",
+    "StageStats",
+    "breakdown",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "register_dagger_nic",
+    "InMemorySink",
+    "JsonLinesSink",
+    "dump_metrics",
+    "dump_trace",
+    "CANONICAL_POINTS",
+    "RpcSpan",
+    "SpanTracer",
+    "attach_tracer",
+    "packet_point",
+]

@@ -1,0 +1,186 @@
+"""Unified metrics registry: counters, gauges, histograms + collectors.
+
+The repository grew several scattered stats objects — ``PacketMonitor``,
+``TransportStats``, ``FlowControlStats``, per-interface transfer counters.
+They stay where they are (the hardware models own them, like soft
+registers in the RTL), but a :class:`MetricsRegistry` absorbs them behind
+one ``snapshot()`` API so the harness can report every component's state
+uniformly.
+
+Two kinds of entries:
+
+- *typed metrics* created through :meth:`MetricsRegistry.counter`,
+  :meth:`~MetricsRegistry.gauge`, :meth:`~MetricsRegistry.histogram` —
+  owned by the registry, updated by callers;
+- *collectors* registered through :meth:`MetricsRegistry.register` — a
+  callable (or an object with ``snapshot()``, or a stats dataclass) read
+  at snapshot time, so hardware counters are never copied on the hot path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.stats import percentile
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up (inc by {n})")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (queue depth, credits outstanding, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A sample accumulator summarized at snapshot time."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self):
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    def summary(self) -> dict:
+        if not self.samples:
+            return {"count": 0}
+        data = sorted(self.samples)
+        return {
+            "count": len(data),
+            "mean": sum(data) / len(data),
+            "p50": percentile(data, 50, presorted=True),
+            "p90": percentile(data, 90, presorted=True),
+            "p99": percentile(data, 99, presorted=True),
+            "min": data[0],
+            "max": data[-1],
+        }
+
+
+class MetricsRegistry:
+    """Metrics keyed by ``(component, name)`` with a single snapshot API."""
+
+    def __init__(self):
+        self._counters: Dict[str, Dict[str, Counter]] = {}
+        self._gauges: Dict[str, Dict[str, Gauge]] = {}
+        self._histograms: Dict[str, Dict[str, Histogram]] = {}
+        self._collectors: Dict[str, Dict[str, Callable[[], dict]]] = {}
+
+    # -- typed metrics -------------------------------------------------------
+
+    def counter(self, component: str, name: str) -> Counter:
+        return self._get_or_create(self._counters, component, name, Counter)
+
+    def gauge(self, component: str, name: str) -> Gauge:
+        return self._get_or_create(self._gauges, component, name, Gauge)
+
+    def histogram(self, component: str, name: str) -> Histogram:
+        return self._get_or_create(self._histograms, component, name,
+                                   Histogram)
+
+    @staticmethod
+    def _get_or_create(table, component: str, name: str, factory):
+        metrics = table.setdefault(component, {})
+        metric = metrics.get(name)
+        if metric is None:
+            metric = factory()
+            metrics[name] = metric
+        return metric
+
+    # -- collectors (absorbing existing stats objects) -----------------------
+
+    def register(self, component: str, source, name: str = "") -> None:
+        """Attach an existing stats source to a component.
+
+        ``source`` may be a zero-arg callable returning a dict, an object
+        with a ``snapshot()`` method (e.g. ``PacketMonitor``), or a stats
+        dataclass instance (``TransportStats``, ``FlowControlStats``);
+        it is re-read on every :meth:`snapshot`. ``name`` disambiguates
+        several sources on one component.
+        """
+        if callable(source):
+            collect = source
+        elif hasattr(source, "snapshot") and callable(source.snapshot):
+            collect = source.snapshot
+        elif dataclasses.is_dataclass(source) and not isinstance(source, type):
+            collect = lambda obj=source: dataclasses.asdict(obj)  # noqa: E731
+        else:
+            raise TypeError(
+                f"cannot collect from {type(source).__name__}: need a "
+                "callable, a .snapshot() method, or a stats dataclass"
+            )
+        self._collectors.setdefault(component, {})[name] = collect
+
+    # -- reading -------------------------------------------------------------
+
+    def components(self) -> List[str]:
+        names = set(self._counters) | set(self._gauges)
+        names |= set(self._histograms) | set(self._collectors)
+        return sorted(names)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """One nested plain-dict view of every component's metrics."""
+        out: Dict[str, dict] = {}
+        for component in self.components():
+            metrics: dict = {}
+            for name, collect in self._collectors.get(component, {}).items():
+                collected = collect()
+                if name:
+                    collected = {f"{name}.{k}": v
+                                 for k, v in collected.items()}
+                metrics.update(collected)
+            for name, counter in self._counters.get(component, {}).items():
+                metrics[name] = counter.value
+            for name, gauge in self._gauges.get(component, {}).items():
+                metrics[name] = gauge.value
+            for name, hist in self._histograms.get(component, {}).items():
+                metrics[name] = hist.summary()
+            out[component] = metrics
+        return out
+
+
+def register_dagger_nic(registry: MetricsRegistry, nic,
+                        component: Optional[str] = None) -> None:
+    """Absorb one ``DaggerNic``'s scattered stats into the registry.
+
+    Registers the packet monitor, the reliable-transport and flow-control
+    stats when those §4.5 units are enabled, and the interconnect transfer
+    counters — everything an experiment previously had to reach into
+    individual objects for.
+    """
+    component = component or f"nic.{nic.address}"
+    registry.register(component, nic.monitor)
+    if nic.transport is not None:
+        registry.register(component, nic.transport.stats, name="transport")
+    if nic.flow_control is not None:
+        registry.register(component, nic.flow_control.stats,
+                          name="flow_control")
+    interface = nic.interface
+    registry.register(
+        component,
+        lambda iface=interface: {
+            "lines_transferred": iface.lines_transferred,
+            "transactions": iface.transactions,
+        },
+        name="interconnect",
+    )

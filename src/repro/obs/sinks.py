@@ -1,0 +1,78 @@
+"""Trace/metrics sinks: in-memory for tests, JSON-lines for analysis.
+
+A sink is anything with ``emit(record: dict)``; records are flat,
+JSON-serializable dicts tagged with a ``type`` key (``"span"``,
+``"transfer"``, ``"metrics"``). The JSON-lines format means a traced run
+can be post-processed with standard tooling (``jq``, pandas) without the
+simulator in the loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+
+class InMemorySink:
+    """Collects records in a list (the test sink)."""
+
+    def __init__(self):
+        self.records: List[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonLinesSink:
+    """Appends one JSON object per record to a file (or open stream)."""
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._file: Optional[IO[str]] = open(target, "w")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+
+    def emit(self, record: dict) -> None:
+        if self._file is None:
+            raise ValueError("sink is closed")
+        self._file.write(json.dumps(record, sort_keys=True))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        if self._file is not None and self._owns_file:
+            self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def dump_trace(tracer, sink) -> int:
+    """Emit every span (and transfer aggregate) of a tracer to a sink.
+
+    Returns the number of records emitted.
+    """
+    emitted = 0
+    for span in tracer.spans():
+        sink.emit(span.to_record())
+        emitted += 1
+    for component, agg in sorted(tracer.transfers.items()):
+        sink.emit({"type": "transfer", "component": component, **agg})
+        emitted += 1
+    return emitted
+
+
+def dump_metrics(registry, sink) -> None:
+    """Emit one metrics-snapshot record for a registry."""
+    sink.emit({"type": "metrics", "snapshot": registry.snapshot()})

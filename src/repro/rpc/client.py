@@ -86,6 +86,9 @@ class RpcClient:
     the default; per-call override via the ``connection_id`` argument.
     """
 
+    #: Optional repro.obs.SpanTracer; None keeps the issue path hook-free.
+    tracer = None
+
     def __init__(
         self,
         port,
@@ -147,6 +150,8 @@ class RpcClient:
         call = RpcCall(self.sim, packet, callback=callback)
         self._pending[packet.rpc_id] = call
         self.calls_issued += 1
+        if self.tracer is not None:
+            self.tracer.record(packet.rpc_id, "req_issue", self.sim.now)
         yield from self.thread.exec(self.port.cpu_tx_ns(packet))
         yield from self.port.send(packet)
         return call
@@ -176,6 +181,9 @@ class RpcClient:
                 continue  # late duplicate or cancelled call
             packet.stamp("sw_rx", self.sim.now)
             self.calls_completed += 1
+            if self.tracer is not None:
+                self.tracer.record(packet.rpc_id, "resp_complete",
+                                   self.sim.now)
             call._complete(packet, self.sim.now)
             self.completion_queue.push(call)
 

@@ -70,6 +70,9 @@ class HandlerContext:
 class RpcServerThread:
     """One server event loop: a flow's RX ring + its dispatch thread."""
 
+    #: Optional repro.obs.SpanTracer; None keeps the dispatch path hook-free.
+    tracer = None
+
     def __init__(
         self,
         server: "RpcThreadedServer",
@@ -114,6 +117,9 @@ class RpcServerThread:
         while True:
             packet = yield self.port.rx_ring.get()
             packet.stamp("server_rx", self.sim.now)
+            if self.tracer is not None:
+                self.tracer.record(packet.rpc_id, "req_dispatch",
+                                   self.sim.now)
             yield from self.thread.exec(
                 self.port.cpu_rx_ns(packet) + calibration.cpu_dispatch_ns
             )
@@ -133,7 +139,12 @@ class RpcServerThread:
     def _handle(self, thread: SoftwareThread, packet: RpcPacket) -> Generator:
         handler = self.server.handler_for(packet.method)
         context = HandlerContext(self.server, thread, packet)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(packet.rpc_id, "handler_start", self.sim.now)
         result = yield from handler(context, packet.payload)
+        if tracer is not None:
+            tracer.record(packet.rpc_id, "handler_done", self.sim.now)
         response_payload, response_bytes = result
         response = packet.make_response(response_payload, response_bytes)
         yield from thread.exec(self.port.cpu_tx_ns(response))

@@ -56,9 +56,13 @@ class ReliableTransport:
         self.max_retries = max_retries
         self.stats = TransportStats()
         self._retries: Dict[Tuple[int, int], int] = {}
-        # sender side: (connection) -> next seq; (connection, seq) -> packet
+        # sender side: connection -> next seq; connection -> {seq: packet}.
+        # Each per-connection buffer holds seqs in ascending insertion order
+        # (first transmissions assign increasing seqs; retransmissions only
+        # re-assign a key that is still present, which keeps its position),
+        # so a cumulative ACK frees a prefix without scanning the rest.
         self._next_seq: Dict[int, int] = {}
-        self._unacked: Dict[Tuple[int, int], RpcPacket] = {}
+        self._unacked: Dict[int, Dict[int, RpcPacket]] = {}
         # receiver side: (connection, peer) -> highest contiguous seq
         self._delivered: Dict[Tuple[int, str], int] = {}
         self._out_of_order: Dict[Tuple[int, str], set] = {}
@@ -75,13 +79,13 @@ class ReliableTransport:
             self._next_seq[packet.connection_id] = seq + 1
             packet.seq = seq
             self.stats.data_packets += 1
-        self._unacked[(packet.connection_id, packet.seq)] = packet
-        self.stats.buffered_peak = max(self.stats.buffered_peak,
-                                       len(self._unacked))
+        buffer = self._unacked.setdefault(packet.connection_id, {})
+        buffer[packet.seq] = packet
+        self.stats.buffered_peak = max(self.stats.buffered_peak, self.unacked)
 
     @property
     def unacked(self) -> int:
-        return len(self._unacked)
+        return sum(len(buffer) for buffer in self._unacked.values())
 
     # -- ingress (receiver) -------------------------------------------------------
 
@@ -137,23 +141,38 @@ class ReliableTransport:
             raise ValueError(f"unknown control method {packet.method!r}")
 
     def _handle_ack(self, connection_id: int, upto_seq: int) -> None:
-        stale = [key for key in self._unacked
-                 if key[0] == connection_id and key[1] <= upto_seq]
-        for key in stale:
-            del self._unacked[key]
+        buffer = self._unacked.get(connection_id)
+        if buffer is None:
+            return
+        # Ascending-seq invariant: stop at the first seq beyond the ACK
+        # instead of scanning every buffered packet of every connection.
+        freed = []
+        for seq in buffer:
+            if seq > upto_seq:
+                break
+            freed.append(seq)
+        retries = self._retries
+        for seq in freed:
+            del buffer[seq]
+            retries.pop((connection_id, seq), None)
+        if not buffer:
+            del self._unacked[connection_id]
 
     def _handle_nack(self, connection_id: int, seq: int) -> None:
-        key = (connection_id, seq)
-        packet = self._unacked.get(key)
+        buffer = self._unacked.get(connection_id, {})
+        packet = buffer.get(seq)
         if packet is None:
             # ACKed and freed before the NACK arrived: nothing to resend.
             self.stats.lost_unrecoverable += 1
             return
+        key = (connection_id, seq)
         retries = self._retries.get(key, 0)
         if retries >= self.max_retries:
             # A receiver that never drains: give up like a real transport
             # (otherwise NACK/retransmit livelocks the fabric).
-            del self._unacked[key]
+            del buffer[seq]
+            if not buffer:
+                del self._unacked[connection_id]
             self._retries.pop(key, None)
             self.stats.lost_unrecoverable += 1
             return

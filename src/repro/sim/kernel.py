@@ -152,7 +152,14 @@ class Simulator:
     # -- execution ----------------------------------------------------------
 
     def step(self) -> None:
-        """Process the next scheduled event."""
+        """Process the next scheduled event.
+
+        Raises :class:`SimulationError` when nothing is scheduled, like the
+        kernel's other misuse paths (rather than leaking a bare
+        ``IndexError`` from the heap).
+        """
+        if not self._heap:
+            raise SimulationError("no scheduled events")
         when, _, event = heapq.heappop(self._heap)
         self.now = when
         event._run_callbacks()

@@ -1,6 +1,5 @@
 """Integration tests for the built applications (scaled-down runs)."""
 
-import pytest
 
 from repro.apps.microservices.flight import DEFAULT_MIX, build_flight_app
 from repro.apps.microservices.media import (

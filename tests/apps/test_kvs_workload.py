@@ -4,7 +4,6 @@ import pytest
 
 from repro.apps.kvs import run_kvs_workload
 from repro.apps.kvs.client import encode_key, generate_ops, kvs_idl, make_value
-from repro.rpc.errors import SerializationError
 
 
 def test_kvs_idl_shapes():

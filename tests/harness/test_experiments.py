@@ -1,7 +1,6 @@
 """Tests for the cheap experiment entry points (expensive ones are
 exercised by the benchmark suite)."""
 
-import pytest
 
 from repro.harness.experiments import (
     FIG10_PAPER,

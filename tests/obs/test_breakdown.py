@@ -1,0 +1,101 @@
+"""Tests for the Fig 3-style breakdown, including the end-to-end smoke test
+the tentpole's acceptance criterion names: with tracing enabled on a
+dagger/UPI echo run, the per-stage table's p50s must sum to within 5% of
+the measured end-to-end p50.
+"""
+
+from repro.obs import RpcSpan, SpanTracer, breakdown
+from repro.obs.breakdown import STAGES
+from repro.obs.trace import CANONICAL_POINTS
+
+
+def full_span(rpc_id, start, step=100):
+    span = RpcSpan(rpc_id)
+    for i, point in enumerate(CANONICAL_POINTS):
+        span.events[point] = start + i * step
+    return span
+
+
+def test_full_span_produces_canonical_stage_labels():
+    bd = breakdown([full_span(1, 0)])
+    assert [s.label for s in bd.stages] == [label for _, _, label in STAGES]
+    assert all(s.p50_ns == 100 for s in bd.stages)
+    assert bd.spans_used == 1
+    assert bd.e2e.p50_ns == 100 * (len(CANONICAL_POINTS) - 1)
+    # Contiguous stages always sum exactly to the end-to-end latency.
+    assert bd.stage_p50_sum_ns == bd.e2e.p50_ns
+
+
+def test_missing_points_merge_into_wider_stages():
+    span = RpcSpan(1)
+    span.events["req_issue"] = 0
+    span.events["req_dispatch"] = 700
+    span.events["resp_complete"] = 1000
+    bd = breakdown([span])
+    assert [s.label for s in bd.stages] == [
+        "req_issue -> req_dispatch",
+        "req_dispatch -> resp_complete",
+    ]
+    assert [s.p50_ns for s in bd.stages] == [700, 300]
+    assert bd.stage_p50_sum_ns == bd.e2e.p50_ns == 1000
+
+
+def test_incomplete_spans_are_skipped():
+    incomplete = RpcSpan(2)
+    incomplete.events["req_issue"] = 0  # never completed (dropped)
+    bd = breakdown([full_span(1, 0), incomplete])
+    assert bd.spans_used == 1
+    assert bd.spans_skipped == 1
+
+
+def test_warmup_filter_matches_latency_recorder_semantics():
+    early = full_span(1, 0)
+    late = full_span(2, 1_000_000)
+    bd = breakdown([early, late], warmup_ns=500_000)
+    assert bd.spans_used == 1
+    assert bd.spans_skipped == 1
+
+
+def test_breakdown_accepts_a_tracer():
+    tracer = SpanTracer()
+    for point, t in full_span(9, 0).events.items():
+        tracer.record(9, point, t)
+    bd = breakdown(tracer)
+    assert bd.spans_used == 1
+
+
+def test_as_dict_is_json_friendly():
+    import json
+
+    bd = breakdown([full_span(1, 0)])
+    payload = json.dumps(bd.as_dict())
+    assert "stage_p50_sum_ns" in payload
+
+
+def test_dagger_upi_breakdown_sums_to_e2e_p50():
+    """Acceptance criterion: stage p50 sum within 5% of measured e2e p50."""
+    from repro.harness.runner import EchoRig
+
+    rig = EchoRig(stack_name="dagger", interface="upi", trace=True)
+    result = rig.closed_loop(window=4, nreq=1500)
+    bd = result.breakdown
+    assert bd is not None
+    assert bd.spans_used > 0
+    # Every canonical stage shows up on a fully-hooked Dagger run.
+    assert [s.label for s in bd.stages] == [label for _, _, label in STAGES]
+    e2e_p50 = result.p50_us * 1000.0
+    assert abs(bd.stage_p50_sum_ns - e2e_p50) / e2e_p50 < 0.05
+    # The registry snapshot rode along on the result.
+    assert result.metrics is not None
+    assert result.metrics["nic.client"]["tx_rpcs"] >= 1500
+    assert result.metrics["nic.server"]["interconnect.transactions"] > 0
+
+
+def test_untraced_run_carries_no_breakdown():
+    from repro.harness.runner import EchoRig
+
+    rig = EchoRig(stack_name="dagger", interface="upi")
+    result = rig.closed_loop(window=4, nreq=200, warmup_ns=0)
+    assert result.breakdown is None
+    assert result.metrics is None
+    assert rig.tracer is None

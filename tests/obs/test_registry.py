@@ -1,0 +1,111 @@
+"""Unit tests for the metrics registry (repro.obs.registry)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import MetricsRegistry, register_dagger_nic
+from repro.rpc.transport import TransportStats
+
+
+def test_counter_gauge_histogram_roundtrip():
+    registry = MetricsRegistry()
+    registry.counter("nic", "drops").inc()
+    registry.counter("nic", "drops").inc(4)
+    registry.gauge("nic", "occupancy").set(0.5)
+    hist = registry.histogram("nic", "batch")
+    for v in (1, 2, 3, 4):
+        hist.observe(v)
+    snap = registry.snapshot()
+    assert snap["nic"]["drops"] == 5
+    assert snap["nic"]["occupancy"] == 0.5
+    assert snap["nic"]["batch"]["count"] == 4
+    assert snap["nic"]["batch"]["p50"] == 2.5
+    assert snap["nic"]["batch"]["min"] == 1
+    assert snap["nic"]["batch"]["max"] == 4
+
+
+def test_counters_reject_negative_increments():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("c", "n").inc(-1)
+
+
+def test_empty_histogram_summarizes_to_count_zero():
+    registry = MetricsRegistry()
+    registry.histogram("c", "h")
+    assert registry.snapshot()["c"]["h"] == {"count": 0}
+
+
+def test_register_absorbs_stats_dataclass():
+    registry = MetricsRegistry()
+    stats = TransportStats()
+    registry.register("nic", stats, name="transport")
+    stats.retransmissions = 3
+    snap = registry.snapshot()
+    # Live view: mutations after registration are visible, prefixed.
+    assert snap["nic"]["transport.retransmissions"] == 3
+    assert snap["nic"]["transport.data_packets"] == 0
+
+
+def test_register_absorbs_snapshot_objects_and_callables():
+    class MonitorLike:
+        def snapshot(self):
+            return {"tx": 7}
+
+    registry = MetricsRegistry()
+    registry.register("a", MonitorLike())
+    registry.register("b", lambda: {"lines": 12})
+    snap = registry.snapshot()
+    assert snap["a"]["tx"] == 7
+    assert snap["b"]["lines"] == 12
+
+
+def test_register_rejects_uncollectable_sources():
+    registry = MetricsRegistry()
+    with pytest.raises(TypeError):
+        registry.register("a", object())
+
+
+def test_named_sources_do_not_clobber_each_other():
+    registry = MetricsRegistry()
+    registry.register("nic", lambda: {"x": 1})
+    registry.register("nic", lambda: {"x": 2}, name="other")
+    snap = registry.snapshot()
+    assert snap["nic"]["x"] == 1
+    assert snap["nic"]["other.x"] == 2
+
+
+def test_components_listing_is_sorted_union():
+    registry = MetricsRegistry()
+    registry.counter("b", "n")
+    registry.register("a", lambda: {})
+    registry.histogram("c", "h")
+    assert registry.components() == ["a", "b", "c"]
+
+
+def test_register_dagger_nic_absorbs_all_nic_stats():
+    from repro.hw.calibration import DEFAULT_CALIBRATION
+    from repro.hw.interconnect.ccip import make_interface
+    from repro.hw.nic.config import NicHardConfig
+    from repro.hw.nic.dagger_nic import DaggerNic
+    from repro.hw.platform import Machine
+    from repro.hw.switch import ToRSwitch
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    machine = Machine(sim)
+    switch = ToRSwitch(sim, DEFAULT_CALIBRATION, loopback=True)
+    interface = make_interface("upi", sim, DEFAULT_CALIBRATION, machine.fpga)
+    nic = DaggerNic(
+        sim, DEFAULT_CALIBRATION, interface, switch, "a",
+        hard=NicHardConfig(num_flows=1, reliable_transport=True,
+                           flow_control=True),
+    )
+    registry = MetricsRegistry()
+    register_dagger_nic(registry, nic)
+    snap = registry.snapshot()["nic.a"]
+    assert snap["tx_rpcs"] == 0  # packet monitor
+    assert snap["transport.retransmissions"] == 0
+    assert snap["flow_control.stalls"] == 0
+    assert snap["interconnect.transactions"] == 0

@@ -1,0 +1,71 @@
+"""Tests for the in-memory and JSON-lines sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    InMemorySink,
+    JsonLinesSink,
+    MetricsRegistry,
+    SpanTracer,
+    dump_metrics,
+    dump_trace,
+)
+
+
+def make_tracer():
+    tracer = SpanTracer()
+    tracer.record(1, "req_issue", 0)
+    tracer.record(1, "resp_complete", 1000)
+    tracer.record(2, "req_issue", 50)
+    tracer.record_transfer("upi", 3, 400)
+    return tracer
+
+
+def test_dump_trace_to_memory():
+    sink = InMemorySink()
+    emitted = dump_trace(make_tracer(), sink)
+    assert emitted == 3  # two spans + one transfer aggregate
+    assert len(sink) == 3
+    types = [r["type"] for r in sink.records]
+    assert types == ["span", "span", "transfer"]
+    assert sink.records[0]["rpc_id"] == 1
+    assert sink.records[2]["component"] == "upi"
+    assert sink.records[2]["lines"] == 3
+
+
+def test_dump_metrics_record_shape():
+    registry = MetricsRegistry()
+    registry.counter("nic", "drops").inc(2)
+    sink = InMemorySink()
+    dump_metrics(registry, sink)
+    assert sink.records == [
+        {"type": "metrics", "snapshot": {"nic": {"drops": 2}}}
+    ]
+
+
+def test_jsonl_sink_writes_parseable_lines(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    with JsonLinesSink(path) as sink:
+        dump_trace(make_tracer(), sink)
+    lines = open(path).read().splitlines()
+    assert len(lines) == 3
+    records = [json.loads(line) for line in lines]
+    assert records[0]["events"]["resp_complete"] == 1000
+    assert records[2]["type"] == "transfer"
+
+
+def test_jsonl_sink_rejects_emit_after_close(tmp_path):
+    sink = JsonLinesSink(str(tmp_path / "t.jsonl"))
+    sink.close()
+    with pytest.raises(ValueError):
+        sink.emit({"type": "span"})
+
+
+def test_jsonl_sink_on_open_stream_does_not_close_it(tmp_path):
+    with open(tmp_path / "t.jsonl", "w") as fh:
+        sink = JsonLinesSink(fh)
+        sink.emit({"a": 1})
+        sink.close()
+        assert not fh.closed

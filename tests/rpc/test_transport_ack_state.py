@@ -1,0 +1,152 @@
+"""Regression tests for the reliable transport's ACK-side state cleanup.
+
+Before the fix, ``_handle_ack`` freed ``_unacked`` entries but never the
+matching ``_retries`` entries (unbounded growth over a long run) and
+linearly scanned every unacked key of every connection per ACK.
+"""
+
+from types import SimpleNamespace
+
+from repro.rpc.messages import RpcKind, RpcPacket
+from repro.rpc.transport import ReliableTransport
+
+
+class FakeNic:
+    """Just enough NIC for the transport unit: address + egress capture."""
+
+    def __init__(self):
+        self.address = "a"
+        self.hard = SimpleNamespace(num_flows=1)
+        self.sent = []
+
+    def enqueue_egress(self, flow_id, packet):
+        self.sent.append((flow_id, packet))
+
+
+def data_packet(conn=1):
+    return RpcPacket(RpcKind.REQUEST, conn, "m", b"", 48, src_address="a",
+                     dst_address="b")
+
+
+def build(max_retries=2):
+    return ReliableTransport(FakeNic(), ack_interval=4,
+                             max_retries=max_retries)
+
+
+def egress_n(transport, n, conn=1):
+    packets = [data_packet(conn) for _ in range(n)]
+    for packet in packets:
+        transport.on_egress(packet)
+    return packets
+
+
+def test_cumulative_ack_frees_prefix_and_retry_state():
+    transport = build()
+    egress_n(transport, 10)
+    # NACKs create retry state for seqs 2 and 3.
+    transport._handle_nack(1, 2)
+    transport._handle_nack(1, 3)
+    assert transport.stats.retransmissions == 2
+    assert len(transport._retries) == 2
+    transport._handle_ack(1, 5)
+    assert transport.unacked == 4  # seqs 6..9 still buffered
+    assert transport._retries == {}  # the leak: now cleaned on ACK
+
+
+def test_full_ack_leaves_no_residual_state():
+    transport = build()
+    egress_n(transport, 8)
+    transport._handle_nack(1, 7)
+    transport._handle_ack(1, 7)
+    assert transport.unacked == 0
+    assert transport._unacked == {}
+    assert transport._retries == {}
+
+
+def test_ack_only_touches_its_connection():
+    transport = build()
+    egress_n(transport, 4, conn=1)
+    egress_n(transport, 4, conn=2)
+    transport._handle_nack(2, 1)
+    transport._handle_ack(1, 3)
+    assert transport.unacked == 4  # all of conn 2 still buffered
+    assert list(transport._retries) == [(2, 1)]
+    transport._handle_ack(2, 3)
+    assert transport.unacked == 0
+    assert transport._retries == {}
+
+
+def test_give_up_path_cleans_retry_state():
+    transport = build(max_retries=2)
+    egress_n(transport, 2)
+    transport._handle_nack(1, 0)
+    transport._handle_nack(1, 0)
+    transport._handle_nack(1, 0)  # exceeds max_retries: dropped for good
+    assert transport.stats.lost_unrecoverable == 1
+    assert transport.unacked == 1
+    assert (1, 0) not in transport._retries
+
+
+def test_ack_for_unknown_connection_is_a_noop():
+    transport = build()
+    transport._handle_ack(99, 5)
+    assert transport.unacked == 0
+
+
+def test_retransmitted_packets_keep_buffer_order_for_prefix_frees():
+    transport = build(max_retries=8)
+    egress_n(transport, 6)
+    # Retransmit seq 2: on_egress runs again for it (as the egress pipeline
+    # does), which must not move it behind newer seqs.
+    transport._handle_nack(1, 2)
+    _, retransmitted = transport.nic.sent[-1]
+    transport.on_egress(retransmitted)
+    assert list(transport._unacked[1]) == [0, 1, 2, 3, 4, 5]
+    transport._handle_ack(1, 2)
+    assert sorted(transport._unacked[1]) == [3, 4, 5]
+
+
+def test_end_to_end_run_leaves_no_orphan_retry_entries():
+    """After a lossy run, every retry entry must refer to a live buffer
+    entry — nothing accumulates for already-ACKed packets."""
+    from repro.hw.calibration import DEFAULT_CALIBRATION
+    from repro.hw.interconnect.ccip import make_interface
+    from repro.hw.nic.config import NicHardConfig, NicSoftConfig
+    from repro.hw.nic.dagger_nic import DaggerNic
+    from repro.hw.platform import Machine
+    from repro.hw.switch import ToRSwitch
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    machine = Machine(sim)
+    switch = ToRSwitch(sim, DEFAULT_CALIBRATION, loopback=True)
+    hard = NicHardConfig(num_flows=1, rx_ring_entries=4,
+                         reliable_transport=True)
+    nics = []
+    for name in ("a", "b"):
+        interface = make_interface("upi", sim, DEFAULT_CALIBRATION,
+                                   machine.fpga)
+        nics.append(DaggerNic(sim, DEFAULT_CALIBRATION, interface, switch,
+                              name, hard=hard, soft=NicSoftConfig()))
+    a, b = nics
+    a.open_connection(1, 0, "b")
+    b.open_connection(1, 0, "a")
+
+    def drainer():
+        while True:
+            yield b.rx_ring(0).get()
+            yield sim.timeout(400)  # slow consumer forces drops + NACKs
+
+    sim.spawn(drainer())
+
+    def sender():
+        for _ in range(120):
+            yield from a.send_from_host(
+                0, RpcPacket(RpcKind.REQUEST, 1, "m", b"", 48))
+
+    sim.spawn(sender())
+    sim.run()
+    assert a.transport.stats.retransmissions > 0
+    assert b.transport.stats.acks_sent > 0
+    for conn, seq in a.transport._retries:
+        assert seq in a.transport._unacked.get(conn, {})

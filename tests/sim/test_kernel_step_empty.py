@@ -1,0 +1,31 @@
+"""Regression test: stepping an empty heap raises SimulationError, not a
+bare IndexError leaked from heapq."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_step_on_empty_heap_raises_simulation_error():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="no scheduled events"):
+        sim.step()
+
+
+def test_step_on_drained_heap_raises_simulation_error():
+    sim = Simulator()
+    sim.timeout(5)
+    sim.step()
+    assert sim.now == 5
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_error_is_not_a_bare_index_error():
+    sim = Simulator()
+    try:
+        sim.step()
+    except SimulationError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected SimulationError")

@@ -1,0 +1,35 @@
+"""Regression tests: the presorted percentile fast path returns exactly the
+same values as the sorting path, and SummaryStats still matches direct
+percentile calls (the reporting hot path used to sort 4 times per summary).
+"""
+
+import random
+
+from repro.sim import SummaryStats, percentile
+
+
+def test_presorted_matches_unsorted_exactly():
+    rng = random.Random(42)
+    samples = [rng.uniform(0, 1e6) for _ in range(997)]
+    data = sorted(samples)
+    for pct in (0, 1, 25, 50, 90, 99, 99.9, 100):
+        assert percentile(samples, pct) == percentile(data, pct,
+                                                      presorted=True)
+
+
+def test_summary_stats_values_unchanged_under_fast_path():
+    rng = random.Random(7)
+    samples = [rng.expovariate(1 / 2000.0) for _ in range(500)]
+    stats = SummaryStats.from_samples(samples)
+    assert stats.p50_ns == percentile(samples, 50)
+    assert stats.p90_ns == percentile(samples, 90)
+    assert stats.p99_ns == percentile(samples, 99)
+    assert stats.min_ns == min(samples)
+    assert stats.max_ns == max(samples)
+    assert stats.count == 500
+
+
+def test_single_sample_and_interpolation_edges():
+    assert percentile([5.0], 99, presorted=True) == 5.0
+    assert percentile([1.0, 2.0], 50, presorted=True) == 1.5
+    assert percentile([1.0, 2.0, 3.0], 100, presorted=True) == 3.0
