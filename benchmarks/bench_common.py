@@ -6,14 +6,29 @@ paper-vs-measured text table, and archives it under
 """
 
 import os
+import tempfile
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+os.makedirs(RESULTS_DIR, exist_ok=True)
 
 
 def emit(name: str, text: str) -> None:
-    """Print a result table and archive it."""
+    """Print a result table and archive it (atomically).
+
+    The write goes through a temp file + ``os.replace`` so a concurrent
+    reader (or a benchmark killed mid-write) never observes a truncated
+    result file.
+    """
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
-        handle.write(text + "\n")
+    fd, tmp_path = tempfile.mkstemp(dir=RESULTS_DIR, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text + "\n")
+        os.replace(tmp_path, os.path.join(RESULTS_DIR, f"{name}.txt"))
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

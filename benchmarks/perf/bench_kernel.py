@@ -1,0 +1,187 @@
+"""Kernel hot-path microbenchmark: event pump rate + end-to-end echo time.
+
+Measures two things and writes ``BENCH_kernel.json`` at the repo root:
+
+- **pump**: a synthetic workload of timer processes that exercises only the
+  simulation kernel (heap + now-queue dispatch, timeout pooling, the
+  int-yield fast path) — reported as simulated events per second;
+- **echo**: wall-clock time of the tier-1 reference run, a 4k-request
+  closed-loop echo benchmark over the full Dagger stack
+  (``run_closed_loop(batch_size=4, nreq=4000)``).
+
+Methodology: one warmup run, then ``--rounds`` timed repetitions (default
+9); the JSON records the median and the best. Medians are the headline
+numbers — single-shot wall times on a shared machine swing by 2x, medians
+of interleaved rounds are stable to a few percent. The echo run's result
+signature (throughput, p50, p99, count) is recorded too, so a speedup
+claim is only comparable between trees that produce bit-identical
+simulation results.
+
+With ``--baseline TREE`` (a checkout of an older revision), each round
+additionally times the identical echo run against that tree in a
+subprocess, interleaved with the current tree's rounds so machine-load
+drift hits both sides equally; the JSON then records the baseline medians
+and the speedup. The baseline must produce the same result signature —
+the speedup claim is only meaningful between bit-identical simulations.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_kernel.py [--rounds N]
+        [--nreq N] [--out PATH] [--baseline TREE]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         "..", ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.runner import run_closed_loop  # noqa: E402
+from repro.sim.kernel import Simulator  # noqa: E402
+
+#: Synthetic pump workload: PROCS timer processes x TICKS timeouts each.
+PUMP_PROCS = 50
+PUMP_TICKS = 20_000
+
+
+def pump_once() -> float:
+    """Run the synthetic timer workload; return elapsed wall seconds."""
+    sim = Simulator()
+
+    def ticker(period):
+        for _ in range(PUMP_TICKS):
+            yield period
+
+    for i in range(PUMP_PROCS):
+        sim.spawn(ticker(1 + (i % 7)))
+    started = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - started
+
+
+def echo_once(nreq: int):
+    """Run the reference echo benchmark; return (seconds, signature)."""
+    started = time.perf_counter()
+    result = run_closed_loop(batch_size=4, nreq=nreq)
+    elapsed = time.perf_counter() - started
+    signature = (result.throughput_mrps, result.p50_us, result.p99_us,
+                 result.count)
+    return elapsed, signature
+
+
+_SUBPROCESS_SNIPPET = """\
+import json, time
+from repro.harness.runner import run_closed_loop
+run_closed_loop(batch_size=4, nreq={nreq})  # warmup
+t0 = time.perf_counter()
+r = run_closed_loop(batch_size=4, nreq={nreq})
+elapsed = time.perf_counter() - t0
+print(json.dumps({{"elapsed": elapsed, "signature":
+    [r.throughput_mrps, r.p50_us, r.p99_us, r.count]}}))
+"""
+
+
+def echo_subprocess(tree: str, nreq: int):
+    """Time the echo run against another source tree, same timed region."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(tree, "src"))
+    out = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SNIPPET.format(nreq=nreq)],
+        env=env, capture_output=True, text=True, check=True,
+    ).stdout
+    payload = json.loads(out.splitlines()[-1])
+    return payload["elapsed"], tuple(payload["signature"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=9,
+                        help="timed repetitions per benchmark (default 9)")
+    parser.add_argument("--nreq", type=int, default=4000,
+                        help="echo benchmark request count (default 4000)")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT,
+                                                      "BENCH_kernel.json"),
+                        help="output JSON path (default repo root)")
+    parser.add_argument("--baseline", metavar="TREE", default=None,
+                        help="older checkout to time against (interleaved "
+                             "rounds; records the speedup)")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be >= 1")
+
+    pump_events = PUMP_PROCS * PUMP_TICKS
+    pump_once()  # warmup
+    pump_times = [pump_once() for _ in range(args.rounds)]
+
+    echo_once(args.nreq)  # warmup
+    echo_times = []
+    baseline_times = []
+    echo_sigs = set()
+    baseline_sigs = set()
+    for round_index in range(args.rounds):
+        seconds, sig = echo_once(args.nreq)
+        echo_times.append(seconds)
+        echo_sigs.add(sig)
+        if args.baseline:
+            seconds, sig = echo_subprocess(args.baseline, args.nreq)
+            baseline_times.append(seconds)
+            baseline_sigs.add(sig)
+    if len(echo_sigs) != 1:
+        raise AssertionError(
+            f"echo benchmark is non-deterministic: {sorted(echo_sigs)}"
+        )
+    signature = echo_sigs.pop()
+    if args.baseline and baseline_sigs != {signature}:
+        raise AssertionError(
+            f"baseline tree produces different results "
+            f"({sorted(baseline_sigs)} vs {signature}); "
+            "a speedup between non-identical simulations is meaningless"
+        )
+
+    report = {
+        "rounds": args.rounds,
+        "pump": {
+            "procs": PUMP_PROCS,
+            "ticks_per_proc": PUMP_TICKS,
+            "events": pump_events,
+            "median_s": round(statistics.median(pump_times), 4),
+            "best_s": round(min(pump_times), 4),
+            "median_events_per_s": round(
+                pump_events / statistics.median(pump_times)),
+        },
+        "echo": {
+            "nreq": args.nreq,
+            "median_s": round(statistics.median(echo_times), 4),
+            "best_s": round(min(echo_times), 4),
+            "signature": {
+                "throughput_mrps": signature[0],
+                "p50_us": signature[1],
+                "p99_us": signature[2],
+                "count": signature[3],
+            },
+        },
+    }
+    if args.baseline:
+        baseline_median = statistics.median(baseline_times)
+        echo_median = statistics.median(echo_times)
+        report["baseline"] = {
+            "tree": os.path.abspath(args.baseline),
+            "median_s": round(baseline_median, 4),
+            "best_s": round(min(baseline_times), 4),
+            "speedup_median": round(baseline_median / echo_median, 3),
+            "speedup_best": round(min(baseline_times) / min(echo_times), 3),
+        }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

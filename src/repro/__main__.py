@@ -3,8 +3,12 @@
 Commands:
 
 - ``list`` — show every reproducible experiment with its paper artifact.
-- ``run <experiment> [...]`` — run experiments by id (e.g. ``fig10``,
-  ``table3``, or ``all``) and print paper-vs-measured tables.
+- ``run <experiment> [...] [--jobs N] [--no-cache]`` — run experiments by
+  id (e.g. ``fig10``, ``table3``, or ``all``) and print paper-vs-measured
+  tables; ``--jobs`` fans each experiment's sweep across worker processes
+  and repeated runs reuse the content-addressed result cache (results are
+  bit-identical either way — see ``repro.harness.sweep``).
+- ``sweep [--clear]`` — inspect or purge the sweep result cache.
 - ``calibration`` — dump the timing-model constants and their anchors.
 - ``resources [--flows N] [--connections N] [...]`` — estimate the FPGA
   footprint of a NIC configuration (Table 1's estimator).
@@ -35,7 +39,8 @@ def _register(exp_id, description):
 
 
 @_register("table1", "Table 1: NIC implementation specs")
-def _table1():
+def _table1(jobs=1, cache=True):
+    del jobs, cache  # no sub-runs to fan out
     rows = experiments.table1_resources()
     return render_table(
         ["parameter", "paper", "measured"],
@@ -44,8 +49,8 @@ def _table1():
 
 
 @_register("table3", "Table 3: RTT + per-core Mrps across RPC platforms")
-def _table3():
-    rows = experiments.table3_rpc_platforms()
+def _table3(jobs=1, cache=True):
+    rows = experiments.table3_rpc_platforms(jobs=jobs, cache=cache)
     return render_table(
         ["stack", "paper RTT us", "RTT us", "paper Mrps", "Mrps"],
         [(r["stack"], r["paper_rtt_us"], r["rtt_us"],
@@ -54,8 +59,8 @@ def _table3():
 
 
 @_register("table4", "Table 4: Flight Registration threading models")
-def _table4():
-    rows = experiments.table4_flight()
+def _table4(jobs=1, cache=True):
+    rows = experiments.table4_flight(jobs=jobs, cache=cache)
     return render_table(
         ["model", "paper Krps", "Krps", "paper p50", "p50 us"],
         [(r["model"], r["paper_max_krps"], r["max_krps"],
@@ -64,8 +69,8 @@ def _table4():
 
 
 @_register("fig3", "Fig 3: networking share of tier latency")
-def _fig3():
-    rows = experiments.fig3_breakdown()
+def _fig3(jobs=1, cache=True):
+    rows = experiments.fig3_breakdown(jobs=jobs, cache=cache)
     return render_table(
         ["load Krps", "tier", "p50 us", "network share"],
         [(r["load_krps"], r["tier"], r["p50_us"],
@@ -75,7 +80,8 @@ def _fig3():
 
 
 @_register("fig4", "Fig 4: RPC size distributions")
-def _fig4():
+def _fig4(jobs=1, cache=True):
+    del jobs, cache  # single in-process computation
     result = experiments.fig4_rpc_sizes()
     rows = [(k, v) for k, v in result.items()
             if k not in ("per_tier_median_request", "paper")]
@@ -85,8 +91,8 @@ def _fig4():
 
 
 @_register("fig5", "Fig 5: networking/application CPU contention")
-def _fig5():
-    rows = experiments.fig5_interference()
+def _fig5(jobs=1, cache=True):
+    rows = experiments.fig5_interference(jobs=jobs, cache=cache)
     return render_table(
         ["load Krps", "cores", "p99 us"],
         [(r["load_krps"], "shared" if r["shared_cores"] else "separate",
@@ -95,8 +101,8 @@ def _fig5():
 
 
 @_register("fig10", "Fig 10: CPU-NIC interface comparison")
-def _fig10():
-    rows = experiments.fig10_interfaces()
+def _fig10(jobs=1, cache=True):
+    rows = experiments.fig10_interfaces(jobs=jobs, cache=cache)
     return render_table(
         ["interface", "B", "paper Mrps", "Mrps", "p50 us", "p99 us"],
         [(r["interface"], r["batch"], r["paper_mrps"], r["mrps"],
@@ -105,8 +111,8 @@ def _fig10():
 
 
 @_register("fig11-load", "Fig 11 (left): latency vs load")
-def _fig11_load():
-    rows = experiments.fig11_latency_load()
+def _fig11_load(jobs=1, cache=True):
+    rows = experiments.fig11_latency_load(jobs=jobs, cache=cache)
     return render_table(
         ["config", "offered Mrps", "p50 us", "p99 us"],
         [(r["config"], r["offered_mrps"], r["p50_us"], r["p99_us"])
@@ -115,8 +121,8 @@ def _fig11_load():
 
 
 @_register("fig11-scale", "Fig 11 (right): thread scalability")
-def _fig11_scale():
-    rows = experiments.fig11_scalability()
+def _fig11_scale(jobs=1, cache=True):
+    rows = experiments.fig11_scalability(jobs=jobs, cache=cache)
     return render_table(
         ["threads", "e2e Mrps", "raw UPI Mrps"],
         [(r["threads"], r["e2e_mrps"], r["raw_mrps"]) for r in rows],
@@ -124,8 +130,8 @@ def _fig11_scale():
 
 
 @_register("fig12", "Fig 12: memcached + MICA over Dagger")
-def _fig12():
-    rows = experiments.fig12_kvs()
+def _fig12(jobs=1, cache=True):
+    rows = experiments.fig12_kvs(jobs=jobs, cache=cache)
     return render_table(
         ["system", "dataset", "p50 us", "p99 us", "thr 50%", "thr 95%"],
         [(r["system"], r["dataset"], r["p50_us"], r["p99_us"],
@@ -134,8 +140,8 @@ def _fig12():
 
 
 @_register("fig15", "Fig 15: Flight Registration latency/load curves")
-def _fig15():
-    rows = experiments.fig15_flight_curves()
+def _fig15(jobs=1, cache=True):
+    rows = experiments.fig15_flight_curves(jobs=jobs, cache=cache)
     return render_table(
         ["load Krps", "thr Krps", "p50 us", "p99 us"],
         [(r["load_krps"], r["throughput_krps"], r["p50_us"], r["p99_us"])
@@ -144,7 +150,8 @@ def _fig15():
 
 
 @_register("sec53", "Section 5.3: raw UPI vs PCIe access latency")
-def _sec53():
+def _sec53(jobs=1, cache=True):
+    del jobs, cache  # two fixed-latency probes, not a sweep
     result = experiments.sec53_raw_access()
     return render_table(
         ["interconnect", "paper ns", "measured ns"],
@@ -176,7 +183,7 @@ def cmd_run(args) -> int:
         description, runner = _REGISTRY[target]
         print(f"== {target}: {description}")
         started = time.time()
-        print(runner())
+        print(runner(jobs=args.jobs, cache=not args.no_cache))
         print(f"   ({time.time() - started:.1f}s)\n")
     return 0
 
@@ -213,6 +220,24 @@ def cmd_trace(args) -> int:
             emitted = dump_trace(rig.tracer, sink)
             dump_metrics(rig.registry, sink)
         print(f"\nwrote {emitted + 1} records to {args.jsonl}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.harness.sweep import cache_info, clear_cache
+
+    if args.clear:
+        removed = clear_cache()
+        print(f"removed {removed} cached sweep result(s)")
+        return 0
+    info = cache_info()
+    print(render_table(
+        ["property", "value"],
+        [("directory", info["dir"]),
+         ("entries", info["entries"]),
+         ("size (KiB)", f"{info['bytes'] / 1024:.1f}")],
+        title="Sweep result cache",
+    ))
     return 0
 
 
@@ -266,6 +291,18 @@ def main(argv=None) -> int:
     run_parser = sub.add_parser("run", help="run experiments by id")
     run_parser.add_argument("experiments", nargs="+",
                             help="experiment ids (or 'all')")
+    run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="fan sweep points across N worker "
+                                 "processes (results are bit-identical "
+                                 "to --jobs 1)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="ignore and do not update the sweep "
+                                 "result cache")
+    sweep_parser = sub.add_parser(
+        "sweep", help="inspect or purge the sweep result cache"
+    )
+    sweep_parser.add_argument("--clear", action="store_true",
+                              help="delete every cached sweep result")
     sub.add_parser("calibration", help="dump timing-model constants")
     trace_parser = sub.add_parser(
         "trace",
@@ -300,6 +337,7 @@ def main(argv=None) -> int:
         "calibration": cmd_calibration,
         "resources": cmd_resources,
         "trace": cmd_trace,
+        "sweep": cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -2,8 +2,10 @@
 
 :mod:`repro.harness.runner` builds rigs (machines + stacks + echo services +
 load generators) and runs them; :mod:`repro.harness.experiments` exposes one
-entry point per paper table/figure; :mod:`repro.harness.report` renders the
-paper-style text tables the benchmarks print.
+entry point per paper table/figure; :mod:`repro.harness.sweep` evaluates
+grids of measurement points (in parallel, with a content-addressed result
+cache); :mod:`repro.harness.report` renders the paper-style text tables the
+benchmarks print.
 """
 
 from repro.harness import experiments, report
@@ -15,6 +17,7 @@ from repro.harness.runner import (
     run_raw_reads,
     run_thread_scaling,
 )
+from repro.harness.sweep import SweepPoint, run_sweep
 
 __all__ = [
     "experiments",
@@ -25,4 +28,6 @@ __all__ = [
     "run_open_loop",
     "run_raw_reads",
     "run_thread_scaling",
+    "SweepPoint",
+    "run_sweep",
 ]

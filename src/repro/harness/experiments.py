@@ -4,6 +4,14 @@ Every function returns plain data (lists of dicts) with the paper's
 reference numbers attached under ``paper_*`` keys, so benchmarks can print
 paper-vs-measured tables and tests can assert on the reproduced *shape*.
 
+Figure functions whose sub-runs are independent simulations take ``jobs``
+and ``cache`` keyword arguments and evaluate their grid through
+:func:`repro.harness.sweep.run_sweep`, so ``python -m repro run fig10
+--jobs 4`` fans the cells across worker processes and repeated runs hit
+the content-addressed result cache. The module-level ``_*_point`` helpers
+exist so sweep points can name them by dotted path; they must return
+JSON-able data (see the sweep module's determinism contract).
+
 Experiment index (see DESIGN.md section 4):
 
 - :func:`table1_resources` — Table 1 (NIC implementation specs)
@@ -21,6 +29,7 @@ Experiment index (see DESIGN.md section 4):
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from repro.apps.kvs import run_kvs_workload
@@ -30,12 +39,7 @@ from repro.apps.microservices.social_network import (
     PROFILED_TIERS,
     social_network_graph,
 )
-from repro.harness.runner import (
-    run_closed_loop,
-    run_open_loop,
-    run_raw_reads,
-    run_thread_scaling,
-)
+from repro.harness.sweep import SweepPoint, run_sweep
 from repro.hw.calibration import DEFAULT_CALIBRATION
 from repro.hw.nic.config import NicHardConfig
 from repro.hw.nic.resources import estimate_resources, max_nic_instances
@@ -46,6 +50,97 @@ from repro.workloads.rpc_sizes import (
     request_size_cdf,
     sample_sizes,
 )
+
+#: Dotted paths for sweep points (resolvable inside worker processes).
+_CLOSED_LOOP = "repro.harness.runner:run_closed_loop"
+_OPEN_LOOP = "repro.harness.runner:run_open_loop"
+_THREAD_SCALING = "repro.harness.runner:run_thread_scaling"
+_RAW_READS = "repro.harness.runner:run_raw_reads"
+_KVS_POINT = "repro.harness.experiments:_kvs_point"
+_FLIGHT_POINT = "repro.harness.experiments:_flight_point"
+_FIG3_POINT = "repro.harness.experiments:_fig3_point"
+_FIG5_POINT = "repro.harness.experiments:_fig5_point"
+
+
+def _kvs_point(**kwargs) -> Dict:
+    """Sweep wrapper: one Fig 12 KVS cell as a plain dict."""
+    return asdict(run_kvs_workload(**kwargs))
+
+
+def _flight_point(optimized: bool, load_krps: float, nreq: int,
+                  measure_from_issue: bool = False) -> Dict:
+    """Sweep wrapper: one Flight Registration run as a plain dict."""
+    app = build_flight_app(optimized=optimized)
+    result = app.run(load_krps, nreq=nreq,
+                     measure_from_issue=measure_from_issue)
+    return {
+        "throughput_krps": result.throughput_krps,
+        "p50_us": result.p50_us,
+        "p90_us": result.p90_us,
+        "p99_us": result.p99_us,
+        "drop_rate": result.drop_rate,
+    }
+
+
+def _fig3_point(load_krps: float, nreq: int) -> List[Dict]:
+    """Sweep wrapper: Fig 3 per-tier rows for one offered load."""
+    graph = social_network_graph("linux-tcp")
+    result = graph.run_load("nginx", SOCIAL_MIX, load_krps=load_krps,
+                            nreq=nreq)
+    rows = []
+    for label, tier in PROFILED_TIERS.items():
+        breakdown = result.tracer.breakdown(tier)
+        rows.append({
+            "load_krps": load_krps,
+            "tier": f"{label}:{tier}",
+            "p50_us": breakdown.p50_us,
+            "p99_us": breakdown.p99_us,
+            "app_fraction": breakdown.app_fraction,
+            "rpc_fraction": breakdown.rpc_fraction,
+            "transport_fraction": breakdown.transport_fraction,
+            "network_fraction": breakdown.network_fraction,
+        })
+    e2e = result.tracer.e2e_breakdown()
+    rows.append({
+        "load_krps": load_krps,
+        "tier": "e2e",
+        "p50_us": e2e.p50_us,
+        "p99_us": e2e.p99_us,
+        "app_fraction": None,
+        "rpc_fraction": None,
+        "transport_fraction": None,
+        "network_fraction": None,
+    })
+    return rows
+
+
+def _fig5_point(load_krps: float, shared: bool, nreq: int) -> Dict:
+    """Sweep wrapper: one Fig 5 (load, core-placement) cell."""
+    irq_cores = [0, 1, 2, 3]
+    tiers = (
+        "nginx", "compose_post", "media", "user", "unique_id",
+        "text", "user_mention", "url_shorten", "post_storage",
+        "home_timeline", "user_timeline",
+    )
+    if shared:
+        pins = {tier: irq_cores for tier in tiers}
+    else:
+        pins = {tier: [4, 5, 6, 7, 8, 9, 10, 11] for tier in tiers}
+    graph = social_network_graph("linux-tcp", cores=pins)
+    irq_threads = [graph.machine.thread(core, name=f"irq{core}")
+                   for core in irq_cores]
+    for microservice in graph.tiers.values():
+        microservice.stack.irq_threads = irq_threads
+    result = graph.run_load("nginx", SOCIAL_MIX, load_krps=load_krps,
+                            nreq=nreq)
+    return {
+        "load_krps": load_krps,
+        "shared_cores": shared,
+        "p50_us": result.p50_us,
+        "p99_us": result.p99_us,
+        "drop_rate": result.drop_rate,
+    }
+
 
 # --------------------------------------------------------------------- T1
 
@@ -109,27 +204,34 @@ TABLE3_PAPER = {
 }
 
 
-def table3_rpc_platforms(nreq: int = 12000) -> List[Dict]:
+def table3_rpc_platforms(nreq: int = 12000, jobs: int = 1,
+                         cache: bool = True) -> List[Dict]:
     """Table 3: median RTT and single-core throughput per platform."""
-    rows = []
+    points = []
+    layout = []
     for stack, paper in TABLE3_PAPER.items():
         # Table 3's object sizes are wire sizes; the 16 B RPC header is
         # part of them (a "64 B RPC" fits one cache line).
         payload = max(16, paper["bytes"] - 16)
         # Unloaded RTT: a single outstanding request over a 0.3 us TOR.
-        latency = run_closed_loop(
+        points.append(SweepPoint(_CLOSED_LOOP, dict(
             stack_name=stack, batch_size=1, window=1, nreq=min(nreq, 3000),
             rpc_bytes=payload, loopback=False,
-        )
-        throughput = None
-        if paper["mrps"] is not None:
-            saturated = run_closed_loop(
+        )))
+        has_throughput = paper["mrps"] is not None
+        if has_throughput:
+            points.append(SweepPoint(_CLOSED_LOOP, dict(
                 stack_name=stack,
                 batch_size=4 if stack == "dagger" else 1,
                 auto_batch=(stack == "dagger"),
                 window=64, nreq=nreq, rpc_bytes=payload,
-            )
-            throughput = saturated.throughput_mrps
+            )))
+        layout.append((stack, paper, has_throughput))
+    results = iter(run_sweep(points, jobs=jobs, cache=cache))
+    rows = []
+    for stack, paper, has_throughput in layout:
+        latency = next(results)
+        throughput = next(results).throughput_mrps if has_throughput else None
         rows.append({
             "stack": stack,
             "rpc_bytes": paper["bytes"],
@@ -156,29 +258,42 @@ FIG10_PAPER = [
 
 
 def fig10_interfaces(nreq: int = 12000,
-                     latency_load_fraction: float = 0.75) -> List[Dict]:
-    """Fig 10: single-core throughput + latency per CPU-NIC interface."""
-    rows = []
-    for interface, batch, paper_mrps, paper_p50, paper_p99 in FIG10_PAPER:
-        saturated = run_closed_loop(
+                     latency_load_fraction: float = 0.75,
+                     jobs: int = 1, cache: bool = True) -> List[Dict]:
+    """Fig 10: single-core throughput + latency per CPU-NIC interface.
+
+    Two sweep phases: the open-loop load of each latency run is derived
+    from the measured saturated throughput of the same configuration, so
+    the saturation sweep must complete first.
+    """
+    saturated = run_sweep(
+        [SweepPoint(_CLOSED_LOOP, dict(
             stack_name="dagger", interface=interface, batch_size=batch,
             window=64, nreq=nreq,
-        )
-        loaded = run_open_loop(
-            load_mrps=max(0.5, saturated.throughput_mrps
+        )) for interface, batch, *_ in FIG10_PAPER],
+        jobs=jobs, cache=cache,
+    )
+    loaded = run_sweep(
+        [SweepPoint(_OPEN_LOOP, dict(
+            load_mrps=max(0.5, result.throughput_mrps
                           * latency_load_fraction),
             stack_name="dagger", interface=interface, batch_size=batch,
             nreq=nreq,
-        )
+        )) for (interface, batch, *_), result in zip(FIG10_PAPER, saturated)],
+        jobs=jobs, cache=cache,
+    )
+    rows = []
+    for (interface, batch, paper_mrps, paper_p50, paper_p99), sat, load \
+            in zip(FIG10_PAPER, saturated, loaded):
         rows.append({
             "interface": interface,
             "batch": batch,
             "paper_mrps": paper_mrps,
-            "mrps": saturated.throughput_mrps,
+            "mrps": sat.throughput_mrps,
             "paper_p50_us": paper_p50,
-            "p50_us": loaded.p50_us,
+            "p50_us": load.p50_us,
             "paper_p99_us": paper_p99,
-            "p99_us": loaded.p99_us,
+            "p99_us": load.p99_us,
         })
     return rows
 
@@ -187,27 +302,31 @@ def fig10_interfaces(nreq: int = 12000,
 
 
 def fig11_latency_load(loads_mrps: Optional[List[float]] = None,
-                       nreq: int = 10000) -> List[Dict]:
+                       nreq: int = 10000, jobs: int = 1,
+                       cache: bool = True) -> List[Dict]:
     """Fig 11 (left): latency vs load for B=1, B=2, B=4 and auto."""
-    rows = []
     configs = [("B=1", 1, False), ("B=2", 2, False), ("B=4", 4, False),
                ("auto", 4, True)]
+    grid = []
     for label, batch, auto in configs:
         # Batch-1 saturates ~8.1 Mrps; larger batches go to ~12.4.
         loads = loads_mrps or ([1, 2, 4, 6, 7] if batch == 1 and not auto
                                else [1, 2, 4, 6, 8, 10, 12])
         for load in loads:
-            result = run_open_loop(
-                load_mrps=load, batch_size=batch, auto_batch=auto, nreq=nreq,
-            )
-            rows.append({
-                "config": label,
-                "offered_mrps": load,
-                "p50_us": result.p50_us,
-                "p99_us": result.p99_us,
-                "throughput_mrps": result.throughput_mrps,
-            })
-    return rows
+            grid.append((label, batch, auto, load))
+    results = run_sweep(
+        [SweepPoint(_OPEN_LOOP, dict(
+            load_mrps=load, batch_size=batch, auto_batch=auto, nreq=nreq,
+        )) for _, batch, auto, load in grid],
+        jobs=jobs, cache=cache,
+    )
+    return [{
+        "config": label,
+        "offered_mrps": load,
+        "p50_us": result.p50_us,
+        "p99_us": result.p99_us,
+        "throughput_mrps": result.throughput_mrps,
+    } for (label, _, _, load), result in zip(grid, results)]
 
 
 #: Fig 11 (right) anchors: ~42 Mrps end-to-end plateau, ~80 Mrps raw reads.
@@ -215,18 +334,24 @@ FIG11_PAPER = {"e2e_plateau_mrps": 42.0, "raw_plateau_mrps": 80.0}
 
 
 def fig11_scalability(threads: Optional[List[int]] = None,
-                      nreq_per_thread: int = 5000) -> List[Dict]:
+                      nreq_per_thread: int = 5000, jobs: int = 1,
+                      cache: bool = True) -> List[Dict]:
     """Fig 11 (right): thread scaling, end-to-end vs raw UPI reads."""
-    rows = []
-    for count in threads or [1, 2, 3, 4, 6, 8]:
-        e2e = run_thread_scaling(count, nreq_per_thread=nreq_per_thread)
-        raw = run_raw_reads(count, nreads_per_thread=nreq_per_thread)
-        rows.append({
-            "threads": count,
-            "e2e_mrps": e2e.throughput_mrps,
-            "raw_mrps": raw,
-        })
-    return rows
+    counts = threads or [1, 2, 3, 4, 6, 8]
+    points = []
+    for count in counts:
+        points.append(SweepPoint(_THREAD_SCALING, dict(
+            num_threads=count, nreq_per_thread=nreq_per_thread,
+        )))
+        points.append(SweepPoint(_RAW_READS, dict(
+            num_threads=count, nreads_per_thread=nreq_per_thread,
+        )))
+    results = run_sweep(points, jobs=jobs, cache=cache)
+    return [{
+        "threads": count,
+        "e2e_mrps": results[2 * i].throughput_mrps,
+        "raw_mrps": results[2 * i + 1],
+    } for i, count in enumerate(counts)]
 
 
 # --------------------------------------------------------------------- F12
@@ -245,9 +370,10 @@ FIG12_PAPER = {
 }
 
 
-def fig12_kvs(nreq: int = 8000) -> List[Dict]:
+def fig12_kvs(nreq: int = 8000, jobs: int = 1,
+              cache: bool = True) -> List[Dict]:
     """Fig 12: memcached and MICA over Dagger (latency + throughput)."""
-    rows = []
+    points = []
     for (system, dataset_name), paper in FIG12_PAPER.items():
         dataset = DATASETS[dataset_name]
         common = dict(
@@ -257,46 +383,54 @@ def fig12_kvs(nreq: int = 8000) -> List[Dict]:
             num_keys=dataset.num_keys(system),
             nreq=nreq,
         )
-        latency = run_kvs_workload(
+        points.append(SweepPoint(_KVS_POINT, dict(
             get_fraction=WORKLOAD_MIXES["write-intensive"],
             closed_loop_window=paper["window"], **common,
-        )
-        thr50 = run_kvs_workload(
+        )))
+        points.append(SweepPoint(_KVS_POINT, dict(
             get_fraction=WORKLOAD_MIXES["write-intensive"],
             closed_loop_window=32, **common,
-        )
-        thr95 = run_kvs_workload(
+        )))
+        points.append(SweepPoint(_KVS_POINT, dict(
             get_fraction=WORKLOAD_MIXES["read-intensive"],
             closed_loop_window=32, **common,
-        )
+        )))
+    results = iter(run_sweep(points, jobs=jobs, cache=cache))
+    rows = []
+    for (system, dataset_name), paper in FIG12_PAPER.items():
+        latency, thr50, thr95 = next(results), next(results), next(results)
         rows.append({
             "system": system,
             "dataset": dataset_name,
-            "paper_p50_us": paper["p50_us"], "p50_us": latency.p50_us,
-            "paper_p99_us": paper["p99_us"], "p99_us": latency.p99_us,
+            "paper_p50_us": paper["p50_us"], "p50_us": latency["p50_us"],
+            "paper_p99_us": paper["p99_us"], "p99_us": latency["p99_us"],
             "paper_thr_50get": paper["thr_50"],
-            "thr_50get": thr50.throughput_mrps,
+            "thr_50get": thr50["throughput_mrps"],
             "paper_thr_95get": paper["thr_95"],
-            "thr_95get": thr95.throughput_mrps,
-            "drop_rate": max(latency.drop_rate, thr50.drop_rate,
-                             thr95.drop_rate),
+            "thr_95get": thr95["throughput_mrps"],
+            "drop_rate": max(latency["drop_rate"], thr50["drop_rate"],
+                             thr95["drop_rate"]),
         })
     return rows
 
 
-def sec56_mica_high_skew(nreq: int = 8000) -> Dict:
+def sec56_mica_high_skew(nreq: int = 8000, jobs: int = 1,
+                         cache: bool = True) -> Dict:
     """Section 5.6: MICA under zipf 0.9999 (paper: 10.2/9.8 Mrps with two
     partitions' worth of locality; single-core here, so the anchor is the
     ratio to the 0.99-skew run)."""
-    base = run_kvs_workload(system="mica", skew=0.99, nreq=nreq,
-                            closed_loop_window=32)
-    hot = run_kvs_workload(system="mica", skew=0.9999, nreq=nreq,
-                           closed_loop_window=32)
+    base, hot = run_sweep(
+        [SweepPoint(_KVS_POINT, dict(system="mica", skew=0.99, nreq=nreq,
+                                     closed_loop_window=32)),
+         SweepPoint(_KVS_POINT, dict(system="mica", skew=0.9999, nreq=nreq,
+                                     closed_loop_window=32))],
+        jobs=jobs, cache=cache,
+    )
     return {
-        "thr_skew_099": base.throughput_mrps,
-        "thr_skew_09999": hot.throughput_mrps,
-        "hit_rate_099": base.hit_rate,
-        "hit_rate_09999": hot.hit_rate,
+        "thr_skew_099": base["throughput_mrps"],
+        "thr_skew_09999": hot["throughput_mrps"],
+        "hit_rate_099": base["hit_rate"],
+        "hit_rate_09999": hot["hit_rate"],
     }
 
 
@@ -308,37 +442,16 @@ FIG3_PAPER = {"mean_network_fraction": 0.40, "max_network_fraction": 0.80}
 
 
 def fig3_breakdown(loads_krps: Optional[List[float]] = None,
-                   nreq: int = 4000) -> List[Dict]:
+                   nreq: int = 4000, jobs: int = 1,
+                   cache: bool = True) -> List[Dict]:
     """Fig 3: networking share of per-tier median/tail latency vs load."""
-    rows = []
-    for load in loads_krps or [8, 16, 21]:
-        graph = social_network_graph("linux-tcp")
-        result = graph.run_load("nginx", SOCIAL_MIX, load_krps=load,
-                                nreq=nreq)
-        for label, tier in PROFILED_TIERS.items():
-            breakdown = result.tracer.breakdown(tier)
-            rows.append({
-                "load_krps": load,
-                "tier": f"{label}:{tier}",
-                "p50_us": breakdown.p50_us,
-                "p99_us": breakdown.p99_us,
-                "app_fraction": breakdown.app_fraction,
-                "rpc_fraction": breakdown.rpc_fraction,
-                "transport_fraction": breakdown.transport_fraction,
-                "network_fraction": breakdown.network_fraction,
-            })
-        e2e = result.tracer.e2e_breakdown()
-        rows.append({
-            "load_krps": load,
-            "tier": "e2e",
-            "p50_us": e2e.p50_us,
-            "p99_us": e2e.p99_us,
-            "app_fraction": None,
-            "rpc_fraction": None,
-            "transport_fraction": None,
-            "network_fraction": None,
-        })
-    return rows
+    loads = loads_krps or [8, 16, 21]
+    per_load = run_sweep(
+        [SweepPoint(_FIG3_POINT, dict(load_krps=load, nreq=nreq))
+         for load in loads],
+        jobs=jobs, cache=cache,
+    )
+    return [row for rows in per_load for row in rows]
 
 
 # --------------------------------------------------------------------- F4
@@ -376,44 +489,23 @@ def fig4_rpc_sizes(samples_per_tier: int = 2000) -> Dict:
 
 
 def fig5_interference(loads_krps: Optional[List[float]] = None,
-                      nreq: int = 3000) -> List[Dict]:
+                      nreq: int = 3000, jobs: int = 1,
+                      cache: bool = True) -> List[Dict]:
     """Fig 5: end-to-end latency, networking on separate vs shared cores.
 
     Network interrupt routines are bound to 4 cores (N=4 as in the paper);
     the application tiers run either on the other cores (isolated) or on
-    the same 4 cores (shared).
+    the same 4 cores (shared). See :func:`_fig5_point` for one cell.
     """
-    irq_cores = [0, 1, 2, 3]
-    rows = []
-    for load in loads_krps or [5, 10, 15]:
-        for shared in (False, True):
-            if shared:
-                pins = {tier: irq_cores for tier in (
-                    "nginx", "compose_post", "media", "user", "unique_id",
-                    "text", "user_mention", "url_shorten", "post_storage",
-                    "home_timeline", "user_timeline",
-                )}
-            else:
-                pins = {tier: [4, 5, 6, 7, 8, 9, 10, 11] for tier in (
-                    "nginx", "compose_post", "media", "user", "unique_id",
-                    "text", "user_mention", "url_shorten", "post_storage",
-                    "home_timeline", "user_timeline",
-                )}
-            graph = social_network_graph("linux-tcp", cores=pins)
-            irq_threads = [graph.machine.thread(core, name=f"irq{core}")
-                           for core in irq_cores]
-            for microservice in graph.tiers.values():
-                microservice.stack.irq_threads = irq_threads
-            result = graph.run_load("nginx", SOCIAL_MIX, load_krps=load,
-                                    nreq=nreq)
-            rows.append({
-                "load_krps": load,
-                "shared_cores": shared,
-                "p50_us": result.p50_us,
-                "p99_us": result.p99_us,
-                "drop_rate": result.drop_rate,
-            })
-    return rows
+    grid = [(load, shared)
+            for load in (loads_krps or [5, 10, 15])
+            for shared in (False, True)]
+    return run_sweep(
+        [SweepPoint(_FIG5_POINT, dict(load_krps=load, shared=shared,
+                                      nreq=nreq))
+         for load, shared in grid],
+        jobs=jobs, cache=cache,
+    )
 
 
 # ---------------------------------------------------------------- T4, F15
@@ -427,48 +519,59 @@ TABLE4_PAPER = {
 }
 
 
-def table4_flight(nreq: int = 4000) -> List[Dict]:
+def table4_flight(nreq: int = 4000, jobs: int = 1,
+                  cache: bool = True) -> List[Dict]:
     """Table 4: highest sustainable load + lowest latency per model."""
-    rows = []
-    for model, latency_load, capacity_loads in (
+    models = (
         ("simple", 0.025, [2.4, 2.8, 3.2]),
         ("optimized", 5.0, [30, 36, 40]),
-    ):
-        app = build_flight_app(optimized=(model == "optimized"))
-        latency = app.run(latency_load, nreq=min(nreq, 2000))
-        max_krps = 0.0
+    )
+    points = []
+    for model, latency_load, capacity_loads in models:
+        optimized = model == "optimized"
+        points.append(SweepPoint(_FLIGHT_POINT, dict(
+            optimized=optimized, load_krps=latency_load,
+            nreq=min(nreq, 2000),
+        )))
         for load in capacity_loads:
-            app = build_flight_app(optimized=(model == "optimized"))
-            result = app.run(load, nreq=nreq, measure_from_issue=True)
-            if result.drop_rate <= 0.01:
-                max_krps = max(max_krps, result.throughput_krps)
+            points.append(SweepPoint(_FLIGHT_POINT, dict(
+                optimized=optimized, load_krps=load, nreq=nreq,
+                measure_from_issue=True,
+            )))
+    results = iter(run_sweep(points, jobs=jobs, cache=cache))
+    rows = []
+    for model, latency_load, capacity_loads in models:
+        latency = next(results)
+        max_krps = 0.0
+        for _ in capacity_loads:
+            result = next(results)
+            if result["drop_rate"] <= 0.01:
+                max_krps = max(max_krps, result["throughput_krps"])
         paper = TABLE4_PAPER[model]
         rows.append({
             "model": model,
             "paper_max_krps": paper["max_krps"], "max_krps": max_krps,
-            "paper_p50_us": paper["p50_us"], "p50_us": latency.p50_us,
-            "paper_p90_us": paper["p90_us"], "p90_us": latency.p90_us,
-            "paper_p99_us": paper["p99_us"], "p99_us": latency.p99_us,
+            "paper_p50_us": paper["p50_us"], "p50_us": latency["p50_us"],
+            "paper_p90_us": paper["p90_us"], "p90_us": latency["p90_us"],
+            "paper_p99_us": paper["p99_us"], "p99_us": latency["p99_us"],
         })
     return rows
 
 
 def fig15_flight_curves(loads_krps: Optional[List[float]] = None,
-                        nreq: int = 4000) -> List[Dict]:
+                        nreq: int = 4000, jobs: int = 1,
+                        cache: bool = True) -> List[Dict]:
     """Fig 15: latency/load curves, Optimized threading model."""
-    rows = []
-    for load in loads_krps or [15, 20, 25, 30, 36, 42]:
-        app = build_flight_app(optimized=True)
-        result = app.run(load, nreq=nreq, measure_from_issue=True)
-        rows.append({
-            "load_krps": load,
-            "throughput_krps": result.throughput_krps,
-            "p50_us": result.p50_us,
-            "p90_us": result.p90_us,
-            "p99_us": result.p99_us,
-            "drop_rate": result.drop_rate,
-        })
-    return rows
+    loads = loads_krps or [15, 20, 25, 30, 36, 42]
+    results = run_sweep(
+        [SweepPoint(_FLIGHT_POINT, dict(
+            optimized=True, load_krps=load, nreq=nreq,
+            measure_from_issue=True,
+        )) for load in loads],
+        jobs=jobs, cache=cache,
+    )
+    return [{"load_krps": load, **result}
+            for load, result in zip(loads, results)]
 
 
 # --------------------------------------------------------------------- §5.3

@@ -15,7 +15,7 @@ loops:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, is_dataclass
 from typing import List, Optional
 
 from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
@@ -78,6 +78,23 @@ class BenchResult:
             breakdown=breakdown,
             metrics=metrics,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the sweep result cache).
+
+        A dataclass breakdown (repro.obs.Breakdown) is flattened to nested
+        dicts; reconstruction via :meth:`from_dict` keeps it as plain data.
+        """
+        if self.breakdown is not None and not is_dataclass(self.breakdown):
+            raise TypeError(
+                f"breakdown {type(self.breakdown).__name__} is not "
+                "JSON-serializable"
+            )
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchResult":
+        return cls(**data)
 
 
 def _echo_handler(service_ns: int = 0, response_bytes: int = 48):
@@ -238,7 +255,7 @@ class EchoRig:
             issued = 0
             while issued < quota:
                 while client.outstanding >= window:
-                    yield sim.timeout(100)
+                    yield 100
                 issued += 1
                 yield from client.call_async(
                     "echo", b"x" * min(self.rpc_bytes, 8), self.rpc_bytes,
@@ -290,7 +307,7 @@ class EchoRig:
                 gap = interarrival.sample_ns()
                 next_arrival += gap
                 if next_arrival > sim.now:
-                    yield sim.timeout(next_arrival - sim.now)
+                    yield next_arrival - sim.now
                 issued += 1
                 arrival = next_arrival
 

@@ -63,14 +63,19 @@ class Core:
         yield self.slots.request()
         self._active += 1
         try:
+            calibration = self.calibration
             scaled = cost_ns
             if self._active >= 2:
-                scaled = int(cost_ns * self.calibration.smt_slowdown)
+                scaled = int(cost_ns * calibration.smt_slowdown)
             if self.llc_domain is not None:
                 scaled = int(scaled * self.llc_domain.multiplier_for(thread))
-            scaled += self._jitter()
+            # Inlined _jitter(); must draw exactly when _jitter would so the
+            # per-core RNG stream (and thus every tail latency) is unchanged.
+            mean = calibration.cpu_jitter_mean_ns
+            if mean > 0:
+                scaled += int(self.rng.expovariate(1.0 / mean))
             self.busy_ns += scaled
-            yield self.sim.timeout(scaled)
+            yield scaled
         finally:
             self._active -= 1
             self.slots.release()
@@ -97,9 +102,55 @@ class SoftwareThread:
     def sim(self) -> Simulator:
         return self.core.sim
 
-    def exec(self, cost_ns: int) -> Generator:
-        yield from self.core.execute(cost_ns, thread=self)
+    def begin_exec(self, cost_ns: int) -> int:
+        """Account the start of a CPU burst; returns the scaled duration.
+
+        Fast-path protocol for call sites too hot for the :meth:`exec`
+        generator (one generator object per RPC per side adds up)::
+
+            yield thread.core.slots.request()
+            scaled = thread.begin_exec(cost_ns)
+            try:
+                yield scaled
+            finally:
+                thread.end_exec()
+
+        Must be called only after the slot grant, and always paired with
+        :meth:`end_exec`. Event sequence and RNG draws are identical to
+        :meth:`exec`.
+        """
+        core = self.core
+        core._active += 1
+        calibration = core.calibration
+        scaled = cost_ns
+        if core._active >= 2:
+            scaled = int(cost_ns * calibration.smt_slowdown)
+        if core.llc_domain is not None:
+            scaled = int(scaled * core.llc_domain.multiplier_for(self))
+        mean = calibration.cpu_jitter_mean_ns
+        if mean > 0:
+            scaled += int(core.rng.expovariate(1.0 / mean))
+        core.busy_ns += scaled
+        return scaled
+
+    def end_exec(self) -> None:
+        """Finish a burst started with :meth:`begin_exec`."""
+        core = self.core
+        core._active -= 1
+        core.slots.release()
         self.ops += 1
+
+    def exec(self, cost_ns: int) -> Generator:
+        # Same event sequence and RNG draws as Core.execute(cost_ns, self),
+        # without the delegated generator.
+        if cost_ns < 0:
+            raise ValueError(f"negative cost {cost_ns}")
+        yield self.core.slots.request()
+        scaled = self.begin_exec(cost_ns)
+        try:
+            yield scaled
+        finally:
+            self.end_exec()
 
     def mark_llc_heavy(self) -> None:
         """Flag this thread as LLC-trashing (slows everyone else, §5.6)."""

@@ -42,9 +42,14 @@ class EthernetPort:
             raise ValueError(f"negative payload {payload_bytes}")
         yield self._port.request()
         try:
-            delay = self.serialization_ns(payload_bytes)
+            # frame_bytes/serialization_ns inlined (one frame per RPC; two
+            # method calls per frame show up on the echo hot path).
+            wire_bytes = payload_bytes if payload_bytes > MIN_FRAME_BYTES \
+                else MIN_FRAME_BYTES
+            wire_bytes += ETHERNET_OVERHEAD_BYTES
+            delay = int(wire_bytes / self.calibration.eth_bytes_per_ns)
             self.frames += 1
-            self.bytes += self.frame_bytes(payload_bytes)
-            yield self.sim.timeout(delay)
+            self.bytes += wire_bytes
+            yield delay if delay > 1 else 1
         finally:
             self._port.release()

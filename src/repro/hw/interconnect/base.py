@@ -87,7 +87,7 @@ class CpuNicInterface:
         """Consume shared read-engine bandwidth (FIFO, pipelined)."""
         yield self.endpoint.request()
         try:
-            yield self.sim.timeout(occupancy_ns)
+            yield occupancy_ns
         finally:
             self.endpoint.release()
 
@@ -95,7 +95,7 @@ class CpuNicInterface:
         """Consume shared write-engine bandwidth (FIFO, pipelined)."""
         yield self.write_endpoint.request()
         try:
-            yield self.sim.timeout(occupancy_ns)
+            yield occupancy_ns
         finally:
             self.write_endpoint.release()
 

@@ -40,14 +40,14 @@ class PcieMmioInterface(CpuNicInterface):
         per_line = max(1, int(self.calibration.cache_line_bytes
                               / self.calibration.eth_bytes_per_ns))
         yield from self._use_endpoint(per_line * lines)
-        yield self.sim.timeout(self.calibration.pcie_mmio_deliver_ns)
+        yield self.calibration.pcie_mmio_deliver_ns
 
     def nic_to_host(self, lines: int) -> Generator:
         self._account(lines)
         per_line = max(1, int(self.calibration.cache_line_bytes
                               / self.calibration.eth_bytes_per_ns))
         yield from self._use_write_endpoint(per_line * lines)
-        yield self.sim.timeout(self.calibration.pcie_nic_to_host_ns)
+        yield self.calibration.pcie_nic_to_host_ns
 
 
 class PcieDoorbellInterface(CpuNicInterface):
@@ -80,17 +80,17 @@ class PcieDoorbellInterface(CpuNicInterface):
         per_line = max(1, int(self.calibration.cache_line_bytes
                               / self.calibration.eth_bytes_per_ns))
         yield from self._use_endpoint(per_line * lines)
-        yield self.sim.timeout(self.calibration.pcie_doorbell_fetch_ns)
+        yield self.calibration.pcie_doorbell_fetch_ns
 
     def nic_to_host(self, lines: int) -> Generator:
         self._account(lines)
         per_line = max(1, int(self.calibration.cache_line_bytes
                               / self.calibration.eth_bytes_per_ns))
         yield from self._use_write_endpoint(per_line * lines)
-        yield self.sim.timeout(self.calibration.pcie_nic_to_host_ns)
+        yield self.calibration.pcie_nic_to_host_ns
 
     def raw_read(self) -> Generator:
         """One raw PCIe DMA read of a shared-memory line (§5.3: ~450 ns)."""
         self._account(1)
         yield from self._use_endpoint(4)
-        yield self.sim.timeout(self.calibration.pcie_dma_oneway_ns)
+        yield self.calibration.pcie_dma_oneway_ns

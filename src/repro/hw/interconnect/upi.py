@@ -42,19 +42,37 @@ class UpiInterface(CpuNicInterface):
                 + (lines - 1) * self.calibration.upi_read_line_ns)
 
     def host_to_nic(self, lines: int) -> Generator:
-        self._account(lines)
-        yield from self._use_endpoint(self.calibration.upi_endpoint_line_ns * lines)
-        yield self.sim.timeout(self.calibration.upi_oneway_ns)
+        # _account + _use_endpoint inlined: one transfer per batch per RPC,
+        # and the delegated helper generator is pure overhead on this path.
+        self.lines_transferred += lines
+        self.transactions += 1
+        if self.tracer is not None:
+            self.tracer.record_transfer(self.name, lines, self.sim.now)
+        calibration = self.calibration
+        endpoint = self.endpoint
+        yield endpoint.request()
+        try:
+            yield calibration.upi_endpoint_line_ns * lines
+        finally:
+            endpoint.release()
+        yield calibration.upi_oneway_ns
 
     def nic_to_host(self, lines: int) -> Generator:
-        self._account(lines)
-        yield from self._use_write_endpoint(
-            self.calibration.upi_endpoint_line_ns * lines
-        )
-        yield self.sim.timeout(self.calibration.upi_nic_to_host_ns)
+        self.lines_transferred += lines
+        self.transactions += 1
+        if self.tracer is not None:
+            self.tracer.record_transfer(self.name, lines, self.sim.now)
+        calibration = self.calibration
+        endpoint = self.write_endpoint
+        yield endpoint.request()
+        try:
+            yield calibration.upi_endpoint_line_ns * lines
+        finally:
+            endpoint.release()
+        yield calibration.upi_nic_to_host_ns
 
     def raw_read(self) -> Generator:
         """One raw coherent read of a shared line (§5.3: ~400 ns)."""
         self._account(1)
         yield from self._use_endpoint(self.calibration.upi_endpoint_line_ns)
-        yield self.sim.timeout(self.calibration.upi_oneway_ns)
+        yield self.calibration.upi_oneway_ns

@@ -56,6 +56,9 @@ class ConnectionManager:
         self.cache = DirectMappedCache(num_entries, name="connection-cache")
         self.dram_backed = dram_backed
         self._dram: Dict[int, ConnectionTuple] = {}
+        # Constant per-lookup latency, precomputed off the hot path.
+        self._hit_ns = (calibration.nic_connection_lookup_cycles
+                        * calibration.nic_cycle_ns)
 
     # -- control path (software, via soft reconfiguration unit) -------------
 
@@ -80,14 +83,21 @@ class ConnectionManager:
     # -- data path (NIC pipeline) --------------------------------------------
 
     def lookup(self, connection_id: int) -> Generator:
-        """Pipeline lookup; yields timing, returns the ConnectionTuple."""
+        """Pipeline lookup; yields timing, returns the ConnectionTuple.
+
+        Hot callers inline the cache-hit half of this (``cache.lookup`` +
+        ``yield _hit_ns``) and only delegate to :meth:`lookup_miss` on a
+        miss, skipping a generator per packet on the common path.
+        """
         hit, entry = self.cache.lookup(connection_id)
         if hit:
-            yield self.sim.timeout(
-                self.calibration.nic_connection_lookup_cycles
-                * self.calibration.nic_cycle_ns
-            )
+            yield self._hit_ns
             return entry
+        entry = yield from self.lookup_miss(connection_id)
+        return entry
+
+    def lookup_miss(self, connection_id: int) -> Generator:
+        """DRAM fallback after a recorded cache miss (see :meth:`lookup`)."""
         backing = self._dram.get(connection_id)
         if backing is None:
             raise ConnectionError_(f"connection {connection_id} not open")
@@ -98,6 +108,6 @@ class ConnectionManager:
                 f"connection {connection_id} evicted from the connection "
                 "cache and DRAM backing is disabled"
             )
-        yield self.sim.timeout(self.calibration.nic_connection_miss_ns)
+        yield self.calibration.nic_connection_miss_ns
         self.cache.insert(connection_id, backing)
         return backing

@@ -19,7 +19,11 @@ import itertools
 from typing import Generator, Optional
 
 from repro.hw.calibration import Calibration
-from repro.hw.ethernet import EthernetPort
+from repro.hw.ethernet import (
+    ETHERNET_OVERHEAD_BYTES,
+    MIN_FRAME_BYTES,
+    EthernetPort,
+)
 from repro.hw.interconnect.base import CpuNicInterface, TransferMode
 from repro.hw.nic.config import NicHardConfig, NicSoftConfig
 from repro.hw.nic.connection_manager import ConnectionManager, ConnectionTuple
@@ -29,7 +33,7 @@ from repro.hw.nic.rings import FlowRings
 from repro.hw.nic.rx_path import RxPath
 from repro.hw.nic.tx_path import TxPath
 from repro.hw.switch import ToRSwitch
-from repro.rpc.messages import RpcKind, RpcPacket
+from repro.rpc.messages import HEADER_BYTES, RpcKind, RpcPacket
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Resource, Store
 
@@ -85,6 +89,13 @@ class DaggerNic:
             for i in range(self.hard.num_flows)
         ]
         self.pipeline = Resource(sim, capacity=1, name=f"{address}-pipeline")
+        # Constant per-stage latencies, precomputed off the per-packet path.
+        self._cycle_ns = calibration.nic_cycle_ns
+        self._rpc_unit_ns = (calibration.nic_rpc_unit_cycles
+                             * calibration.nic_cycle_ns)
+        self._transport_ns = (calibration.nic_transport_cycles
+                              * calibration.nic_cycle_ns)
+        self._lb_ns = calibration.nic_lb_cycles * calibration.nic_cycle_ns
         self.eth = EthernetPort(sim, calibration, name=f"{address}-eth")
         self._ingress_queue = Store(sim, name=f"{address}-ingress")
         # Per-flow egress sequencers: fetched RPCs enter here in issue order
@@ -211,7 +222,7 @@ class DaggerNic:
             # ring, no fetch FSM.
             lines = packet.lines(self.calibration.cache_line_bytes)
             self.sim.spawn(self._push_transfer(packet, lines, flow_id))
-            yield self.sim.timeout(0)
+            yield 0
         else:
             yield self.flow_rings[flow_id].tx_ring.put(packet)
 
@@ -238,35 +249,98 @@ class DaggerNic:
             self._egress_queues[flow_id].try_put(packet)
 
     def _egress_sequencer(self, flow_id: int) -> Generator:
-        queue = self._egress_queues[flow_id]
+        # Body of egress_pipeline() inlined below (one delegated generator
+        # per transmitted packet otherwise); keep the two in sync.
+        get = self._egress_queues[flow_id].get
+        pipeline = self.pipeline
+        connection_manager = self.connection_manager
+        cache_lookup = connection_manager.cache.lookup
+        lookup_hit_ns = connection_manager._hit_ns
+        lookup_miss = connection_manager.lookup_miss
+        monitor = self.monitor
+        eth = self.eth
+        eth_port_request = eth._port.request
+        eth_port_release = eth._port.release
+        eth_bytes_per_ns = eth.calibration.eth_bytes_per_ns
+        switch_send = self.switch.send
+        sim = self.sim
         while True:
-            packet = yield queue.get()
+            packet = yield get()
             if self.flow_control is not None:
                 yield from self.flow_control.acquire(packet)
-            yield from self.egress_pipeline(packet)
+            yield pipeline.request()
+            try:
+                yield self._cycle_ns
+            finally:
+                pipeline.release()
+            yield self._rpc_unit_ns
+            if self.hard.inline_crypto and packet.kind is not RpcKind.CONTROL:
+                yield self._crypto_ns(packet)
+            # connection_manager.lookup inlined on the hit path (a generator
+            # per packet otherwise); misses take the full path.
+            hit, entry = cache_lookup(packet.connection_id)
+            if hit:
+                yield lookup_hit_ns
+            else:
+                monitor.connection_misses += 1
+                entry = yield from lookup_miss(packet.connection_id)
+            if packet.kind is RpcKind.REQUEST:
+                packet.dst_address = entry.dest_address
+            if self.transport is not None:
+                self.transport.on_egress(packet)
+            yield self._transport_ns
+            # eth.transmit(packet.wire_bytes) inlined (same grant / delay /
+            # release events, no delegated generator per frame); keep in
+            # sync with EthernetPort.transmit.
+            yield eth_port_request()
+            try:
+                wire_bytes = HEADER_BYTES + packet.payload_bytes
+                if wire_bytes < MIN_FRAME_BYTES:
+                    wire_bytes = MIN_FRAME_BYTES
+                wire_bytes += ETHERNET_OVERHEAD_BYTES
+                delay = int(wire_bytes / eth_bytes_per_ns)
+                eth.frames += 1
+                eth.bytes += wire_bytes
+                yield delay if delay > 1 else 1
+            finally:
+                eth_port_release()
+            packet.stamp("wire_tx", sim.now)
+            if self.tracer is not None:
+                self.tracer.record_packet(packet, "wire_tx", sim.now)
+            monitor.tx_rpcs += 1
+            switch_send(packet.dst_address, packet)
 
     def _control_sequencer(self) -> Generator:
+        get = self._control_queue.get
         while True:
-            packet = yield self._control_queue.get()
+            packet = yield get()
             yield from self.egress_pipeline(packet)
 
     def egress_pipeline(self, packet: RpcPacket) -> Generator:
         """RPC unit (serializer) -> connection lookup -> transport -> wire."""
-        cal = self.calibration
-        yield from self.pipeline.use(cal.nic_cycle_ns)
-        yield self.sim.timeout(cal.nic_rpc_unit_cycles * cal.nic_cycle_ns)
+        sim = self.sim
+        pipeline = self.pipeline
+        # pipeline.use(cycle) inlined: same grant/timeout/release events
+        # without a delegated generator per packet.
+        yield pipeline.request()
+        try:
+            yield self._cycle_ns
+        finally:
+            pipeline.release()
+        yield self._rpc_unit_ns
         if self.hard.inline_crypto and packet.kind is not RpcKind.CONTROL:
-            yield self.sim.timeout(self._crypto_ns(packet))
-        misses_before = self.connection_manager.cache.misses
-        entry = yield from self.connection_manager.lookup(packet.connection_id)
+            yield self._crypto_ns(packet)
+        connection_manager = self.connection_manager
+        misses_before = connection_manager.cache.misses
+        entry = yield from connection_manager.lookup(packet.connection_id)
         self.monitor.connection_misses += (
-            self.connection_manager.cache.misses - misses_before
+            connection_manager.cache.misses - misses_before
         )
         if packet.kind is RpcKind.REQUEST:
             packet.dst_address = entry.dest_address
         if self.transport is not None:
             self.transport.on_egress(packet)
-        yield self.sim.timeout(cal.nic_transport_cycles * cal.nic_cycle_ns)
+        yield self._transport_ns
         yield from self.eth.transmit(packet.wire_bytes)
         packet.stamp("wire_tx", self.sim.now)
         if self.tracer is not None:
@@ -288,11 +362,20 @@ class DaggerNic:
         # The ingress pipeline accepts one packet per cycle; the remaining
         # stage latency is paid per packet in a spawned continuation so the
         # unit pipelines like the RTL instead of serializing ~7 cycles.
-        cal = self.calibration
+        sim = self.sim
+        pipeline = self.pipeline
+        cycle_ns = self._cycle_ns
+        get = self._ingress_queue.get
+        spawn = sim.spawn
+        steer = self._ingress_steer
         while True:
-            packet = yield self._ingress_queue.get()
-            yield from self.pipeline.use(cal.nic_cycle_ns)
-            self.sim.spawn(self._ingress_steer(packet))
+            packet = yield get()
+            yield pipeline.request()
+            try:
+                yield cycle_ns
+            finally:
+                pipeline.release()
+            spawn(steer(packet))
 
     def _crypto_ns(self, packet: RpcPacket) -> int:
         """Latency of the optional inline encryption stage (§4.5)."""
@@ -301,14 +384,19 @@ class DaggerNic:
         return lines * cal.nic_crypto_cycles_per_line * cal.nic_cycle_ns
 
     def _ingress_steer(self, packet: RpcPacket) -> Generator:
-        cal = self.calibration
-        yield self.sim.timeout(cal.nic_rpc_unit_cycles * cal.nic_cycle_ns)
+        sim = self.sim
+        yield self._rpc_unit_ns
         if self.hard.inline_crypto and packet.kind is not RpcKind.CONTROL:
-            yield self.sim.timeout(self._crypto_ns(packet))
-        entry = yield from self.connection_manager.lookup(
-            packet.connection_id
-        )
-        yield self.sim.timeout(cal.nic_lb_cycles * cal.nic_cycle_ns)
+            yield self._crypto_ns(packet)
+        connection_manager = self.connection_manager
+        hit, entry = connection_manager.cache.lookup(packet.connection_id)
+        if hit:
+            yield connection_manager._hit_ns
+        else:
+            entry = yield from connection_manager.lookup_miss(
+                packet.connection_id
+            )
+        yield self._lb_ns
         if packet.kind is RpcKind.CONTROL:
             # NIC-terminated protocol packet: never reaches a host ring.
             from repro.rpc.congestion import CREDIT_METHOD

@@ -61,7 +61,7 @@ class RxPath:
                     continue
                 if sim.now >= deadline:
                     break
-                yield sim.timeout(min(self._POLL_NS, deadline - sim.now))
+                yield min(self._POLL_NS, deadline - sim.now)
         return batch
 
     def _flow_fsm(self, flow_id: int) -> Generator:

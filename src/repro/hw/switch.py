@@ -58,7 +58,7 @@ class ToRSwitch:
         self.packets_forwarded += 1
 
         def _deliver():
-            yield self.sim.timeout(self.delay_ns)
+            yield self.delay_ns
             ingress(packet)
 
         self.sim.spawn(_deliver())

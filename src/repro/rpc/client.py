@@ -29,6 +29,9 @@ from repro.sim.resources import Store
 class RpcCall:
     """Future for one in-flight RPC."""
 
+    __slots__ = ("packet", "event", "callback", "issued_at",
+                 "completed_at", "response")
+
     def __init__(self, sim: Simulator, packet: RpcPacket,
                  callback: Optional[Callable[["RpcCall"], None]] = None):
         self.packet = packet
@@ -152,7 +155,15 @@ class RpcClient:
         self.calls_issued += 1
         if self.tracer is not None:
             self.tracer.record(packet.rpc_id, "req_issue", self.sim.now)
-        yield from self.thread.exec(self.port.cpu_tx_ns(packet))
+        # thread.exec(port.cpu_tx_ns(packet)) inlined via begin/end_exec
+        # (issue path runs once per RPC).
+        thread = self.thread
+        yield thread.core.slots.request()
+        scaled = thread.begin_exec(self.port.cpu_tx_ns(packet))
+        try:
+            yield scaled
+        finally:
+            thread.end_exec()
         yield from self.port.send(packet)
         return call
 
@@ -169,9 +180,21 @@ class RpcClient:
     # -- receive path ----------------------------------------------------------
 
     def _poll_responses(self) -> Generator:
+        port = self.port
+        get = port.rx_ring.get
+        cpu_rx_ns = port.cpu_rx_ns
+        thread = self.thread
+        request = thread.core.slots.request
+        begin_exec = thread.begin_exec
+        end_exec = thread.end_exec
         while True:
-            packet = yield self.port.rx_ring.get()
-            yield from self.thread.exec(self.port.cpu_rx_ns(packet))
+            packet = yield get()
+            yield request()
+            scaled = begin_exec(cpu_rx_ns(packet))
+            try:
+                yield scaled
+            finally:
+                end_exec()
             if packet.kind is not RpcKind.RESPONSE:
                 raise RpcError(
                     f"{self.name} received a non-response packet: {packet!r}"

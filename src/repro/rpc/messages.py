@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 HEADER_BYTES = 16  # rpc id, connection id, flow, kind, method id, length
@@ -30,26 +29,49 @@ class RpcKind(enum.Enum):
 _packet_ids = itertools.count()
 
 
-@dataclass
 class RpcPacket:
-    """One RPC message (request or response)."""
+    """One RPC message (request or response).
 
-    kind: RpcKind
-    connection_id: int
-    method: str
-    payload: Any
-    payload_bytes: int
-    src_address: str = ""
-    dst_address: str = ""
-    src_flow: int = 0
-    rpc_id: int = field(default_factory=lambda: next(_packet_ids))
-    lb_key: Optional[int] = None  # key hash for object-level load balancing
-    seq: Optional[int] = None  # per-connection sequence (reliable transport)
-    timestamps: Dict[str, int] = field(default_factory=dict)
+    A plain slotted class rather than a dataclass: tens of thousands are
+    created per run (one per request plus one per response), and the
+    dataclass-generated ``__init__``/``__post_init__`` hop costs real time
+    on the issue path. Field order and defaults match the original
+    dataclass signature exactly.
+    """
 
-    def __post_init__(self):
-        if self.payload_bytes < 0:
-            raise ValueError(f"negative payload size {self.payload_bytes}")
+    __slots__ = ("kind", "connection_id", "method", "payload",
+                 "payload_bytes", "src_address", "dst_address", "src_flow",
+                 "rpc_id", "lb_key", "seq", "timestamps")
+
+    def __init__(
+        self,
+        kind: RpcKind,
+        connection_id: int,
+        method: str,
+        payload: Any,
+        payload_bytes: int,
+        src_address: str = "",
+        dst_address: str = "",
+        src_flow: int = 0,
+        rpc_id: Optional[int] = None,
+        lb_key: Optional[int] = None,  # key hash for object-level LB
+        seq: Optional[int] = None,  # per-connection seq (reliable transport)
+        timestamps: Optional[Dict[str, int]] = None,
+    ):
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload size {payload_bytes}")
+        self.kind = kind
+        self.connection_id = connection_id
+        self.method = method
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        self.src_address = src_address
+        self.dst_address = dst_address
+        self.src_flow = src_flow
+        self.rpc_id = next(_packet_ids) if rpc_id is None else rpc_id
+        self.lb_key = lb_key
+        self.seq = seq
+        self.timestamps = {} if timestamps is None else timestamps
 
     @property
     def wire_bytes(self) -> int:
@@ -57,7 +79,9 @@ class RpcPacket:
 
     def lines(self, line_bytes: int = 64) -> int:
         """Cache lines this packet occupies in host/NIC buffers."""
-        return max(1, -(-self.wire_bytes // line_bytes))
+        # wire_bytes inlined: this runs several times per packet on the
+        # TX/RX cost paths and the property descriptor hop is measurable.
+        return max(1, -(-(HEADER_BYTES + self.payload_bytes) // line_bytes))
 
     def stamp(self, point: str, now: int) -> None:
         """Record the first time the packet passes a named trace point."""

@@ -52,7 +52,15 @@ class HandlerContext:
 
     def exec(self, cost_ns: int) -> Generator:
         """Spend CPU time on the thread currently running the handler."""
-        yield from self.thread.exec(cost_ns)
+        if cost_ns < 0:
+            raise ValueError(f"negative cost {cost_ns}")
+        thread = self.thread
+        yield thread.core.slots.request()
+        scaled = thread.begin_exec(cost_ns)
+        try:
+            yield scaled
+        finally:
+            thread.end_exec()
 
     def defer(self, cost_ns: int) -> None:
         """Schedule post-response work on the handling thread.
@@ -114,15 +122,27 @@ class RpcServerThread:
 
     def _dispatch_loop(self) -> Generator:
         calibration = self.server.calibration
+        dispatch_ns = calibration.cpu_dispatch_ns
+        sim = self.sim
+        port = self.port
+        get = port.rx_ring.get
+        cpu_rx_ns = port.cpu_rx_ns
+        thread = self.thread
+        request = thread.core.slots.request
+        begin_exec = thread.begin_exec
+        end_exec = thread.end_exec
         while True:
-            packet = yield self.port.rx_ring.get()
-            packet.stamp("server_rx", self.sim.now)
+            packet = yield get()
+            packet.stamp("server_rx", sim.now)
             if self.tracer is not None:
                 self.tracer.record(packet.rpc_id, "req_dispatch",
-                                   self.sim.now)
-            yield from self.thread.exec(
-                self.port.cpu_rx_ns(packet) + calibration.cpu_dispatch_ns
-            )
+                                   sim.now)
+            yield request()
+            scaled = begin_exec(cpu_rx_ns(packet) + dispatch_ns)
+            try:
+                yield scaled
+            finally:
+                end_exec()
             if self.model is ThreadingModel.DISPATCH:
                 yield from self._handle(self.thread, packet)
             else:
@@ -147,7 +167,12 @@ class RpcServerThread:
             tracer.record(packet.rpc_id, "handler_done", self.sim.now)
         response_payload, response_bytes = result
         response = packet.make_response(response_payload, response_bytes)
-        yield from thread.exec(self.port.cpu_tx_ns(response))
+        yield thread.core.slots.request()
+        scaled = thread.begin_exec(self.port.cpu_tx_ns(response))
+        try:
+            yield scaled
+        finally:
+            thread.end_exec()
         yield from self.port.send(response)
         self.requests_handled += 1
         self.server.requests_handled += 1

@@ -9,12 +9,45 @@ yielded event.
 
 Time is an integer number of nanoseconds. Determinism is guaranteed: events
 scheduled for the same timestamp fire in scheduling order.
+
+Hot-path design (see docs/performance.md): a simulated RPC is dominated by
+the timeout/resume cycle, so the kernel avoids per-event overhead there.
+``triggered``/``processed`` are plain slot attributes (no property
+indirection), scheduling is inlined into the trigger paths (one ``heappush``
+instead of a ``_schedule`` call), the run loops cache heap/bound-method
+lookups in locals, and short-lived kernel-owned events are recycled through
+free lists instead of being reallocated:
+
+- :class:`Timeout` objects created via :meth:`Simulator.timeout` are
+  returned to a pool once the run loop has fired their callbacks. This is
+  safe because a timeout is single-shot and kernel-owned: every in-tree use
+  is ``yield sim.timeout(...)``, which drops the reference on resume.
+- Internal process-control events (spawn kick-off, post-processed wakeups,
+  interrupt carriers) are pooled the same way via
+  :meth:`Simulator._control_event`.
+
+Events created with :meth:`Simulator.event` are *never* pooled — callers
+hold those handles and may inspect ``triggered``/``value`` long after the
+callbacks ran (e.g. completion gates).
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, List, Optional
+
+#: Upper bound on each free list; beyond this, recycled events are simply
+#: dropped for the garbage collector (prevents pathological workloads from
+#: pinning unbounded memory in the pools).
+_POOL_CAP = 4096
+
+#: ``Event._recyclable`` values: not pooled / Timeout pool / control pool.
+_NO_POOL, _TIMEOUT_POOL, _CONTROL_POOL = 0, 1, 2
+
+#: Lazily bound Process class (avoids a circular import; resolved once by
+#: the first ``spawn`` instead of re-importing per call).
+_Process = None
 
 
 class SimulationError(RuntimeError):
@@ -41,56 +74,83 @@ class Event:
     *processed* once its callbacks have run. Processes yield events to wait
     for them; the value passed to :meth:`succeed` becomes the result of the
     ``yield`` expression.
+
+    ``triggered`` and ``processed`` are plain attributes, written only by
+    the kernel; treat them as read-only flags.
     """
 
-    __slots__ = ("sim", "callbacks", "_triggered", "_processed", "value", "_exception")
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "triggered",
+        "processed",
+        "value",
+        "_exception",
+        "_recyclable",
+    )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: List[Callable[["Event"], None]] = []
-        self._triggered = False
-        self._processed = False
+        self.triggered = False
+        self.processed = False
         self.value: Any = None
         self._exception: Optional[BaseException] = None
-
-    @property
-    def triggered(self) -> bool:
-        return self._triggered
-
-    @property
-    def processed(self) -> bool:
-        return self._processed
+        self._recyclable = _NO_POOL
 
     @property
     def ok(self) -> bool:
         """True if the event triggered successfully (no exception)."""
-        return self._triggered and self._exception is None
+        return self.triggered and self._exception is None
 
     def succeed(self, value: Any = None, delay: int = 0) -> "Event":
         """Trigger the event successfully ``delay`` ns from now."""
-        if self._triggered:
+        if self.triggered:
             raise SimulationError(f"{self!r} has already been triggered")
-        self._triggered = True
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.triggered = True
         self.value = value
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        if delay:
+            heappush(sim._heap, (sim.now + delay, sim._seq, self))
+            sim._seq += 1
+        else:
+            sim._nowq.append(self)
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
         """Trigger the event with an exception to be thrown into waiters."""
-        if self._triggered:
+        if self.triggered:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
-        self._triggered = True
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.triggered = True
         self._exception = exception
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        if delay:
+            heappush(sim._heap, (sim.now + delay, sim._seq, self))
+            sim._seq += 1
+        else:
+            sim._nowq.append(self)
         return self
 
     def _run_callbacks(self) -> None:
-        self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
+        self.processed = True
+        callbacks = self.callbacks
+        if len(callbacks) == 1:
+            # The dominant case: exactly one waiter (a process resume).
+            # Dispatch it directly instead of snapshotting the list.
+            callback = callbacks[0]
+            callbacks.clear()
             callback(self)
+        elif callbacks:
+            snapshot = tuple(callbacks)
+            callbacks.clear()
+            for callback in snapshot:
+                callback(self)
 
 
 class Timeout(Event):
@@ -101,10 +161,20 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self._triggered = True
+        # Inlined Event.__init__ + succeed(): a timeout is born triggered
+        # and scheduled, so skip the pending state entirely.
+        self.sim = sim
+        self.callbacks = []
+        self.triggered = True
+        self.processed = False
         self.value = value
-        sim._schedule(self, delay)
+        self._exception = None
+        self._recyclable = _TIMEOUT_POOL
+        if delay:
+            heappush(sim._heap, (sim.now + delay, sim._seq, self))
+            sim._seq += 1
+        else:
+            sim._nowq.append(self)
 
 
 class Simulator:
@@ -121,51 +191,117 @@ class Simulator:
         assert handle.value == 42
     """
 
+    __slots__ = ("now", "_heap", "_nowq", "_seq", "_timeout_free",
+                 "_control_free")
+
     def __init__(self):
         self.now: int = 0
         self._heap: list = []
+        # Zero-delay events (grants, hand-offs, process control — the
+        # majority) bypass the heap through this FIFO: a deque append/
+        # popleft is much cheaper than a heap siftdown/siftup, and the
+        # smaller heap makes the remaining timed pushes cheaper too.
+        # Firing order stays exact: time only advances when this queue
+        # is empty, so every heap entry due at the current time was
+        # scheduled before everything queued here and fires first (see
+        # the pop logic in run()); within the queue, FIFO == scheduling
+        # order. Heap entries keep a seq tie-break for equal times.
+        self._nowq: deque = deque()
         self._seq: int = 0
-        self._active_processes: int = 0
+        self._timeout_free: list = []
+        self._control_free: list = []
 
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, delay: int = 0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
-        self._seq += 1
+        if delay:
+            heappush(self._heap, (self.now + delay, self._seq, event))
+            self._seq += 1
+        else:
+            self._nowq.append(event)
 
     def event(self) -> Event:
-        """Create a new pending event."""
+        """Create a new pending event (never pooled; safe to hold)."""
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """An event that triggers ``delay`` ns from now."""
+        free = self._timeout_free
+        if free:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            timeout = free.pop()
+            timeout.triggered = True
+            timeout.value = value
+            if delay:
+                heappush(self._heap, (self.now + delay, self._seq, timeout))
+                self._seq += 1
+            else:
+                self._nowq.append(timeout)
+            return timeout
         return Timeout(self, delay, value)
+
+    def _control_event(self) -> Event:
+        """A pooled kernel-internal event (process start/wakeup/interrupt).
+
+        The caller must fully configure it (callbacks, trigger state) and
+        must not expose it outside the kernel: it is recycled as soon as the
+        run loop has fired its callbacks.
+        """
+        free = self._control_free
+        if free:
+            return free.pop()
+        event = Event(self)
+        event._recyclable = _CONTROL_POOL
+        return event
 
     def spawn(self, generator: Generator) -> "Process":
         """Start a new process from a generator coroutine."""
-        from repro.sim.process import Process
-
-        return Process(self, generator)
+        global _Process
+        if _Process is None:
+            from repro.sim.process import Process as _Process  # noqa: F811
+        return _Process(self, generator)
 
     # -- execution ----------------------------------------------------------
+
+    def _pop_next(self) -> Event:
+        """Pop the next event in exact (time, seq) order, advancing ``now``.
+
+        Zero-delay events live in ``_nowq`` (all scheduled at the current
+        time, FIFO); timed events live in the heap. A heap entry due at the
+        current time always predates the queued events (time only advances
+        when the queue is empty), so it fires first.
+        """
+        nowq = self._nowq
+        if nowq:
+            heap = self._heap
+            if heap and heap[0][0] <= self.now:
+                when, _, event = heappop(heap)
+                self.now = when
+                return event
+            return nowq.popleft()
+        when, _, event = heappop(self._heap)
+        self.now = when
+        return event
 
     def step(self) -> None:
         """Process the next scheduled event.
 
         Raises :class:`SimulationError` when nothing is scheduled, like the
         kernel's other misuse paths (rather than leaking a bare
-        ``IndexError`` from the heap).
+        ``IndexError`` from the heap). Events fired through ``step`` are
+        not recycled — only the batch run loops feed the pools.
         """
-        if not self._heap:
+        if not self._heap and not self._nowq:
             raise SimulationError("no scheduled events")
-        when, _, event = heapq.heappop(self._heap)
-        self.now = when
-        event._run_callbacks()
+        self._pop_next()._run_callbacks()
 
     def peek(self) -> Optional[int]:
-        """Timestamp of the next event, or None if the heap is empty."""
+        """Timestamp of the next event, or None if nothing is scheduled."""
+        if self._nowq:
+            return self.now
         return self._heap[0][0] if self._heap else None
 
     def run(self, until: Optional[int] = None) -> None:
@@ -177,29 +313,128 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
+        # The loop body inlines the dual-queue pop of _pop_next, the
+        # single-callback dispatch of Event._run_callbacks, and the pool
+        # recycling: at one pooled event per timeout/resume cycle, the
+        # method-call overhead of the factored versions is the single
+        # largest kernel cost.
         heap = self._heap
-        while heap:
-            when = heap[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return
-            _, _, event = heapq.heappop(heap)
-            self.now = when
-            event._run_callbacks()
+        nowq = self._nowq
+        pop = heappop
+        popleft = nowq.popleft
+        tfree = self._timeout_free
+        cfree = self._control_free
+        now = self.now
+        while True:
+            if nowq:
+                if heap and heap[0][0] <= now:
+                    head = pop(heap)
+                    now = self.now = head[0]
+                    event = head[2]
+                else:
+                    event = popleft()
+            elif heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                event = pop(heap)[2]
+                now = self.now = when
+            else:
+                break
+            callbacks = event.callbacks
+            recyclable = event._recyclable
+            if recyclable:
+                # Pooled single-shot event: dispatch without touching the
+                # ``processed`` flag (it is reset here anyway) and refile.
+                try:
+                    [callback] = callbacks
+                except ValueError:
+                    event._run_callbacks()
+                    event.processed = False
+                else:
+                    callbacks.clear()
+                    callback(event)
+                    if callbacks:
+                        callbacks.clear()
+                event.triggered = False
+                event.value = None
+                event._exception = None
+                free = tfree if recyclable == _TIMEOUT_POOL else cfree
+                if len(free) < _POOL_CAP:
+                    free.append(event)
+            else:
+                try:
+                    [callback] = callbacks
+                except ValueError:
+                    event._run_callbacks()
+                else:
+                    event.processed = True
+                    callbacks.clear()
+                    callback(event)
         if until is not None:
             self.now = until
 
     def run_until_done(self, process: "Process") -> Any:
         """Run until a given process finishes; return its value.
 
-        Raises the process's exception if it failed.
+        Raises the process's exception if it failed. Uses the same inlined
+        pop/dispatch/recycle loop as :meth:`run` (not per-event ``step()``
+        calls), keeping the deadlock :class:`SimulationError` behavior.
         """
+        heap = self._heap
+        nowq = self._nowq
+        pop = heappop
+        popleft = nowq.popleft
+        tfree = self._timeout_free
+        cfree = self._control_free
+        now = self.now
         while not process.triggered:
-            if not self._heap:
+            if nowq:
+                if heap and heap[0][0] <= now:
+                    head = pop(heap)
+                    now = self.now = head[0]
+                    event = head[2]
+                else:
+                    event = popleft()
+            elif heap:
+                head = pop(heap)
+                now = self.now = head[0]
+                event = head[2]
+            else:
                 raise SimulationError(
                     "event heap drained before process completed (deadlock?)"
                 )
-            self.step()
+            callbacks = event.callbacks
+            recyclable = event._recyclable
+            if recyclable:
+                # Pooled single-shot event: dispatch without touching the
+                # ``processed`` flag (it is reset here anyway) and refile.
+                try:
+                    [callback] = callbacks
+                except ValueError:
+                    event._run_callbacks()
+                    event.processed = False
+                else:
+                    callbacks.clear()
+                    callback(event)
+                    if callbacks:
+                        callbacks.clear()
+                event.triggered = False
+                event.value = None
+                event._exception = None
+                free = tfree if recyclable == _TIMEOUT_POOL else cfree
+                if len(free) < _POOL_CAP:
+                    free.append(event)
+            else:
+                try:
+                    [callback] = callbacks
+                except ValueError:
+                    event._run_callbacks()
+                else:
+                    event.processed = True
+                    callbacks.clear()
+                    callback(event)
         if process._exception is not None:
             process.defuse()
             raise process._exception

@@ -4,6 +4,17 @@ These are the queueing building blocks of the hardware models: a
 :class:`Resource` models a station with ``capacity`` parallel servers (a CPU
 core, a bus with N outstanding slots, a DMA engine); a :class:`Store` models
 a FIFO queue of items (a ring buffer, a flow FIFO, a completion queue).
+
+Hot-path design (see docs/performance.md): grant/hand-off events are
+single-shot and immediately yielded by every caller (``yield
+resource.request()`` / ``yield store.get()``), so they are drawn from the
+kernel's pooled-event free list instead of freshly allocated, and are
+triggered with a single inlined heap push instead of the checked
+:meth:`Event.succeed` path. The pooling contract this relies on: an event
+returned by :meth:`Resource.request`, :meth:`Store.put` or :meth:`Store.get`
+must be yielded before the process yields anything else, and must not be
+kept after the yield resumes — the kernel recycles it as soon as its
+callbacks have run.
 """
 
 from __future__ import annotations
@@ -11,7 +22,24 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
-from repro.sim.kernel import Event, SimulationError, Simulator
+from repro.sim.kernel import _CONTROL_POOL, Event, SimulationError, Simulator
+
+
+def _pooled_event(sim: Simulator) -> Event:
+    """A recyclable event from the kernel pool (see module docstring)."""
+    free = sim._control_free
+    if free:
+        return free.pop()
+    event = Event(sim)
+    event._recyclable = _CONTROL_POOL
+    return event
+
+
+def _trigger_now(sim: Simulator, event: Event, value: Any = None) -> None:
+    """Trigger an untriggered event at the current time (hot-path inline)."""
+    event.triggered = True
+    event.value = value
+    sim._nowq.append(event)
 
 
 class QueueFullError(SimulationError):
@@ -29,6 +57,8 @@ class Resource:
         finally:
             resource.release()
     """
+
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiters")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -48,11 +78,21 @@ class Resource:
         return len(self._waiters)
 
     def request(self) -> Event:
-        """Return an event that triggers when a server is granted."""
-        event = Event(self.sim)
+        """Return an event that triggers when a server is granted.
+
+        The event is pooled: yield it immediately, don't hold it.
+        """
+        sim = self.sim
+        free = sim._control_free
+        if free:
+            event = free.pop()
+        else:
+            event = Event(sim)
+            event._recyclable = _CONTROL_POOL
         if self._in_use < self.capacity:
             self._in_use += 1
-            event.succeed()
+            event.triggered = True
+            sim._nowq.append(event)
         else:
             self._waiters.append(event)
         return event
@@ -63,7 +103,7 @@ class Resource:
             raise SimulationError(f"release() of idle resource {self.name!r}")
         if self._waiters:
             waiter = self._waiters.popleft()
-            waiter.succeed()
+            _trigger_now(self.sim, waiter)
         else:
             self._in_use -= 1
 
@@ -83,7 +123,13 @@ class Store:
     ``put`` blocks when the store is full (unless ``reject_when_full``, in
     which case it fails the put event with :class:`QueueFullError` — used to
     model packet drops). ``get`` blocks when the store is empty.
+
+    Events returned by ``put``/``get`` are pooled: yield them immediately,
+    don't hold them (see module docstring).
     """
+
+    __slots__ = ("sim", "capacity", "name", "reject_when_full", "_items",
+                 "_getters", "_putters", "drops", "on_get")
 
     def __init__(
         self,
@@ -115,16 +161,26 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Return an event that triggers once the item is enqueued."""
-        event = Event(self.sim)
+        sim = self.sim
+        free = sim._control_free
+        if free:
+            event = free.pop()
+        else:
+            event = Event(sim)
+            event._recyclable = _CONTROL_POOL
+        capacity = self.capacity
         if self._getters:
             # Direct hand-off to the oldest waiting getter.
             getter = self._getters.popleft()
-            getter.succeed(item)
-            self._notify_get(item)
-            event.succeed()
-        elif not self.is_full:
+            _trigger_now(sim, getter, item)
+            if self.on_get is not None:
+                self.on_get(item)
+            event.triggered = True
+            sim._nowq.append(event)
+        elif capacity is None or len(self._items) < capacity:
             self._items.append(item)
-            event.succeed()
+            event.triggered = True
+            sim._nowq.append(event)
         elif self.reject_when_full:
             self.drops += 1
             event.fail(QueueFullError(f"store {self.name!r} full"))
@@ -136,10 +192,12 @@ class Store:
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False (and counts a drop) when full."""
         if self._getters:
-            self._getters.popleft().succeed(item)
-            self._notify_get(item)
+            _trigger_now(self.sim, self._getters.popleft(), item)
+            if self.on_get is not None:
+                self.on_get(item)
             return True
-        if not self.is_full:
+        capacity = self.capacity
+        if capacity is None or len(self._items) < capacity:
             self._items.append(item)
             return True
         self.drops += 1
@@ -147,17 +205,31 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that triggers with the oldest item."""
-        event = Event(self.sim)
+        sim = self.sim
+        free = sim._control_free
+        if free:
+            event = free.pop()
+        else:
+            event = Event(sim)
+            event._recyclable = _CONTROL_POOL
         if self._items:
             item = self._items.popleft()
-            event.succeed(item)
-            self._notify_get(item)
-            self._admit_putter()
+            event.triggered = True
+            event.value = item
+            sim._nowq.append(event)
+            if self.on_get is not None:
+                self.on_get(item)
+            if self._putters and not self.is_full:
+                putter = self._putters.popleft()
+                self._items.append(putter.value)
+                _trigger_now(sim, putter)
         elif self._putters:
             putter = self._putters.popleft()
-            event.succeed(putter.value)
-            self._notify_get(putter.value)
-            putter.succeed()
+            item = putter.value
+            _trigger_now(sim, event, item)
+            if self.on_get is not None:
+                self.on_get(item)
+            _trigger_now(sim, putter)
         else:
             self._getters.append(event)
         return event
@@ -166,8 +238,14 @@ class Store:
         """Non-blocking get; returns None when empty."""
         if self._items:
             item = self._items.popleft()
-            self._notify_get(item)
-            self._admit_putter()
+            if self.on_get is not None:
+                self.on_get(item)
+            if self._putters:
+                capacity = self.capacity
+                if capacity is None or len(self._items) < capacity:
+                    putter = self._putters.popleft()
+                    self._items.append(putter.value)
+                    _trigger_now(self.sim, putter)
             return item
         return None
 
@@ -179,4 +257,4 @@ class Store:
         if self._putters and not self.is_full:
             putter = self._putters.popleft()
             self._items.append(putter.value)
-            putter.succeed()
+            _trigger_now(self.sim, putter)

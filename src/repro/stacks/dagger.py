@@ -36,7 +36,9 @@ class DaggerPort(StackPort):
         return self.stack.nic.rx_ring(self.flow_id)
 
     def send(self, packet: RpcPacket):
-        yield from self.stack.nic.send_from_host(self.flow_id, packet)
+        # Returns the NIC generator directly instead of delegating with
+        # ``yield from`` — one less generator frame per packet sent.
+        return self.stack.nic.send_from_host(self.flow_id, packet)
 
     def _reassembly_ns(self, packet: RpcPacket) -> int:
         if self.stack.nic.hard.hw_reassembly:

@@ -239,10 +239,38 @@ def test_yield_non_event_fails_process():
     sim = Simulator()
 
     def bad():
-        yield 42
+        yield "not an event"
 
     handle = sim.spawn(bad())
     with pytest.raises(SimulationError, match="must[\\s\\S]*yield Event"):
+        sim.run_until_done(handle)
+
+
+def test_yield_int_is_timeout_shorthand():
+    # ``yield n`` is the fast-path equivalent of ``yield sim.timeout(n)``.
+    sim = Simulator()
+    times = []
+
+    def sleeper():
+        yield 5
+        times.append(sim.now)
+        yield 0
+        times.append(sim.now)
+        yield sim.timeout(3)
+        times.append(sim.now)
+
+    sim.run_until_done(sim.spawn(sleeper()))
+    assert times == [5, 5, 8]
+
+
+def test_yield_negative_int_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield -1
+
+    handle = sim.spawn(bad())
+    with pytest.raises(SimulationError, match="negative timeout"):
         sim.run_until_done(handle)
 
 

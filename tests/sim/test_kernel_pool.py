@@ -1,0 +1,196 @@
+"""Event-pool unit tests: recycling must never leak state between uses.
+
+The kernel recycles Timeout and internal control events through free lists
+(see the hot-path notes in ``repro.sim.kernel``). These tests pin the pool
+contract: recycled events come back clean (no stale callbacks, values, or
+trigger state), ``sim.event()`` handles are never pooled, and the pools
+stay bounded.
+"""
+
+import pytest
+
+from repro.sim.kernel import _NO_POOL, _POOL_CAP, Simulator, Timeout
+
+
+def drain(sim):
+    sim.run()
+
+
+class TestTimeoutPool:
+    def test_timeout_object_is_reused(self):
+        sim = Simulator()
+        first = {}
+
+        def once():
+            first["timeout"] = sim.timeout(5)
+            yield first["timeout"]
+
+        drain(sim.spawn(once()) and sim)
+        assert sim._timeout_free, "fired timeout was not recycled"
+
+        second = {}
+
+        def again():
+            second["timeout"] = sim.timeout(3)
+            yield second["timeout"]
+
+        sim.spawn(again())
+        drain(sim)
+        assert second["timeout"] is first["timeout"]
+
+    def test_recycled_timeout_comes_back_clean(self):
+        sim = Simulator()
+
+        def use(value):
+            yield sim.timeout(2, value=value)
+
+        sim.spawn(use("stale-value"))
+        drain(sim)
+        [timeout] = sim._timeout_free
+        assert timeout.triggered is False
+        assert timeout.value is None
+        assert timeout._exception is None
+        assert timeout.callbacks == []
+
+    def test_reused_timeout_delivers_fresh_value(self):
+        sim = Simulator()
+        seen = []
+
+        def use(value):
+            got = yield sim.timeout(1, value=value)
+            seen.append(got)
+
+        sim.spawn(use("a"))
+        drain(sim)
+        sim.spawn(use("b"))
+        drain(sim)
+        assert seen == ["a", "b"]
+
+    def test_negative_delay_rejected_on_pooled_path(self):
+        sim = Simulator()
+
+        def use():
+            yield sim.timeout(1)
+
+        sim.spawn(use())
+        drain(sim)
+        assert sim._timeout_free  # next timeout() takes the pooled branch
+        with pytest.raises(Exception):
+            sim.timeout(-1)
+
+    def test_fresh_and_pooled_timeouts_fire_identically(self):
+        def workload(sim, log):
+            def ticker(tag):
+                for i in range(4):
+                    yield sim.timeout(3)
+                    log.append((sim.now, tag, i))
+
+            sim.spawn(ticker("x"))
+            sim.spawn(ticker("y"))
+            sim.run()
+
+        cold_log = []
+        workload(Simulator(), cold_log)
+
+        warm_sim = Simulator()
+
+        def prime():
+            yield warm_sim.timeout(1)
+
+        warm_sim.spawn(prime())  # populate the pool
+        warm_sim.run()
+        warm_log = []
+
+        def rebase(entries, t0):
+            return [(t - t0, tag, i) for t, tag, i in entries]
+
+        t0 = warm_sim.now
+        workload(warm_sim, warm_log)
+        assert rebase(warm_log, t0) == cold_log
+
+
+class TestControlPool:
+    def test_spawn_control_events_are_recycled(self):
+        sim = Simulator()
+
+        def noop():
+            return
+            yield
+
+        for _ in range(3):
+            sim.spawn(noop())
+        drain(sim)
+        assert sim._control_free, "spawn kick-off events were not recycled"
+        for event in sim._control_free:
+            assert event.triggered is False
+            assert event.value is None
+            assert event.callbacks == []
+
+
+class TestUserEventsNeverPooled:
+    def test_sim_event_is_not_recycled(self):
+        sim = Simulator()
+        gate = sim.event()
+        assert gate._recyclable == _NO_POOL
+
+        def waiter():
+            got = yield gate
+            assert got == "payload"
+
+        def firer():
+            yield sim.timeout(2)
+            gate.succeed("payload")
+
+        sim.spawn(waiter())
+        sim.spawn(firer())
+        drain(sim)
+        # The handle stays inspectable after its callbacks ran — that is
+        # the whole point of not pooling it.
+        assert gate.triggered is True
+        assert gate.value == "payload"
+        assert gate not in sim._timeout_free
+        assert gate not in sim._control_free
+
+    def test_explicit_timeout_construction_still_works(self):
+        sim = Simulator()
+        got = []
+
+        def use():
+            got.append((yield Timeout(sim, 7, value="direct")))
+
+        sim.spawn(use())
+        drain(sim)
+        assert got == ["direct"]
+        assert sim.now == 7
+
+
+class TestPoolBounds:
+    def test_pool_never_exceeds_cap(self):
+        sim = Simulator()
+        n = _POOL_CAP + 64
+
+        def one_shot():
+            yield 1
+
+        for _ in range(n):
+            sim.spawn(one_shot())
+        drain(sim)
+        assert len(sim._timeout_free) <= _POOL_CAP
+        assert len(sim._control_free) <= _POOL_CAP
+
+    def test_heavy_reuse_stays_deterministic(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+
+            def worker(wid):
+                for i in range(50):
+                    yield sim.timeout(1 + (wid + i) % 3)
+                    log.append((sim.now, wid, i))
+
+            for wid in range(8):
+                sim.spawn(worker(wid))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()
