@@ -1,0 +1,142 @@
+"""Telemetry-overhead guardrail: untraced hot path must stay free.
+
+The observability layer (span tracer, timeline collector, usage
+accounting) is built on the ``x is not None`` zero-cost pattern: every
+hook site in the simulation hot path is a single load+branch when the
+feature is off. This benchmark keeps that claim honest:
+
+- **A/B timing** — interleaved rounds of the tier-1 reference echo run
+  (``run_closed_loop(batch_size=4, nreq=4000)``) with telemetry off (A)
+  and on (B). Interleaving makes machine-load drift hit both sides
+  equally, so the B/A ratio is meaningful on a shared machine even when
+  absolute wall-clock is not.
+- **Signature gate (hard)** — the untraced run, the telemetry-enabled
+  run, and the committed ``BENCH_kernel.json`` signature must all agree
+  bit-for-bit. Telemetry only *reads* model state; if enabling it ever
+  changes a simulated result, that is a correctness bug, not a perf
+  regression, and this benchmark fails.
+- **Regression gate (optional)** — ``--max-untraced-regression PCT``
+  additionally fails if the untraced median is more than PCT percent
+  slower than the ``BENCH_kernel.json`` echo median. Off by default:
+  wall-clock against a number recorded on another machine is only
+  comparable on the machine that recorded it (CI uses the committed
+  baseline, which CI itself produced).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_overhead.py [--rounds N]
+        [--nreq N] [--max-untraced-regression PCT]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         "..", ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.runner import run_closed_loop  # noqa: E402
+
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+
+def echo_once(nreq: int, telemetry: bool):
+    """Time one reference echo run; return (seconds, signature)."""
+    started = time.perf_counter()
+    result = run_closed_loop(batch_size=4, nreq=nreq, telemetry=telemetry)
+    elapsed = time.perf_counter() - started
+    signature = (result.throughput_mrps, result.p50_us, result.p99_us,
+                 result.count)
+    return elapsed, signature
+
+
+def committed_signature(nreq: int):
+    """(signature tuple, echo median_s) from BENCH_kernel.json, if usable."""
+    try:
+        with open(BENCH_JSON) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None, None
+    echo = data.get("echo", {})
+    if echo.get("nreq") != nreq:
+        return None, None
+    sig = echo.get("signature", {})
+    try:
+        return ((sig["throughput_mrps"], sig["p50_us"], sig["p99_us"],
+                 sig["count"]), echo.get("median_s"))
+    except KeyError:
+        return None, None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="interleaved A/B repetitions (default 5)")
+    parser.add_argument("--nreq", type=int, default=4000,
+                        help="echo benchmark request count (default 4000)")
+    parser.add_argument("--max-untraced-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="fail if the untraced median is more than PCT%% "
+                             "slower than the BENCH_kernel.json echo median "
+                             "(only meaningful on the machine that recorded "
+                             "the baseline)")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be >= 1")
+
+    echo_once(args.nreq, telemetry=False)  # warmup
+    off_times, on_times = [], []
+    off_sigs, on_sigs = set(), set()
+    for _ in range(args.rounds):
+        seconds, sig = echo_once(args.nreq, telemetry=False)
+        off_times.append(seconds)
+        off_sigs.add(sig)
+        seconds, sig = echo_once(args.nreq, telemetry=True)
+        on_times.append(seconds)
+        on_sigs.add(sig)
+
+    if len(off_sigs) != 1 or off_sigs != on_sigs:
+        print(f"FAIL: telemetry changed simulated results\n"
+              f"  off: {sorted(off_sigs)}\n  on:  {sorted(on_sigs)}",
+              file=sys.stderr)
+        return 1
+    signature = off_sigs.pop()
+    committed, committed_median = committed_signature(args.nreq)
+    if committed is not None and committed != signature:
+        print(f"FAIL: results diverge from BENCH_kernel.json\n"
+              f"  committed: {committed}\n  measured:  {signature}",
+              file=sys.stderr)
+        return 1
+
+    off_median = statistics.median(off_times)
+    on_median = statistics.median(on_times)
+    overhead = on_median / off_median - 1.0
+    print(f"untraced median: {off_median:.4f} s (best {min(off_times):.4f})")
+    print(f"telemetry median: {on_median:.4f} s (best {min(on_times):.4f})")
+    print(f"telemetry overhead: {overhead:+.1%} "
+          f"(interleaved, {args.rounds} rounds)")
+    print(f"result signature: {signature}"
+          + (" == BENCH_kernel.json" if committed is not None else
+             " (no comparable BENCH_kernel.json entry)"))
+
+    if args.max_untraced_regression is not None:
+        if committed_median is None:
+            print("FAIL: --max-untraced-regression needs a comparable "
+                  "echo entry in BENCH_kernel.json", file=sys.stderr)
+            return 1
+        regression = off_median / committed_median - 1.0
+        print(f"untraced vs committed baseline: {regression:+.1%} "
+              f"(limit +{args.max_untraced_regression:.1f}%)")
+        if regression * 100.0 > args.max_untraced_regression:
+            print("FAIL: untraced hot path regressed beyond the limit",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,15 @@ Commands:
   footprint of a NIC configuration (Table 1's estimator).
 - ``trace [--stack S] [--interface I] [...]`` — run a traced echo
   benchmark and print the per-RPC stage breakdown plus the unified
-  metrics-registry snapshot (optionally dumping spans as JSON lines).
+  metrics-registry snapshot (optionally dumping spans as JSON lines);
+  ``trace --replay dump.jsonl`` re-renders the breakdown from a previous
+  dump (exit code 2 on a missing or corrupt file).
+- ``timeline [--chrome-trace out.json] [--interval-ns N] [--report]`` —
+  run a telemetry-enabled echo benchmark and print the exact
+  per-component utilization table; ``--chrome-trace`` exports a Chrome
+  trace-event / Perfetto JSON file (open at https://ui.perfetto.dev);
+  ``--report`` sweeps offered load and prints the bottleneck attribution
+  at the latency knee.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import sys
 import time
 
 from repro.harness import experiments
-from repro.harness.report import render_table
+from repro.harness.report import render_bottleneck, render_table
 
 #: experiment id -> (description, runner returning printable text)
 _REGISTRY = {}
@@ -120,6 +128,13 @@ def _fig11_load(jobs=1, cache=True):
     )
 
 
+@_register("fig11-bottleneck",
+           "Fig 11 (left): first-saturating component at the latency knee")
+def _fig11_bottleneck(jobs=1, cache=True):
+    result = experiments.fig11_bottleneck(jobs=jobs, cache=cache)
+    return render_bottleneck(result["report"])
+
+
 @_register("fig11-scale", "Fig 11 (right): thread scalability")
 def _fig11_scale(jobs=1, cache=True):
     rows = experiments.fig11_scalability(jobs=jobs, cache=cache)
@@ -193,6 +208,25 @@ def cmd_trace(args) -> int:
     from repro.harness.runner import EchoRig
     from repro.obs import JsonLinesSink, dump_metrics, dump_trace
 
+    if args.replay is not None:
+        from repro.obs import TraceFileError, breakdown, load_trace
+
+        try:
+            data = load_trace(args.replay)
+        except TraceFileError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not data["spans"]:
+            print(f"error: no spans in {args.replay} (was the dump written "
+                  "with --jsonl from a traced run?)", file=sys.stderr)
+            return 2
+        print(render_breakdown(
+            breakdown(data["spans"], warmup_ns=0),
+            title=f"Per-stage latency breakdown (replay of {args.replay}, "
+                  f"{len(data['spans'])} spans)",
+        ))
+        return 0
+
     try:
         rig = EchoRig(
             stack_name=args.stack,
@@ -220,6 +254,52 @@ def cmd_trace(args) -> int:
             emitted = dump_trace(rig.tracer, sink)
             dump_metrics(rig.registry, sink)
         print(f"\nwrote {emitted + 1} records to {args.jsonl}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.harness.report import render_utilization
+    from repro.harness.runner import EchoRig
+
+    if args.report:
+        result = experiments.fig11_bottleneck(
+            loads_mrps=args.loads, batch_size=args.batch, nreq=args.nreq,
+            jobs=args.jobs, cache=not args.no_cache,
+        )
+        print(render_bottleneck(result["report"]))
+        return 0
+
+    try:
+        rig = EchoRig(
+            stack_name=args.stack,
+            interface=args.interface,
+            batch_size=args.batch,
+            num_threads=args.threads,
+            trace=args.chrome_trace is not None,
+            telemetry=True,
+            telemetry_interval_ns=args.interval_ns,
+        )
+        if args.open_loop_mrps is not None:
+            result = rig.open_loop(args.open_loop_mrps, nreq=args.nreq)
+        else:
+            result = rig.closed_loop(window=args.window, nreq=args.nreq)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{result.count} RPCs, {result.throughput_mrps:.2f} Mrps, "
+          f"p50 {result.p50_us:.2f} us, p99 {result.p99_us:.2f} us, "
+          f"{rig.timeline.samples_taken} telemetry samples")
+    print()
+    print(render_utilization(result.utilization))
+    if args.chrome_trace:
+        try:
+            emitted = rig.export_chrome_trace(args.chrome_trace)
+        except OSError as exc:
+            print(f"error: cannot write {args.chrome_trace}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"\nwrote {emitted} trace events to {args.chrome_trace} "
+              "(open at https://ui.perfetto.dev)")
     return 0
 
 
@@ -320,6 +400,45 @@ def main(argv=None) -> int:
                                    "instead of the closed loop")
     trace_parser.add_argument("--jsonl", default=None, metavar="PATH",
                               help="also dump spans + metrics as JSON lines")
+    trace_parser.add_argument("--replay", default=None, metavar="PATH",
+                              help="re-render the breakdown from a previous "
+                                   "--jsonl dump instead of running")
+    timeline_parser = sub.add_parser(
+        "timeline",
+        help="run a telemetry-enabled echo benchmark; print exact "
+             "utilization (and optionally export a Perfetto trace)",
+    )
+    timeline_parser.add_argument("--stack", default="dagger")
+    timeline_parser.add_argument("--interface", default="upi")
+    timeline_parser.add_argument("--batch", type=int, default=1)
+    timeline_parser.add_argument("--threads", type=int, default=1)
+    timeline_parser.add_argument("--window", type=int, default=8,
+                                 help="closed-loop in-flight window per "
+                                      "client")
+    timeline_parser.add_argument("--nreq", type=int, default=4000)
+    timeline_parser.add_argument("--open-loop-mrps", type=float, default=None,
+                                 help="use Poisson open-loop at this load "
+                                      "instead of the closed loop")
+    timeline_parser.add_argument("--interval-ns", type=int, default=2000,
+                                 help="telemetry sampling period in "
+                                      "simulated ns")
+    timeline_parser.add_argument("--chrome-trace", default=None,
+                                 metavar="PATH",
+                                 help="export a Chrome trace-event / "
+                                      "Perfetto JSON file (open at "
+                                      "https://ui.perfetto.dev)")
+    timeline_parser.add_argument("--report", action="store_true",
+                                 help="sweep offered load and print the "
+                                      "bottleneck attribution at the "
+                                      "latency knee")
+    timeline_parser.add_argument("--loads", type=float, nargs="+",
+                                 default=None, metavar="MRPS",
+                                 help="offered loads for --report")
+    timeline_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                                 help="worker processes for --report")
+    timeline_parser.add_argument("--no-cache", action="store_true",
+                                 help="ignore the sweep result cache for "
+                                      "--report")
     resources_parser = sub.add_parser(
         "resources", help="estimate a NIC configuration's FPGA footprint"
     )
@@ -337,6 +456,7 @@ def main(argv=None) -> int:
         "calibration": cmd_calibration,
         "resources": cmd_resources,
         "trace": cmd_trace,
+        "timeline": cmd_timeline,
         "sweep": cmd_sweep,
     }
     return handlers[args.command](args)

@@ -22,6 +22,7 @@ Experiment index (see DESIGN.md section 4):
 - :func:`fig5_interference` — Fig 5 (CPU contention networking vs logic)
 - :func:`fig10_interfaces` — Fig 10 (CPU-NIC interface comparison)
 - :func:`fig11_latency_load` / :func:`fig11_scalability` — Fig 11
+- :func:`fig11_bottleneck` — Fig 11 (left) + first-saturating component
 - :func:`fig12_kvs` — Fig 12 (memcached + MICA over Dagger)
 - :func:`fig15_flight_curves` — Fig 15 (Flight latency/load curves)
 - :func:`sec53_raw_access` — section 5.3's raw UPI-vs-PCIe read latency
@@ -40,6 +41,7 @@ from repro.apps.microservices.social_network import (
     social_network_graph,
 )
 from repro.harness.sweep import SweepPoint, run_sweep
+from repro.obs import attribute_bottleneck
 from repro.hw.calibration import DEFAULT_CALIBRATION
 from repro.hw.nic.config import NicHardConfig
 from repro.hw.nic.resources import estimate_resources, max_nic_instances
@@ -327,6 +329,39 @@ def fig11_latency_load(loads_mrps: Optional[List[float]] = None,
         "p99_us": result.p99_us,
         "throughput_mrps": result.throughput_mrps,
     } for (label, _, _, load), result in zip(grid, results)]
+
+
+def fig11_bottleneck(loads_mrps: Optional[List[float]] = None,
+                     batch_size: int = 1, nreq: int = 6000, jobs: int = 1,
+                     cache: bool = True) -> Dict:
+    """Fig 11 (left) with bottleneck attribution (ISSUE 3 tentpole).
+
+    Re-runs the latency/load sweep with time-series telemetry enabled, so
+    every load point carries the exact per-component busy fractions, then
+    names the first-saturating component at the latency knee. This turns
+    the paper's section 5.4 narrative ("B=1 is paced by the fetch FSM;
+    larger batches move the bound to the flow scheduler / UPI") into a
+    measured attribution instead of prose.
+    """
+    loads = loads_mrps or ([1, 2, 4, 6, 7, 7.8] if batch_size == 1
+                           else [1, 2, 4, 6, 8, 10, 12])
+    results = run_sweep(
+        [SweepPoint(_OPEN_LOOP, dict(
+            load_mrps=load, batch_size=batch_size, nreq=nreq,
+            telemetry=True,
+        )) for load in loads],
+        jobs=jobs, cache=cache,
+    )
+    points = [{
+        "offered_mrps": load,
+        "p50_us": result.p50_us,
+        "p99_us": result.p99_us,
+        "throughput_mrps": result.throughput_mrps,
+        "utilization": result.utilization,
+    } for load, result in zip(loads, results)]
+    report = attribute_bottleneck(points)
+    return {"batch_size": batch_size, "points": points,
+            "report": report.as_dict()}
 
 
 #: Fig 11 (right) anchors: ~42 Mrps end-to-end plateau, ~80 Mrps raw reads.

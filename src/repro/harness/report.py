@@ -79,6 +79,35 @@ def render_metrics(snapshot: dict, title: str = "Metrics registry") -> str:
     return render_table(["component", "metric", "value"], rows, title=title)
 
 
+def render_utilization(utilization: dict,
+                       title: str = "Utilization (exact busy fractions)") -> str:
+    """Render a :func:`repro.obs.utilization_summary` dict, busiest first."""
+    rows = [(name, f"{frac:.1%}")
+            for name, frac in sorted(utilization.items(),
+                                     key=lambda kv: -kv[1])]
+    return render_table(["component", "busy"], rows, title=title)
+
+
+def render_bottleneck(report) -> str:
+    """Render a :class:`repro.obs.BottleneckReport` (or its as_dict form)."""
+    data = report if isinstance(report, dict) else report.as_dict()
+    latency_key = next((k for k in data["per_point"][0] if k.endswith("_us")),
+                       "p99_us") if data["per_point"] else "p99_us"
+    table = render_table(
+        ["offered Mrps", latency_key.replace("_us", " us"), "bottleneck",
+         "busy"],
+        [(p["offered_mrps"], p[latency_key], p["bottleneck"],
+          f"{p['utilization']:.1%}") for p in data["per_point"]],
+        title="Bottleneck attribution per load point",
+    )
+    verdict = (
+        f"latency knee at {data['knee_load_mrps']} Mrps "
+        f"(p99 {data['knee_latency_us']:.2f} us): first-saturating component "
+        f"is {data['bottleneck']} at {data['bottleneck_utilization']:.1%} busy"
+    )
+    return f"{table}\n{verdict}"
+
+
 def compare_row(name: str, paper: Optional[float], measured: float,
                 unit: str = "") -> str:
     """One 'paper vs measured' line for EXPERIMENTS.md-style output."""

@@ -26,10 +26,14 @@ from repro.hw.switch import ToRSwitch
 from repro.obs import (
     MetricsRegistry,
     SpanTracer,
+    TimelineCollector,
     attach_tracer,
     breakdown,
+    export_chrome_trace,
     register_dagger_nic,
+    utilization_summary,
 )
+from repro.obs.timeline import DEFAULT_INTERVAL_NS
 from repro.rpc import RpcClient, RpcThreadedServer, ThreadingModel
 from repro.sim import Exponential, LatencyRecorder, Simulator
 from repro.stacks import DaggerStack, connect, make_stack
@@ -55,12 +59,21 @@ class BenchResult:
     breakdown: Optional[object] = None
     #: Metrics-registry snapshot dict when tracing was enabled.
     metrics: Optional[dict] = None
+    #: Exact per-component busy fractions over the sampled window
+    #: (repro.obs.utilization_summary) when the rig ran with telemetry
+    #: enabled; None otherwise.
+    utilization: Optional[dict] = None
+    #: Timeline-collector dump (TimelineCollector.to_dict) when telemetry
+    #: was enabled: one ring-buffered time series per registered probe.
+    timeline: Optional[dict] = None
 
     @classmethod
     def from_recorder(cls, recorder: LatencyRecorder, drops: int,
                       offered_mrps: Optional[float] = None,
                       breakdown: Optional[object] = None,
-                      metrics: Optional[dict] = None) -> "BenchResult":
+                      metrics: Optional[dict] = None,
+                      utilization: Optional[dict] = None,
+                      timeline: Optional[dict] = None) -> "BenchResult":
         stats = recorder.summary()
         # Throughput needs a measurement window; a single-sample run (e.g.
         # nreq=1 smoke tests) reports latency only.
@@ -77,6 +90,8 @@ class BenchResult:
             offered_mrps=offered_mrps,
             breakdown=breakdown,
             metrics=metrics,
+            utilization=utilization,
+            timeline=timeline,
         )
 
     def to_dict(self) -> dict:
@@ -132,6 +147,9 @@ class EchoRig:
         hard_overrides: Optional[dict] = None,
         seed: int = 1,
         trace: bool = False,
+        trace_max_spans: Optional[int] = None,
+        telemetry: bool = False,
+        telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
     ):
         self.sim = Simulator()
         self.machine = Machine(self.sim, MachineConfig(), calibration, seed=seed)
@@ -199,11 +217,36 @@ class EchoRig:
         for nic, role in zip(nics, ("client", "server")):
             register_dagger_nic(self.registry, nic, component=f"nic.{role}")
         if trace:
-            self.tracer = SpanTracer()
+            self.tracer = SpanTracer(max_spans=trace_max_spans)
             attach_tracer(self.tracer, self.clients)
             attach_tracer(self.tracer, self.server.server_threads)
             attach_tracer(self.tracer, nics)
             attach_tracer(self.tracer, [nic.interface for nic in nics])
+
+        # Time-series telemetry (ISSUE 3): a TimelineCollector sampling every
+        # instrumented component. Building it also turns on exact busy-time
+        # accounting (enable_usage) on the sampled resources; untelemetered
+        # runs keep every accounting site at `usage is None`.
+        self.timeline: Optional[TimelineCollector] = None
+        if telemetry:
+            collector = TimelineCollector(
+                self.sim, interval_ns=telemetry_interval_ns
+            )
+            for nic, role in zip(nics, ("client", "server")):
+                nic.enable_usage()
+                collector.add_source(f"nic.{role}", nic)
+            # The FPGA's shared CCI-P endpoints are one source: both NICs
+            # arbitrate for them, so they live under a single component.
+            collector.add_source("interconnect", self.machine.fpga)
+            used_cores = {}
+            for thread in client_threads + server_threads:
+                used_cores.setdefault(thread.core.core_id, thread.core)
+            for core_id, core in sorted(used_cores.items()):
+                collector.add_source(f"cpu.core{core_id}", core)
+            for i, client in enumerate(self.clients):
+                collector.add_source(f"client{i}", client)
+            collector.add_source("server.rpc", self.server)
+            self.timeline = collector
 
     @property
     def drops(self) -> int:
@@ -224,15 +267,27 @@ class EchoRig:
 
     def _traced_result(self, recorder: LatencyRecorder, warmup_ns: int,
                        offered_mrps: Optional[float] = None) -> BenchResult:
-        """Build a BenchResult, attaching breakdown/metrics when traced."""
-        bd = snap = None
+        """Build a BenchResult, attaching breakdown/metrics/telemetry."""
+        bd = snap = util = timeline = None
         if self.tracer is not None:
             bd = breakdown(self.tracer, warmup_ns=warmup_ns)
             snap = self.registry.snapshot()
+        if self.timeline is not None:
+            util = utilization_summary(self.timeline)
+            timeline = self.timeline.to_dict()
         return BenchResult.from_recorder(
             recorder, self.drops, offered_mrps=offered_mrps,
             breakdown=bd, metrics=snap,
+            utilization=util, timeline=timeline,
         )
+
+    def export_chrome_trace(self, target, max_spans: Optional[int] = None) -> int:
+        """Write this run's Chrome trace-event / Perfetto JSON to ``target``
+        (a path or a text stream); returns the event count. Needs the rig to
+        have run with ``trace=True`` and/or ``telemetry=True``."""
+        return export_chrome_trace(target, tracer=self.tracer,
+                                   collector=self.timeline,
+                                   max_spans=max_spans)
 
     # -- measurement loops -----------------------------------------------------
 
@@ -240,6 +295,8 @@ class EchoRig:
                     warmup_ns: int = 100_000) -> BenchResult:
         """Each client keeps ``window`` async RPCs in flight."""
         recorder = LatencyRecorder(warmup_ns=warmup_ns)
+        if self.timeline is not None:
+            self.timeline.start()
         sim = self.sim
         done = sim.event()
         quotas = self._client_quotas(nreq)
@@ -280,6 +337,8 @@ class EchoRig:
             for client in self.clients:
                 client.fail_pending("dropped by the fabric")
         sim.run()
+        if self.timeline is not None:
+            self.timeline.stop()
         return self._traced_result(recorder, warmup_ns)
 
     def open_loop(self, load_mrps: float, nreq: int = 20000,
@@ -292,6 +351,8 @@ class EchoRig:
         if load_mrps <= 0:
             raise ValueError(f"load must be positive, got {load_mrps}")
         recorder = LatencyRecorder(warmup_ns=warmup_ns)
+        if self.timeline is not None:
+            self.timeline.start()
         sim = self.sim
         done = sim.event()
         quotas = self._client_quotas(nreq)
@@ -330,6 +391,8 @@ class EchoRig:
             yield done
 
         sim.run_until_done(sim.spawn(waiter()))
+        if self.timeline is not None:
+            self.timeline.stop()
         return self._traced_result(recorder, warmup_ns,
                                    offered_mrps=load_mrps)
 
@@ -340,11 +403,14 @@ def run_closed_loop(stack_name: str = "dagger", interface: str = "upi",
                     nreq: int = 20000, rpc_bytes: int = 48,
                     loopback: bool = True,
                     tor_delay_ns: Optional[int] = None,
+                    telemetry: bool = False,
+                    telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
                     calibration: Calibration = DEFAULT_CALIBRATION) -> BenchResult:
     rig = EchoRig(
         stack_name=stack_name, interface=interface, batch_size=batch_size,
         auto_batch=auto_batch, num_threads=num_threads, rpc_bytes=rpc_bytes,
         loopback=loopback, tor_delay_ns=tor_delay_ns, calibration=calibration,
+        telemetry=telemetry, telemetry_interval_ns=telemetry_interval_ns,
     )
     return rig.closed_loop(window=window, nreq=nreq)
 
@@ -354,11 +420,14 @@ def run_open_loop(load_mrps: float, stack_name: str = "dagger",
                   auto_batch: bool = False, num_threads: int = 1,
                   nreq: int = 20000, rpc_bytes: int = 48,
                   loopback: bool = True,
+                  telemetry: bool = False,
+                  telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
                   calibration: Calibration = DEFAULT_CALIBRATION) -> BenchResult:
     rig = EchoRig(
         stack_name=stack_name, interface=interface, batch_size=batch_size,
         auto_batch=auto_batch, num_threads=num_threads, rpc_bytes=rpc_bytes,
         loopback=loopback, calibration=calibration,
+        telemetry=telemetry, telemetry_interval_ns=telemetry_interval_ns,
     )
     return rig.open_loop(load_mrps, nreq=nreq)
 

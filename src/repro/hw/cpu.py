@@ -84,6 +84,28 @@ class Core:
     def contended(self) -> bool:
         return self.slots.queue_length > 0
 
+    def enable_usage(self):
+        """Exact slot-occupancy accounting on this core (idempotent)."""
+        return self.slots.enable_usage()
+
+    def timeline_probes(self):
+        """Timeline probe set: exact run-state integral + queue depth.
+
+        ``busy_ns`` is the slot-occupancy integral normalized by ``smt``
+        (its windowed derivative is the exact core utilization — unlike
+        the legacy ``self.busy_ns``, which front-loads each burst at its
+        start); ``runq`` is the instantaneous slot wait-queue depth.
+        """
+        usage = self.enable_usage()
+        slots = self.slots
+        sim = self.sim
+        smt = self.smt
+        return [
+            ("busy_ns", "counter",
+             lambda: usage.busy_integral(sim.now, slots._in_use) / smt),
+            ("runq", "gauge", lambda: len(slots._waiters)),
+        ]
+
 
 class SoftwareThread:
     """A software thread pinned to a core.

@@ -29,6 +29,23 @@ class EthernetPort:
         self.frames = 0
         self.bytes = 0
 
+    def enable_usage(self):
+        """Exact port-occupancy accounting (idempotent)."""
+        return self._port.enable_usage()
+
+    def timeline_probes(self):
+        """Timeline probe set: exact link-busy integral, queue, counters."""
+        usage = self.enable_usage()
+        port = self._port
+        sim = self.sim
+        return [
+            ("busy_ns", "counter",
+             lambda: usage.busy_integral(sim.now, port._in_use)),
+            ("queue", "gauge", lambda: len(port._waiters)),
+            ("tx_bytes", "counter", lambda: self.bytes),
+            ("tx_frames", "counter", lambda: self.frames),
+        ]
+
     def frame_bytes(self, payload_bytes: int) -> int:
         return max(MIN_FRAME_BYTES, payload_bytes) + ETHERNET_OVERHEAD_BYTES
 

@@ -58,6 +58,10 @@ class CpuNicInterface:
         self.write_endpoint = write_endpoint or endpoint
         self.lines_transferred = 0
         self.transactions = 0
+        # Per-direction split of lines_transferred (host->NIC fetches vs
+        # NIC->host deliveries) for the timeline probes.
+        self.lines_to_nic = 0
+        self.lines_to_host = 0
 
     # -- CPU-side costs ------------------------------------------------------
 
@@ -99,8 +103,43 @@ class CpuNicInterface:
         finally:
             self.write_endpoint.release()
 
-    def _account(self, lines: int) -> None:
+    def _account(self, lines: int, to_nic: bool = True) -> None:
         self.lines_transferred += lines
         self.transactions += 1
+        if to_nic:
+            self.lines_to_nic += lines
+        else:
+            self.lines_to_host += lines
         if self.tracer is not None:
             self.tracer.record_transfer(self.name, lines, self.sim.now)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def enable_usage(self) -> None:
+        """Exact endpoint-occupancy accounting on both engines (idempotent)."""
+        self.endpoint.enable_usage()
+        if self.write_endpoint is not self.endpoint:
+            self.write_endpoint.enable_usage()
+
+    def timeline_probes(self):
+        """Timeline probe set: per-direction line counters + exact endpoint
+        busy integrals (capacity-normalized, so the windowed derivative is
+        the endpoint utilization)."""
+        self.enable_usage()
+        sim = self.sim
+        probes = [
+            ("lines_to_nic", "counter", lambda: self.lines_to_nic),
+            ("lines_to_host", "counter", lambda: self.lines_to_host),
+        ]
+        engines = [("read_endpoint", self.endpoint)]
+        if self.write_endpoint is not self.endpoint:
+            engines.append(("write_endpoint", self.write_endpoint))
+        for label, engine in engines:
+            probes.append((
+                f"{label}_busy_ns", "counter",
+                lambda e=engine: e.usage.busy_integral(
+                    sim.now, e._in_use) / e.capacity,
+            ))
+            probes.append((f"{label}_queue", "gauge",
+                           lambda e=engine: len(e._waiters)))
+        return probes

@@ -43,7 +43,7 @@ class PcieMmioInterface(CpuNicInterface):
         yield self.calibration.pcie_mmio_deliver_ns
 
     def nic_to_host(self, lines: int) -> Generator:
-        self._account(lines)
+        self._account(lines, to_nic=False)
         per_line = max(1, int(self.calibration.cache_line_bytes
                               / self.calibration.eth_bytes_per_ns))
         yield from self._use_write_endpoint(per_line * lines)
@@ -83,7 +83,7 @@ class PcieDoorbellInterface(CpuNicInterface):
         yield self.calibration.pcie_doorbell_fetch_ns
 
     def nic_to_host(self, lines: int) -> Generator:
-        self._account(lines)
+        self._account(lines, to_nic=False)
         per_line = max(1, int(self.calibration.cache_line_bytes
                               / self.calibration.eth_bytes_per_ns))
         yield from self._use_write_endpoint(per_line * lines)

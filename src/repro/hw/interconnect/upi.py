@@ -46,6 +46,7 @@ class UpiInterface(CpuNicInterface):
         # and the delegated helper generator is pure overhead on this path.
         self.lines_transferred += lines
         self.transactions += 1
+        self.lines_to_nic += lines
         if self.tracer is not None:
             self.tracer.record_transfer(self.name, lines, self.sim.now)
         calibration = self.calibration
@@ -60,6 +61,7 @@ class UpiInterface(CpuNicInterface):
     def nic_to_host(self, lines: int) -> Generator:
         self.lines_transferred += lines
         self.transactions += 1
+        self.lines_to_host += lines
         if self.tracer is not None:
             self.tracer.record_transfer(self.name, lines, self.sim.now)
         calibration = self.calibration

@@ -137,6 +137,57 @@ class DaggerNic:
         sim.spawn(self._ingress_unit())
         switch.register(address, self.ingress)
 
+    # -- telemetry -------------------------------------------------------------
+
+    def enable_usage(self) -> None:
+        """Exact occupancy accounting on every queueing station (idempotent)."""
+        self.pipeline.enable_usage()
+        self.eth.enable_usage()
+        self.interface.enable_usage()
+        for rings in self.flow_rings:
+            rings.enable_usage()
+
+    def timeline_probes(self):
+        """Aggregate timeline probe set for this NIC.
+
+        Covers the green-region pipeline (exact busy integral), the
+        ethernet port, the fetch FSM and flow scheduler occupancies, ring
+        depths, the connection cache, the packet monitor counters and —
+        when the §4.5 units are enabled — the transport in-flight window.
+        Register with ``collector.add_source("nic.<role>", nic)``.
+        """
+        sim = self.sim
+        pipeline = self.pipeline
+        usage = pipeline.enable_usage()
+        monitor = self.monitor
+        cache = self.connection_manager.cache
+        probes = [
+            ("pipeline_busy_ns", "counter",
+             lambda: usage.busy_integral(sim.now, pipeline._in_use)),
+            ("tx_ring_depth", "gauge",
+             lambda: sum(len(r.tx_ring) for r in self.flow_rings)),
+            ("rx_ring_depth", "gauge",
+             lambda: sum(len(r.rx_ring) for r in self.flow_rings)),
+            ("rx_ring_drops", "counter",
+             lambda: sum(r.rx_ring.drops for r in self.flow_rings)),
+            ("conn_cache_hit_rate", "gauge", lambda: cache.hit_rate),
+            ("conn_cache_misses", "counter", lambda: cache.misses),
+            ("tx_rpcs", "counter", lambda: monitor.tx_rpcs),
+            ("rx_rpcs", "counter", lambda: monitor.rx_rpcs),
+            ("delivered_rpcs", "counter", lambda: monitor.delivered_rpcs),
+        ]
+        probes.extend(self.rx_path.timeline_probes())
+        probes.extend(self.tx_path.timeline_probes())
+        for name, mode, fn in self.eth.timeline_probes():
+            probes.append((f"eth_{name}", mode, fn))
+        if self.transport is not None:
+            for name, mode, fn in self.transport.timeline_probes():
+                probes.append((f"transport_{name}", mode, fn))
+        if self.flow_control is not None:
+            stats = self.flow_control.stats
+            probes.append(("fc_stalls", "counter", lambda: stats.stalls))
+        return probes
+
     # -- software-facing API ---------------------------------------------------
 
     def open_connection(

@@ -46,3 +46,16 @@ class FlowRings:
     @property
     def rx_occupancy(self) -> int:
         return len(self.rx_ring)
+
+    def enable_usage(self) -> None:
+        """Exact depth/backpressure accounting on both rings (idempotent)."""
+        self.tx_ring.enable_usage()
+        self.rx_ring.enable_usage()
+
+    def timeline_probes(self):
+        """Timeline probe set: instantaneous ring depths + drop counter."""
+        return [
+            ("tx_depth", "gauge", lambda: len(self.tx_ring)),
+            ("rx_depth", "gauge", lambda: len(self.rx_ring)),
+            ("rx_drops", "counter", lambda: self.rx_ring.drops),
+        ]

@@ -27,6 +27,19 @@ class RxPath:
 
     def __init__(self, nic):
         self.nic = nic
+        # Exact serial busy time of the fetch FSMs' issue slots (summed
+        # across flows; one int add per fetched batch). At batch 1 on UPI
+        # this is *the* per-flow throughput bound (123 ns -> 8.1 Mrps), so
+        # its utilization names the bottleneck of Fig 11's knee.
+        self.issue_busy_ns = 0
+
+    def timeline_probes(self):
+        """Timeline probe set: exact fetch-FSM occupancy (see above)."""
+        num_flows = max(1, self.nic.hard.num_flows)
+        return [
+            ("fetch_busy_ns", "counter",
+             lambda: self.issue_busy_ns / num_flows),
+        ]
 
     def start(self) -> None:
         if self.nic.interface.mode is not TransferMode.FETCH:
@@ -79,7 +92,9 @@ class RxPath:
             # issue slot drains (123 ns + 20 ns/extra line on UPI): serial
             # pacing bounds per-flow throughput without inflating the
             # latency of an idle flow.
-            yield nic.sim.timeout(nic.interface.issue_occupancy_ns(lines))
+            occupancy = nic.interface.issue_occupancy_ns(lines)
+            self.issue_busy_ns += occupancy
+            yield nic.sim.timeout(occupancy)
 
     def _complete_fetch(self, flow_id: int, batch: List[RpcPacket],
                         lines: int) -> Generator:

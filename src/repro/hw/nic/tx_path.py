@@ -68,6 +68,26 @@ class TxPath:
             )
             for i in range(hard.num_flows)
         ]
+        # Exact serial busy time of the flow schedulers' CCI-P issue slots
+        # (summed across flows; one int add per delivered batch).
+        self.issue_busy_ns = 0
+
+    def timeline_probes(self):
+        """Timeline probe set: exact flow-scheduler occupancy + queue depths.
+
+        ``sched_busy_ns`` is the summed issue-slot busy integral normalized
+        by the flow count, so its windowed derivative is the mean flow
+        scheduler occupancy — the §4.4 serial pacing bound.
+        """
+        num_flows = max(1, len(self.flow_fifos))
+        return [
+            ("sched_busy_ns", "counter",
+             lambda: self.issue_busy_ns / num_flows),
+            ("flow_fifo_depth", "gauge",
+             lambda: sum(len(f) for f in self.flow_fifos)),
+            ("request_table", "gauge",
+             lambda: self.request_table.occupancy),
+        ]
 
     def start(self) -> None:
         for flow_id in range(self.nic.hard.num_flows):
@@ -128,7 +148,9 @@ class TxPath:
             # The CCI-P write pipelines like the fetch path: the delivery is
             # issued immediately, the scheduler is paced by the issue slot.
             spawn(self._complete_delivery(flow_id, batch, lines))
-            yield issue_occupancy_ns(lines)
+            occupancy = issue_occupancy_ns(lines)
+            self.issue_busy_ns += occupancy
+            yield occupancy
 
     def _complete_delivery(self, flow_id: int, batch: List[RpcPacket],
                            lines: int) -> Generator:

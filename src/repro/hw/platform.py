@@ -69,6 +69,33 @@ class Fpga:
     def attach_nic(self, nic) -> None:
         self.nics.append(nic)
 
+    def enable_usage(self) -> None:
+        """Exact occupancy accounting on all shared endpoints (idempotent)."""
+        for endpoint in (self.upi_endpoint, self.upi_write_endpoint,
+                         self.pcie_endpoint, self.pcie_write_endpoint):
+            endpoint.enable_usage()
+
+    def timeline_probes(self):
+        """Timeline probe set: exact busy integrals + wait-queue depths of
+        the shared blue-region endpoints (one probe pair per engine)."""
+        self.enable_usage()
+        sim = self.sim
+        probes = []
+        for label, endpoint in (
+            ("upi_read", self.upi_endpoint),
+            ("upi_write", self.upi_write_endpoint),
+            ("pcie_read", self.pcie_endpoint),
+            ("pcie_write", self.pcie_write_endpoint),
+        ):
+            probes.append((
+                f"{label}_busy_ns", "counter",
+                lambda e=endpoint: e.usage.busy_integral(
+                    sim.now, e._in_use) / e.capacity,
+            ))
+            probes.append((f"{label}_queue", "gauge",
+                           lambda e=endpoint: len(e._waiters)))
+        return probes
+
 
 class Machine:
     """One server: cores + FPGA, all living in one simulator."""

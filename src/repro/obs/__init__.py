@@ -16,14 +16,22 @@ from any simulated run:
   ``FlowControlStats``, interconnect transfer counters) behind one
   ``snapshot()`` API.
 - Sinks (``repro.obs.sinks``) — in-memory for tests, JSON-lines for
-  offline analysis.
+  offline analysis (and :func:`load_trace` to read a dump back).
 - :func:`breakdown` (``repro.obs.breakdown``) — folds a trace into the
   Fig 3-style per-stage latency table.
+- :class:`TimelineCollector` (``repro.obs.timeline``) — simulated-time
+  sampler turning registered probes into bounded time series, exact
+  busy-time utilization summaries, and bottleneck attribution for
+  latency-vs-load sweeps.
+- :func:`export_chrome_trace` (``repro.obs.chrome_trace``) — Chrome
+  trace-event / Perfetto JSON export (slice tracks from spans, counter
+  tracks from time series).
 
 See docs/observability.md for a walkthrough.
 """
 
 from repro.obs.breakdown import Breakdown, StageStats, breakdown
+from repro.obs.chrome_trace import chrome_trace_events, export_chrome_trace
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -31,7 +39,23 @@ from repro.obs.registry import (
     MetricsRegistry,
     register_dagger_nic,
 )
-from repro.obs.sinks import InMemorySink, JsonLinesSink, dump_metrics, dump_trace
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonLinesSink,
+    TraceFileError,
+    dump_metrics,
+    dump_timeline,
+    dump_trace,
+    load_trace,
+)
+from repro.obs.timeline import (
+    BottleneckReport,
+    TimelineCollector,
+    TimeSeries,
+    attribute_bottleneck,
+    find_latency_knee,
+    utilization_summary,
+)
 from repro.obs.trace import (
     CANONICAL_POINTS,
     RpcSpan,
@@ -44,6 +68,8 @@ __all__ = [
     "Breakdown",
     "StageStats",
     "breakdown",
+    "chrome_trace_events",
+    "export_chrome_trace",
     "Counter",
     "Gauge",
     "Histogram",
@@ -51,8 +77,17 @@ __all__ = [
     "register_dagger_nic",
     "InMemorySink",
     "JsonLinesSink",
+    "TraceFileError",
     "dump_metrics",
+    "dump_timeline",
     "dump_trace",
+    "load_trace",
+    "BottleneckReport",
+    "TimelineCollector",
+    "TimeSeries",
+    "attribute_bottleneck",
+    "find_latency_knee",
+    "utilization_summary",
     "CANONICAL_POINTS",
     "RpcSpan",
     "SpanTracer",

@@ -184,3 +184,22 @@ def register_dagger_nic(registry: MetricsRegistry, nic,
         },
         name="interconnect",
     )
+    cache = nic.connection_manager.cache
+    registry.register(
+        component,
+        lambda c=cache: {
+            "hits": c.hits,
+            "misses": c.misses,
+            "evictions": c.evictions,
+            "hit_rate": c.hit_rate,
+        },
+        name="conn_cache",
+    )
+    registry.register(
+        component,
+        lambda n=nic: {
+            "tx_depth": sum(len(r.tx_ring) for r in n.flow_rings),
+            "rx_depth": sum(len(r.rx_ring) for r in n.flow_rings),
+        },
+        name="rings",
+    )

@@ -2,15 +2,22 @@
 
 A sink is anything with ``emit(record: dict)``; records are flat,
 JSON-serializable dicts tagged with a ``type`` key (``"span"``,
-``"transfer"``, ``"metrics"``). The JSON-lines format means a traced run
-can be post-processed with standard tooling (``jq``, pandas) without the
-simulator in the loop.
+``"transfer"``, ``"metrics"``, ``"timeseries"``). The JSON-lines format
+means a traced run can be post-processed with standard tooling (``jq``,
+pandas) without the simulator in the loop — and read back with
+:func:`load_trace` for offline breakdown/replay.
 """
 
 from __future__ import annotations
 
 import json
 from typing import IO, List, Optional, Union
+
+from repro.obs.trace import RpcSpan
+
+
+class TraceFileError(ValueError):
+    """A trace file is missing, unreadable, or not valid trace JSONL."""
 
 
 class InMemorySink:
@@ -76,3 +83,71 @@ def dump_trace(tracer, sink) -> int:
 def dump_metrics(registry, sink) -> None:
     """Emit one metrics-snapshot record for a registry."""
     sink.emit({"type": "metrics", "snapshot": registry.snapshot()})
+
+
+def dump_timeline(collector, sink) -> int:
+    """Emit one ``timeseries`` record per collected series; returns count."""
+    emitted = 0
+    for series in collector.series():
+        sink.emit(series.to_record())
+        emitted += 1
+    return emitted
+
+
+def load_trace(path: str) -> dict:
+    """Read back a JSON-lines trace file written through :class:`JsonLinesSink`.
+
+    Returns ``{"spans": [RpcSpan, ...], "transfers": {component: agg},
+    "metrics": [snapshot, ...], "timeseries": [record, ...]}`` — spans are
+    rebuilt as :class:`~repro.obs.trace.RpcSpan` objects, so the result
+    feeds straight into ``breakdown()``.
+
+    Raises :class:`TraceFileError` (with the offending line number) on a
+    missing file or malformed content instead of leaking a traceback.
+    """
+    spans: List[RpcSpan] = []
+    transfers = {}
+    metrics: List[dict] = []
+    timeseries: List[dict] = []
+    try:
+        handle = open(path)
+    except OSError as exc:
+        raise TraceFileError(f"cannot read trace file {path!r}: {exc}") from exc
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFileError(
+                    f"{path}:{lineno}: not valid JSON ({exc.msg})"
+                ) from exc
+            if not isinstance(record, dict) or "type" not in record:
+                raise TraceFileError(
+                    f"{path}:{lineno}: expected an object with a 'type' key"
+                )
+            kind = record["type"]
+            try:
+                if kind == "span":
+                    span = RpcSpan(int(record["rpc_id"]))
+                    span.events.update(
+                        {str(k): int(v)
+                         for k, v in record["events"].items()})
+                    spans.append(span)
+                elif kind == "transfer":
+                    agg = dict(record)
+                    agg.pop("type")
+                    transfers[str(agg.pop("component"))] = agg
+                elif kind == "metrics":
+                    metrics.append(record["snapshot"])
+                elif kind == "timeseries":
+                    timeseries.append(record)
+                # Unknown record types are skipped (forward compatibility).
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise TraceFileError(
+                    f"{path}:{lineno}: malformed {kind!r} record ({exc})"
+                ) from exc
+    return {"spans": spans, "transfers": transfers, "metrics": metrics,
+            "timeseries": timeseries}

@@ -1,0 +1,378 @@
+"""Time-series telemetry over simulated time.
+
+Three pieces (ISSUE 3 tentpole):
+
+- :class:`TimeSeries` — a bounded ring-buffered series of ``(t_ns, value)``
+  samples for one probe of one component.
+- :class:`TimelineCollector` — a simulated-time sampler process that
+  periodically snapshots registered probes. Probes are zero-argument
+  callables; components can expose a whole probe set at once through the
+  ``timeline_probes()`` protocol (an iterable of ``(name, mode, fn)``
+  triples, see :meth:`TimelineCollector.add_source`).
+- Bottleneck attribution — :func:`find_latency_knee` and
+  :func:`attribute_bottleneck` join per-load utilization summaries with the
+  latency curve to name the first-saturating component at the knee of a
+  Fig 11/15-style sweep.
+
+Probe *modes*:
+
+- ``"gauge"`` — an instantaneous value (queue depth, in-flight window,
+  hit rate). The series is the value over time.
+- ``"counter"`` — a monotonically non-decreasing value (bytes sent, RPCs
+  completed, a busy-time integral). The interesting signal is the
+  *derivative*; :meth:`TimeSeries.rate` computes it per sampling interval.
+
+The key trick for exact utilization: components expose their
+:class:`repro.sim.resources.Usage` busy-time integrals (already normalized
+by capacity) as ``counter`` probes named ``*busy_ns``. Because the integral
+is exact accounting at every state transition, the windowed derivative
+``Δbusy_ns / Δt`` is the *exact* mean utilization over that window — the
+sampling interval only sets the resolution of the plot, never the accuracy
+of the number. :func:`utilization_summary` reduces every such series to a
+single busy fraction over the sampled window.
+
+The sampler is careful about liveness: after each sample it checks
+``sim.has_pending()`` and terminates when it is the only thing left
+scheduled, so enabling telemetry never keeps ``sim.run()`` from draining
+and never masks the deadlock detection in ``run_until_done``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+
+#: Default sampling period (simulated ns) and per-series ring bound.
+DEFAULT_INTERVAL_NS = 2000
+DEFAULT_MAX_SAMPLES = 4096
+
+
+class TimeSeries:
+    """A bounded ring-buffered time series for one probe.
+
+    Oldest samples are evicted once ``max_samples`` is reached, so a probe
+    on an arbitrarily long run holds a sliding window, never unbounded
+    memory. Repeated samples at the same timestamp overwrite (the collector
+    takes a closing sample at ``stop()`` which may coincide with the last
+    periodic one).
+    """
+
+    __slots__ = ("component", "name", "mode", "_t", "_v")
+
+    def __init__(self, component: str, name: str, mode: str = "gauge",
+                 max_samples: Optional[int] = DEFAULT_MAX_SAMPLES):
+        if mode not in ("gauge", "counter"):
+            raise ValueError(f"mode must be 'gauge' or 'counter', got {mode!r}")
+        self.component = component
+        self.name = name
+        self.mode = mode
+        self._t: deque = deque(maxlen=max_samples)
+        self._v: deque = deque(maxlen=max_samples)
+
+    def append(self, t_ns: int, value: float) -> None:
+        if self._t and self._t[-1] == t_ns:
+            self._v[-1] = value
+            return
+        self._t.append(t_ns)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> List[int]:
+        return list(self._t)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._v)
+
+    def last(self) -> Optional[Tuple[int, float]]:
+        if not self._t:
+            return None
+        return self._t[-1], self._v[-1]
+
+    def rate(self) -> List[Tuple[int, float]]:
+        """Per-interval derivative ``[(t_i, (v_i - v_{i-1}) / Δt)]``.
+
+        For a ``counter`` probe this is the rate (utilization for busy-ns
+        integrals, bytes/ns for byte counters). Intervals with Δt == 0 are
+        skipped.
+        """
+        out = []
+        times, values = self._t, self._v
+        for i in range(1, len(times)):
+            dt = times[i] - times[i - 1]
+            if dt > 0:
+                out.append((times[i], (values[i] - values[i - 1]) / dt))
+        return out
+
+    def window_delta(self) -> Tuple[int, float]:
+        """``(Δt_ns, Δvalue)`` across the retained window (0, 0.0 if < 2)."""
+        if len(self._t) < 2:
+            return 0, 0.0
+        return self._t[-1] - self._t[0], self._v[-1] - self._v[0]
+
+    def to_record(self) -> dict:
+        """JSON-able record (``type: "timeseries"``, for sinks)."""
+        return {
+            "type": "timeseries",
+            "component": self.component,
+            "name": self.name,
+            "mode": self.mode,
+            "t_ns": list(self._t),
+            "values": list(self._v),
+        }
+
+
+class TimelineCollector:
+    """Samples registered probes every ``interval_ns`` of simulated time.
+
+    Lifecycle::
+
+        collector = TimelineCollector(sim, interval_ns=2000)
+        collector.add_source("nic.client", nic)      # timeline_probes()
+        collector.add_probe("client0", "outstanding",
+                            lambda: len(client._pending))
+        collector.start()     # takes a t=now baseline sample, spawns sampler
+        ...run the simulation...
+        collector.stop()      # takes a closing sample
+
+    The sampler stops itself when nothing else is scheduled (see module
+    docstring), so a collector never changes whether/when a simulation
+    terminates — and since probes only *read* model state, it never changes
+    simulated results either.
+    """
+
+    def __init__(self, sim: Simulator,
+                 interval_ns: int = DEFAULT_INTERVAL_NS,
+                 max_samples: Optional[int] = DEFAULT_MAX_SAMPLES):
+        if interval_ns < 1:
+            raise ValueError(f"interval_ns must be >= 1, got {interval_ns}")
+        if max_samples is not None and max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self.max_samples = max_samples
+        self.samples_taken = 0
+        self._series: List[TimeSeries] = []
+        self._by_key: Dict[Tuple[str, str], TimeSeries] = {}
+        self._probes: List[Tuple[TimeSeries, Callable[[], float]]] = []
+        self._active = False
+        self._started = False
+
+    # -- registration --------------------------------------------------------
+
+    def add_probe(self, component: str, name: str,
+                  fn: Callable[[], float], mode: str = "gauge") -> TimeSeries:
+        """Register one probe; returns its (empty) series."""
+        key = (component, name)
+        if key in self._by_key:
+            raise ValueError(f"duplicate probe {component}.{name}")
+        series = TimeSeries(component, name, mode, self.max_samples)
+        self._series.append(series)
+        self._by_key[key] = series
+        self._probes.append((series, fn))
+        return series
+
+    def add_source(self, component: str, source: Any) -> List[TimeSeries]:
+        """Register every probe a component exposes.
+
+        ``source.timeline_probes()`` must return an iterable of
+        ``(name, mode, fn)`` triples.
+        """
+        return [self.add_probe(component, name, fn, mode)
+                for name, mode, fn in source.timeline_probes()]
+
+    def series(self, component: Optional[str] = None) -> List[TimeSeries]:
+        if component is None:
+            return list(self._series)
+        return [s for s in self._series if s.component == component]
+
+    def get(self, component: str, name: str) -> Optional[TimeSeries]:
+        return self._by_key.get((component, name))
+
+    def components(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for s in self._series:
+            seen.setdefault(s.component, None)
+        return list(seen)
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self) -> None:
+        """Snapshot every probe at the current simulated time."""
+        now = self.sim.now
+        for series, fn in self._probes:
+            series.append(now, fn())
+        self.samples_taken += 1
+
+    def start(self) -> None:
+        """Take a baseline sample and spawn the periodic sampler."""
+        if self._active:
+            return
+        self._active = True
+        self._started = True
+        self.sample()
+        self.sim.spawn(self._run(), name="timeline-sampler")
+
+    def stop(self) -> None:
+        """Stop the sampler and take a closing sample."""
+        if not self._started:
+            return
+        self._active = False
+        self.sample()
+
+    def _run(self):
+        sim = self.sim
+        interval = self.interval_ns
+        while self._active:
+            yield interval
+            if not self._active:
+                return
+            self.sample()
+            if not sim.has_pending():
+                # We are the only thing left scheduled: a finished
+                # simulation must be allowed to drain (liveness contract).
+                return
+
+    # -- reduction -----------------------------------------------------------
+
+    def utilization(self) -> Dict[str, float]:
+        """See :func:`utilization_summary`."""
+        return utilization_summary(self)
+
+    def to_dict(self) -> dict:
+        """JSON-able dump of the collector state and every series."""
+        return {
+            "interval_ns": self.interval_ns,
+            "samples_taken": self.samples_taken,
+            "series": [s.to_record() for s in self._series],
+        }
+
+
+#: Suffix marking capacity-normalized busy-time-integral counter probes.
+BUSY_SUFFIX = "busy_ns"
+
+
+def utilization_summary(collector: TimelineCollector) -> Dict[str, float]:
+    """Per-component busy fractions over the sampled window.
+
+    Reduces every ``counter`` series named ``*busy_ns`` (a
+    capacity-normalized exact busy-time integral) to
+    ``Δintegral / Δt`` — the exact mean utilization over the window the
+    ring buffer retains. Keys are ``"component.probe"`` with the
+    ``_busy_ns``/``busy_ns`` suffix stripped (``"nic.client.pipeline"``,
+    ``"cpu.core0"``).
+    """
+    out: Dict[str, float] = {}
+    for series in collector.series():
+        if series.mode != "counter" or not series.name.endswith(BUSY_SUFFIX):
+            continue
+        dt, dv = series.window_delta()
+        if dt <= 0:
+            continue
+        stem = series.name[: -len(BUSY_SUFFIX)].rstrip("_")
+        key = f"{series.component}.{stem}" if stem else series.component
+        out[key] = dv / dt
+    return out
+
+
+# -- bottleneck attribution --------------------------------------------------
+
+
+def find_latency_knee(latencies: List[float], factor: float = 1.5) -> int:
+    """Index of the knee in a latency-vs-load curve.
+
+    The knee is the first point whose latency exceeds ``factor`` times the
+    lowest-load latency; if the curve never crosses that line, the point
+    after the largest relative jump; for flat or single-point curves, the
+    last index.
+    """
+    if not latencies:
+        raise ValueError("empty latency curve")
+    if len(latencies) == 1:
+        return 0
+    base = latencies[0]
+    if base > 0:
+        for i, lat in enumerate(latencies):
+            if lat > factor * base:
+                return i
+    best_i, best_ratio = len(latencies) - 1, 1.0
+    for i in range(1, len(latencies)):
+        prev = latencies[i - 1]
+        ratio = latencies[i] / prev if prev > 0 else 1.0
+        if ratio > best_ratio:
+            best_i, best_ratio = i, ratio
+    return best_i
+
+
+@dataclass
+class BottleneckReport:
+    """Attribution of a latency-vs-load sweep to its saturating component."""
+
+    knee_index: int
+    knee_load_mrps: float
+    knee_latency_us: float
+    bottleneck: str                       #: component saturating at the knee
+    bottleneck_utilization: float
+    per_point: List[dict] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "knee_index": self.knee_index,
+            "knee_load_mrps": self.knee_load_mrps,
+            "knee_latency_us": self.knee_latency_us,
+            "bottleneck": self.bottleneck,
+            "bottleneck_utilization": self.bottleneck_utilization,
+            "per_point": self.per_point,
+        }
+
+
+def attribute_bottleneck(points: List[dict], factor: float = 1.5,
+                         latency_key: str = "p99_us") -> BottleneckReport:
+    """Name the first-saturating component at the latency knee of a sweep.
+
+    ``points`` is a list of per-load dicts with at least ``offered_mrps``,
+    a latency (``latency_key``, default ``p99_us``) and ``utilization``
+    (the :func:`utilization_summary` of that run). Points are sorted by
+    load; the knee comes from :func:`find_latency_knee`; the bottleneck is
+    the most-utilized component at the knee point (ties break toward the
+    component that was already busiest at the preceding load point, i.e.
+    the *first* saturating one).
+    """
+    if not points:
+        raise ValueError("attribute_bottleneck needs at least one point")
+    points = sorted(points, key=lambda p: p["offered_mrps"])
+    knee = find_latency_knee([p[latency_key] for p in points], factor)
+
+    def busiest(index: int) -> Tuple[str, float]:
+        util = points[index].get("utilization") or {}
+        if not util:
+            return "unknown", 0.0
+        prev = points[index - 1].get("utilization") or {} if index else {}
+        # max by (utilization here, utilization at the previous load)
+        name = max(util, key=lambda k: (util[k], prev.get(k, 0.0)))
+        return name, util[name]
+
+    bottleneck, bottleneck_util = busiest(knee)
+    per_point = []
+    for i, p in enumerate(points):
+        name, util = busiest(i)
+        per_point.append({
+            "offered_mrps": p["offered_mrps"],
+            latency_key: p[latency_key],
+            "bottleneck": name,
+            "utilization": util,
+        })
+    return BottleneckReport(
+        knee_index=knee,
+        knee_load_mrps=points[knee]["offered_mrps"],
+        knee_latency_us=points[knee][latency_key],
+        bottleneck=bottleneck,
+        bottleneck_utilization=bottleneck_util,
+        per_point=per_point,
+    )

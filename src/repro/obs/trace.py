@@ -95,11 +95,21 @@ class SpanTracer:
     Also accepts bulk interconnect *transfer* events (which have no RPC
     identity — a CCI-P read moves a batch of requests at once); those are
     aggregated per component rather than stored individually.
+
+    By default every span is retained for the lifetime of the tracer
+    (unbounded — fine for the 4k-request reference runs, and what
+    ``breakdown()`` wants). For long sweeps pass ``max_spans=N`` to keep a
+    FIFO ring of the most recent N spans (oldest evicted, counted in
+    ``spans_evicted``), or stream with :meth:`drain` (evict-on-consume).
     """
 
-    def __init__(self):
+    def __init__(self, max_spans: Optional[int] = None):
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1 or None, got {max_spans}")
         self._spans: Dict[int, RpcSpan] = {}
         self.transfers: Dict[str, Dict[str, int]] = {}
+        self.max_spans = max_spans
+        self.spans_evicted = 0
 
     # -- per-RPC lifecycle events ------------------------------------------
 
@@ -109,6 +119,13 @@ class SpanTracer:
         if span is None:
             span = RpcSpan(rpc_id)
             self._spans[rpc_id] = span
+            if (self.max_spans is not None
+                    and len(self._spans) > self.max_spans):
+                # Dict preserves insertion order: the first key is the
+                # oldest span (spans are created in issue order).
+                oldest = next(iter(self._spans))
+                del self._spans[oldest]
+                self.spans_evicted += 1
         span.events.setdefault(point, t_ns)
 
     def record_packet(self, packet: RpcPacket, point: str, t_ns: int) -> None:
@@ -146,9 +163,21 @@ class SpanTracer:
     def __len__(self) -> int:
         return len(self._spans)
 
+    def drain(self) -> List[RpcSpan]:
+        """Consume and return all stored spans (evict-on-consume mode).
+
+        Clears only the span store — transfer aggregates and the eviction
+        counter survive, so a caller can drain periodically and keep
+        streaming spans to a sink without unbounded growth.
+        """
+        spans = self.spans()
+        self._spans.clear()
+        return spans
+
     def clear(self) -> None:
         self._spans.clear()
         self.transfers.clear()
+        self.spans_evicted = 0
 
 
 def attach_tracer(tracer: Optional[SpanTracer], components: Iterable) -> None:

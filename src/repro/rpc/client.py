@@ -214,6 +214,13 @@ class RpcClient:
     def outstanding(self) -> int:
         return len(self._pending)
 
+    def timeline_probes(self):
+        """Timeline probe set: in-flight calls + completion counter."""
+        return [
+            ("outstanding", "gauge", lambda: len(self._pending)),
+            ("calls_completed", "counter", lambda: self.calls_completed),
+        ]
+
     def fail_pending(self, reason: str = "connection torn down") -> None:
         """Fail every in-flight call (used by tests and shutdown paths)."""
         pending, self._pending = self._pending, {}

@@ -227,3 +227,12 @@ class RpcThreadedServer:
         self._started = True
         for server_thread in self.server_threads:
             server_thread.start()
+
+    def timeline_probes(self):
+        """Timeline probe set: aggregate service counter + worker backlog."""
+        return [
+            ("requests_handled", "counter", lambda: self.requests_handled),
+            ("worker_backlog", "gauge",
+             lambda: sum(len(t._worker_queue) if t._worker_queue is not None
+                         else 0 for t in self.server_threads)),
+        ]

@@ -87,6 +87,16 @@ class ReliableTransport:
     def unacked(self) -> int:
         return sum(len(buffer) for buffer in self._unacked.values())
 
+    def timeline_probes(self):
+        """Timeline probe set: in-flight window + protocol counters."""
+        stats = self.stats
+        return [
+            ("unacked", "gauge", lambda: self.unacked),
+            ("retransmissions", "counter",
+             lambda: stats.retransmissions),
+            ("acks_sent", "counter", lambda: stats.acks_sent),
+        ]
+
     # -- ingress (receiver) -------------------------------------------------------
 
     def on_delivered(self, packet: RpcPacket) -> None:

@@ -8,7 +8,7 @@ Simulated time is integer nanoseconds throughout the repository.
 
 from repro.sim.kernel import Simulator, Event, Timeout, Interrupt, SimulationError
 from repro.sim.process import Process
-from repro.sim.resources import Resource, Store, QueueFullError
+from repro.sim.resources import Resource, Store, QueueFullError, Usage
 from repro.sim.stats import LatencyRecorder, SummaryStats, percentile
 from repro.sim.distributions import (
     Distribution,
@@ -30,6 +30,7 @@ __all__ = [
     "Resource",
     "Store",
     "QueueFullError",
+    "Usage",
     "LatencyRecorder",
     "SummaryStats",
     "percentile",

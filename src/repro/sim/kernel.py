@@ -257,12 +257,12 @@ class Simulator:
         event._recyclable = _CONTROL_POOL
         return event
 
-    def spawn(self, generator: Generator) -> "Process":
+    def spawn(self, generator: Generator, name: str = "") -> "Process":
         """Start a new process from a generator coroutine."""
         global _Process
         if _Process is None:
             from repro.sim.process import Process as _Process  # noqa: F811
-        return _Process(self, generator)
+        return _Process(self, generator, name)
 
     # -- execution ----------------------------------------------------------
 
@@ -303,6 +303,14 @@ class Simulator:
         if self._nowq:
             return self.now
         return self._heap[0][0] if self._heap else None
+
+    def has_pending(self) -> bool:
+        """True when any event is scheduled (the run loop would continue).
+
+        Used by self-terminating background processes (e.g. the telemetry
+        sampler) to avoid keeping an otherwise-finished simulation alive.
+        """
+        return bool(self._nowq or self._heap)
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the heap drains or simulated time passes ``until``.

@@ -75,6 +75,11 @@ class Process(Event):
     def is_alive(self) -> bool:
         return not self.triggered
 
+    def __repr__(self) -> str:
+        state = "alive" if not self.triggered else (
+            "failed" if self._exception is not None else "done")
+        return f"<Process {self.name!r} {state}>"
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
 

@@ -46,6 +46,57 @@ class QueueFullError(SimulationError):
     """Raised when putting into a bounded Store configured to reject."""
 
 
+class Usage:
+    """Exact busy-time / queue-length accounting for a Resource or Store.
+
+    ``busy_ns`` is the integral of the occupancy value over simulated time
+    (server·ns for a :class:`Resource`, item·ns for a :class:`Store`);
+    ``queue_ns`` is the integral of the wait-queue length. Mutation sites
+    call :meth:`advance` *before* each state transition, passing the value
+    that held since the previous advance — so the integrals are exact
+    accounting, not sampling. Disabled cost is one attribute load and a
+    ``is not None`` check per mutation (the PR-1 tracer pattern).
+    """
+
+    __slots__ = ("start_ns", "last_ns", "busy_ns", "queue_ns", "peak",
+                 "queue_peak")
+
+    def __init__(self, now: int = 0):
+        self.start_ns = now
+        self.last_ns = now
+        self.busy_ns = 0
+        self.queue_ns = 0
+        self.peak = 0
+        self.queue_peak = 0
+
+    def advance(self, now: int, value: int, queue: int = 0) -> None:
+        """Integrate the interval [last_ns, now) at the *pre-mutation* state."""
+        dt = now - self.last_ns
+        if dt:
+            self.busy_ns += dt * value
+            self.queue_ns += dt * queue
+            self.last_ns = now
+        if value > self.peak:
+            self.peak = value
+        if queue > self.queue_peak:
+            self.queue_peak = queue
+
+    def busy_integral(self, now: int, value: int) -> int:
+        """``busy_ns`` including the still-open interval at ``value``."""
+        return self.busy_ns + (now - self.last_ns) * value
+
+    def queue_integral(self, now: int, queue: int) -> int:
+        """``queue_ns`` including the still-open interval at ``queue``."""
+        return self.queue_ns + (now - self.last_ns) * queue
+
+    def utilization(self, now: int, value: int, capacity: int = 1) -> float:
+        """Mean occupancy fraction since accounting was enabled."""
+        span = now - self.start_ns
+        if span <= 0:
+            return 0.0
+        return self.busy_integral(now, value) / (span * capacity)
+
+
 class Resource:
     """A resource with ``capacity`` servers and a FIFO wait queue.
 
@@ -58,7 +109,7 @@ class Resource:
             resource.release()
     """
 
-    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiters")
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiters", "usage")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -68,6 +119,8 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        #: Optional :class:`Usage` accounting (None = zero-cost disabled).
+        self.usage: Optional[Usage] = None
 
     @property
     def in_use(self) -> int:
@@ -77,12 +130,28 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiters)
 
+    def enable_usage(self) -> Usage:
+        """Attach exact busy/queue-time accounting (idempotent)."""
+        if self.usage is None:
+            self.usage = Usage(self.sim.now)
+        return self.usage
+
+    def utilization(self, now: Optional[int] = None) -> float:
+        """Mean busy fraction since :meth:`enable_usage` (0.0 if disabled)."""
+        if self.usage is None:
+            return 0.0
+        if now is None:
+            now = self.sim.now
+        return self.usage.utilization(now, self._in_use, self.capacity)
+
     def request(self) -> Event:
         """Return an event that triggers when a server is granted.
 
         The event is pooled: yield it immediately, don't hold it.
         """
         sim = self.sim
+        if self.usage is not None:
+            self.usage.advance(sim.now, self._in_use, len(self._waiters))
         free = sim._control_free
         if free:
             event = free.pop()
@@ -101,6 +170,8 @@ class Resource:
         """Release one server; hands it to the oldest waiter if any."""
         if self._in_use <= 0:
             raise SimulationError(f"release() of idle resource {self.name!r}")
+        if self.usage is not None:
+            self.usage.advance(self.sim.now, self._in_use, len(self._waiters))
         if self._waiters:
             waiter = self._waiters.popleft()
             _trigger_now(self.sim, waiter)
@@ -129,7 +200,7 @@ class Store:
     """
 
     __slots__ = ("sim", "capacity", "name", "reject_when_full", "_items",
-                 "_getters", "_putters", "drops", "on_get")
+                 "_getters", "_putters", "drops", "on_get", "usage")
 
     def __init__(
         self,
@@ -151,9 +222,19 @@ class Store:
         #: Optional observer invoked with each item handed to a consumer
         #: (used e.g. by credit-based flow control to watch ring drains).
         self.on_get = None
+        #: Optional :class:`Usage` accounting (None = zero-cost disabled).
+        #: ``busy_ns`` integrates the queue depth, ``queue_ns`` the number
+        #: of blocked putters (backpressure).
+        self.usage: Optional[Usage] = None
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def enable_usage(self) -> Usage:
+        """Attach exact depth/backpressure accounting (idempotent)."""
+        if self.usage is None:
+            self.usage = Usage(self.sim.now)
+        return self.usage
 
     @property
     def is_full(self) -> bool:
@@ -162,6 +243,8 @@ class Store:
     def put(self, item: Any) -> Event:
         """Return an event that triggers once the item is enqueued."""
         sim = self.sim
+        if self.usage is not None:
+            self.usage.advance(sim.now, len(self._items), len(self._putters))
         free = sim._control_free
         if free:
             event = free.pop()
@@ -191,6 +274,9 @@ class Store:
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False (and counts a drop) when full."""
+        if self.usage is not None:
+            self.usage.advance(self.sim.now, len(self._items),
+                               len(self._putters))
         if self._getters:
             _trigger_now(self.sim, self._getters.popleft(), item)
             if self.on_get is not None:
@@ -206,6 +292,8 @@ class Store:
     def get(self) -> Event:
         """Return an event that triggers with the oldest item."""
         sim = self.sim
+        if self.usage is not None:
+            self.usage.advance(sim.now, len(self._items), len(self._putters))
         free = sim._control_free
         if free:
             event = free.pop()
@@ -236,6 +324,9 @@ class Store:
 
     def try_get(self) -> Any:
         """Non-blocking get; returns None when empty."""
+        if self.usage is not None:
+            self.usage.advance(self.sim.now, len(self._items),
+                               len(self._putters))
         if self._items:
             item = self._items.popleft()
             if self.on_get is not None:

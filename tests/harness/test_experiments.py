@@ -8,6 +8,7 @@ from repro.harness.experiments import (
     TABLE3_PAPER,
     TABLE4_PAPER,
     fig4_rpc_sizes,
+    fig11_bottleneck,
     sec53_raw_access,
     table1_resources,
 )
@@ -38,6 +39,18 @@ def test_fig4_structure():
     assert 0 <= result["social_requests_under_512"] <= 1
     assert result["per_tier_median_request"]["text"] == 580
     assert result["paper"]["requests_under_512"] == 0.75
+
+
+def test_fig11_bottleneck_small_sweep():
+    result = fig11_bottleneck(loads_mrps=[1.0, 7.5], nreq=2000, cache=False)
+    assert result["batch_size"] == 1
+    assert len(result["points"]) == 2
+    for point in result["points"]:
+        assert point["utilization"] is not None
+        assert len(point["utilization"]) >= 5
+    report = result["report"]
+    assert report["bottleneck"] != "unknown"
+    assert report["knee_load_mrps"] in (1.0, 7.5)
 
 
 def test_paper_reference_tables_complete():

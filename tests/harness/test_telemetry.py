@@ -1,0 +1,103 @@
+"""EchoRig timeline telemetry: utilization, determinism, and export.
+
+Acceptance criteria from ISSUE 3: a telemetry-enabled run yields
+utilization series for >= 5 distinct probes; enabling telemetry leaves
+results bit-identical; the committed BENCH_kernel.json echo signature
+still holds; and the exported Chrome trace validates.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import BenchResult, EchoRig, run_closed_loop
+from repro.obs import attribute_bottleneck
+
+BENCH_SIGNATURE = {
+    "count": 2765,
+    "p50_us": 4.998,
+    "p99_us": 5.146,
+    "throughput_mrps": 12.652549278108893,
+}
+
+
+def _signature(result):
+    return {
+        "count": result.count,
+        "p50_us": result.p50_us,
+        "p99_us": result.p99_us,
+        "throughput_mrps": result.throughput_mrps,
+    }
+
+
+def test_telemetry_collects_at_least_five_components():
+    result = run_closed_loop(batch_size=4, nreq=2000, telemetry=True)
+    assert result.utilization is not None
+    components = {key.split(".")[0] for key in result.utilization}
+    # nic.client, nic.server, interconnect, cpu, client/server probes...
+    assert len(result.utilization) >= 5
+    assert {"nic", "cpu"} <= components
+    assert all(0.0 <= v <= 1.0 + 1e-9 for v in result.utilization.values())
+    assert result.timeline is not None
+    assert result.timeline["series"], "expected sampled time series"
+
+
+def test_telemetry_off_leaves_fields_none():
+    result = run_closed_loop(batch_size=4, nreq=2000)
+    assert result.utilization is None
+    assert result.timeline is None
+
+
+def test_telemetry_is_bit_identical():
+    off = run_closed_loop(batch_size=4, nreq=2000)
+    on = run_closed_loop(batch_size=4, nreq=2000, telemetry=True,
+                         telemetry_interval_ns=500)
+    assert _signature(on) == _signature(off)
+    assert on.drops == off.drops == 0
+
+
+def test_untraced_echo_matches_committed_bench_signature():
+    result = run_closed_loop(batch_size=4, nreq=4000)
+    assert _signature(result) == BENCH_SIGNATURE
+
+
+def test_bench_result_round_trips_utilization_and_timeline():
+    result = run_closed_loop(batch_size=4, nreq=2000, telemetry=True)
+    decoded = BenchResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert decoded.utilization == result.utilization
+    assert decoded.timeline == result.timeline
+    # Pre-telemetry dicts (no utilization/timeline keys) still decode.
+    legacy = result.to_dict()
+    legacy.pop("utilization")
+    legacy.pop("timeline")
+    old = BenchResult.from_dict(legacy)
+    assert old.utilization is None
+    assert old.timeline is None
+
+
+def test_rig_exports_valid_chrome_trace(tmp_path):
+    rig = EchoRig(batch_size=4, trace=True, telemetry=True)
+    rig.closed_loop(nreq=800, warmup_ns=20_000)
+    path = tmp_path / "echo.json"
+    count = rig.export_chrome_trace(str(path))
+    assert count > 0
+    document = json.loads(path.read_text())
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    kinds = {e["ph"] for e in document["traceEvents"]}
+    assert kinds == {"M", "X", "C"}
+
+
+def test_attribution_on_real_open_loop_points():
+    points = []
+    for load in (2.0, 11.0):
+        rig = EchoRig(batch_size=4, telemetry=True)
+        result = rig.open_loop(load, nreq=1500, warmup_ns=50_000)
+        points.append({
+            "offered_mrps": load,
+            "p99_us": result.p99_us,
+            "utilization": result.utilization,
+        })
+    report = attribute_bottleneck(points)
+    assert report.bottleneck != "unknown"
+    assert report.bottleneck_utilization == pytest.approx(
+        points[report.knee_index]["utilization"][report.bottleneck])

@@ -1,0 +1,62 @@
+"""breakdown() on incomplete, partial, and warmup-filtered spans."""
+
+from repro.obs import RpcSpan, SpanTracer, breakdown
+
+
+def _complete_span(rpc_id, start, e2e=1000):
+    span = RpcSpan(rpc_id)
+    span.events["req_issue"] = start
+    span.events["req_sw_tx"] = start + 100
+    span.events["resp_complete"] = start + e2e
+    return span
+
+
+def test_incomplete_spans_are_skipped_not_fatal():
+    tracer = SpanTracer()
+    tracer.record(1, "req_issue", 0)
+    tracer.record(1, "resp_complete", 900)
+    tracer.record(2, "req_issue", 100)  # dropped in flight: no completion
+    tracer.record(3, "handler_start", 300)  # server-only fragment
+    result = breakdown(tracer)
+    assert result.spans_used == 1
+    assert result.spans_skipped == 2
+    assert result.e2e.p50_ns == 900
+
+
+def test_all_incomplete_yields_empty_breakdown():
+    tracer = SpanTracer()
+    tracer.record(1, "req_issue", 0)
+    result = breakdown(tracer)
+    assert result.spans_used == 0
+    assert result.spans_skipped == 1
+    assert result.stages == []
+    assert result.e2e is None
+    assert result.stage_p50_sum_ns == 0
+    assert result.rows() == []
+
+
+def test_warmup_filters_early_completions():
+    spans = [_complete_span(1, 0), _complete_span(2, 5000)]
+    result = breakdown(spans, warmup_ns=2000)
+    assert result.spans_used == 1
+    assert result.spans_skipped == 1
+
+
+def test_partial_point_sets_make_wider_stages():
+    """A span missing intermediate points folds them into one a->b stage
+    whose durations still sum to the end-to-end latency."""
+    span = RpcSpan(7)
+    span.events["req_issue"] = 0
+    span.events["req_dispatch"] = 600
+    span.events["resp_complete"] = 1000
+    result = breakdown([span])
+    labels = [s.label for s in result.stages]
+    assert labels == ["req_issue -> req_dispatch",
+                      "req_dispatch -> resp_complete"]
+    assert result.stage_p50_sum_ns == result.e2e.p50_ns == 1000
+
+
+def test_breakdown_accepts_plain_iterable_of_spans():
+    result = breakdown([_complete_span(1, 0), _complete_span(2, 10)])
+    assert result.spans_used == 2
+    assert result.as_dict()["spans_used"] == 2

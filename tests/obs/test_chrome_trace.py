@@ -1,0 +1,113 @@
+"""Chrome trace-event / Perfetto export: event schema and track layout."""
+
+import io
+import json
+
+from repro.obs import (
+    SpanTracer,
+    TimelineCollector,
+    chrome_trace_events,
+    export_chrome_trace,
+)
+from repro.obs.chrome_trace import PIPELINE_PID, TELEMETRY_PID, TRACKS
+from repro.sim import Simulator
+
+
+def make_tracer():
+    tracer = SpanTracer()
+    tracer.record(1, "req_issue", 0)
+    tracer.record(1, "req_sw_tx", 40)
+    tracer.record(1, "resp_complete", 2000)  # gap -> merged "other" slice
+    tracer.record(2, "req_issue", 500)
+    tracer.record(2, "req_sw_tx", 560)  # incomplete span still renders
+    return tracer
+
+
+def make_collector():
+    collector = TimelineCollector(Simulator())
+    busy = collector.add_probe("nic", "pipeline_busy_ns", lambda: 0,
+                               mode="counter")
+    depth = collector.add_probe("nic", "rx_depth", lambda: 0)
+    for t, v in ((0, 0), (1000, 400), (2000, 1400)):
+        busy.append(t, v)
+        depth.append(t, v // 100)
+    return collector
+
+
+def _validate_event_schema(event):
+    assert event["ph"] in ("M", "X", "C")
+    assert isinstance(event["pid"], int)
+    assert isinstance(event["tid"], int)
+    assert isinstance(event["name"], str)
+    if event["ph"] in ("X", "C"):
+        assert isinstance(event["ts"], float)
+    if event["ph"] == "X":
+        assert isinstance(event["dur"], float)
+        assert event["dur"] >= 0
+        assert "rpc_id" in event["args"]
+    if event["ph"] == "C":
+        assert isinstance(event["args"]["value"], (int, float))
+
+
+def test_events_validate_and_cover_all_kinds():
+    events = chrome_trace_events(make_tracer(), make_collector())
+    kinds = {e["ph"] for e in events}
+    assert kinds == {"M", "X", "C"}
+    for event in events:
+        _validate_event_schema(event)
+
+
+def test_metadata_names_processes_and_tracks():
+    events = chrome_trace_events(make_tracer())
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert names == set(TRACKS)
+    processes = {e["args"]["name"] for e in meta
+                 if e["name"] == "process_name"}
+    assert processes == {"RPC pipeline", "telemetry"}
+
+
+def test_slice_events_land_on_pipeline_tracks_in_us():
+    events = chrome_trace_events(make_tracer())
+    slices = [e for e in events if e["ph"] == "X"]
+    assert slices, "expected at least one slice"
+    first = next(e for e in slices if e["args"]["rpc_id"] == 1)
+    assert first["pid"] == PIPELINE_PID
+    assert first["name"] == "client tx (CPU)"
+    assert first["ts"] == 0.0
+    assert first["dur"] == 0.04  # 40 ns -> 0.04 us
+    # The non-adjacent req_sw_tx -> resp_complete gap lands on "other".
+    other = next(e for e in slices if e["name"] == "req_sw_tx -> resp_complete")
+    assert TRACKS[other["tid"]] == "other"
+
+
+def test_counter_tracks_rate_and_gauge():
+    events = chrome_trace_events(collector=make_collector())
+    counters = [e for e in events if e["ph"] == "C"]
+    assert all(e["pid"] == TELEMETRY_PID for e in counters)
+    by_name = {}
+    for e in counters:
+        by_name.setdefault(e["name"], []).append(e)
+    # busy_ns counter renamed to a utilization track, exported as rate.
+    util = by_name["nic.pipeline utilization"]
+    assert [e["args"]["value"] for e in util] == [0.4, 1.0]
+    # gauge exported raw, including the baseline sample.
+    gauge = by_name["nic.rx_depth"]
+    assert [e["args"]["value"] for e in gauge] == [0, 4, 14]
+
+
+def test_max_spans_keeps_most_recent():
+    events = chrome_trace_events(make_tracer(), max_spans=1)
+    rpc_ids = {e["args"]["rpc_id"] for e in events if e["ph"] == "X"}
+    assert rpc_ids == {2}
+
+
+def test_export_to_stream_and_path(tmp_path):
+    buffer = io.StringIO()
+    count = export_chrome_trace(buffer, make_tracer(), make_collector())
+    document = json.loads(buffer.getvalue())
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    assert len(document["traceEvents"]) == count
+    path = str(tmp_path / "trace.json")
+    assert export_chrome_trace(path, make_tracer()) > 0
+    assert json.load(open(path))["displayTimeUnit"] == "ns"

@@ -1,0 +1,100 @@
+"""load_trace round-trips and error handling (ISSUE 3 sats b/c)."""
+
+import pytest
+
+from repro.obs import (
+    JsonLinesSink,
+    MetricsRegistry,
+    SpanTracer,
+    TimelineCollector,
+    TraceFileError,
+    breakdown,
+    dump_metrics,
+    dump_timeline,
+    dump_trace,
+    load_trace,
+)
+from repro.sim import Simulator
+
+
+def _write_trace(path):
+    tracer = SpanTracer()
+    tracer.record(1, "req_issue", 0)
+    tracer.record(1, "req_sw_tx", 120)
+    tracer.record(1, "resp_complete", 1000)
+    tracer.record(2, "req_issue", 50)  # incomplete span round-trips too
+    tracer.record_transfer("upi", 3, 400)
+    registry = MetricsRegistry()
+    registry.counter("nic", "drops").inc(2)
+    collector = TimelineCollector(Simulator())
+    series = collector.add_probe("nic", "rx_depth", lambda: 0)
+    series.append(0, 1)
+    series.append(1000, 4)
+    with JsonLinesSink(str(path)) as sink:
+        dump_trace(tracer, sink)
+        dump_metrics(registry, sink)
+        dump_timeline(collector, sink)
+    return str(path)
+
+
+def test_round_trip_spans_transfers_metrics_timeseries(tmp_path):
+    path = _write_trace(tmp_path / "trace.jsonl")
+    data = load_trace(path)
+    assert [s.rpc_id for s in data["spans"]] == [1, 2]
+    assert data["spans"][0].events["req_sw_tx"] == 120
+    assert data["transfers"]["upi"]["lines"] == 3
+    assert data["transfers"]["upi"]["transactions"] == 1
+    assert data["metrics"] == [{"nic": {"drops": 2}}]
+    assert data["timeseries"][0]["name"] == "rx_depth"
+    assert data["timeseries"][0]["values"] == [1, 4]
+
+
+def test_loaded_spans_feed_breakdown(tmp_path):
+    data = load_trace(_write_trace(tmp_path / "trace.jsonl"))
+    result = breakdown(data["spans"], warmup_ns=0)
+    assert result.spans_used == 1
+    assert result.e2e.p50_ns == 1000
+
+
+def test_missing_file_raises_trace_file_error(tmp_path):
+    with pytest.raises(TraceFileError, match="cannot read"):
+        load_trace(str(tmp_path / "does-not-exist.jsonl"))
+
+
+def test_corrupt_json_names_path_and_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "span", "rpc_id": 1, "events": {}}\n{not json\n')
+    with pytest.raises(TraceFileError, match=r"bad\.jsonl:2: not valid JSON"):
+        load_trace(str(path))
+
+
+def test_non_object_record_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("[1, 2, 3]\n")
+    with pytest.raises(TraceFileError, match="expected an object"):
+        load_trace(str(path))
+
+
+def test_record_missing_type_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"rpc_id": 1}\n')
+    with pytest.raises(TraceFileError, match="'type' key"):
+        load_trace(str(path))
+
+
+def test_malformed_span_record_names_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "span", "rpc_id": 1}\n')
+    with pytest.raises(TraceFileError, match=r"bad\.jsonl:1: malformed 'span'"):
+        load_trace(str(path))
+
+
+def test_unknown_record_types_are_skipped(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        '{"type": "future-extension", "payload": 1}\n'
+        '\n'  # blank lines are fine
+        '{"type": "span", "rpc_id": 9, "events": {"req_issue": 0}}\n'
+    )
+    data = load_trace(str(path))
+    assert [s.rpc_id for s in data["spans"]] == [9]

@@ -1,0 +1,224 @@
+"""TimelineCollector, TimeSeries, and bottleneck attribution."""
+
+import pytest
+
+from repro.obs import (
+    TimelineCollector,
+    TimeSeries,
+    attribute_bottleneck,
+    find_latency_knee,
+    utilization_summary,
+)
+from repro.sim import SimulationError, Simulator
+
+
+# -- TimeSeries ----------------------------------------------------------------
+
+
+def test_series_ring_bound_evicts_oldest():
+    series = TimeSeries("c", "depth", max_samples=3)
+    for t in range(5):
+        series.append(t * 10, t)
+    assert len(series) == 3
+    assert series.times == [20, 30, 40]
+    assert series.values == [2, 3, 4]
+
+
+def test_series_same_timestamp_overwrites():
+    series = TimeSeries("c", "depth")
+    series.append(10, 1.0)
+    series.append(10, 2.0)
+    assert series.times == [10]
+    assert series.values == [2.0]
+
+
+def test_series_rate_and_window_delta():
+    series = TimeSeries("c", "bytes", mode="counter")
+    series.append(0, 0)
+    series.append(100, 50)
+    series.append(300, 150)
+    assert series.rate() == [(100, 0.5), (300, 0.5)]
+    assert series.window_delta() == (300, 150)
+
+
+def test_series_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="mode"):
+        TimeSeries("c", "x", mode="rate")
+
+
+def test_series_to_record_shape():
+    series = TimeSeries("nic", "depth")
+    series.append(5, 2)
+    record = series.to_record()
+    assert record == {"type": "timeseries", "component": "nic",
+                      "name": "depth", "mode": "gauge",
+                      "t_ns": [5], "values": [2]}
+
+
+# -- TimelineCollector ---------------------------------------------------------
+
+
+def test_collector_validates_arguments():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="interval_ns"):
+        TimelineCollector(sim, interval_ns=0)
+    with pytest.raises(ValueError, match="max_samples"):
+        TimelineCollector(sim, max_samples=1)
+
+
+def test_collector_rejects_duplicate_probe():
+    collector = TimelineCollector(Simulator())
+    collector.add_probe("nic", "depth", lambda: 0)
+    with pytest.raises(ValueError, match="duplicate"):
+        collector.add_probe("nic", "depth", lambda: 1)
+
+
+def test_collector_add_source_uses_protocol():
+    class Probed:
+        def timeline_probes(self):
+            return [("a", "gauge", lambda: 1), ("b", "counter", lambda: 2)]
+
+    collector = TimelineCollector(Simulator())
+    made = collector.add_source("dev", Probed())
+    assert [s.name for s in made] == ["a", "b"]
+    assert collector.components() == ["dev"]
+    assert collector.get("dev", "b").mode == "counter"
+
+
+def test_collector_samples_at_interval():
+    sim = Simulator()
+    collector = TimelineCollector(sim, interval_ns=100)
+    state = {"v": 0}
+    collector.add_probe("c", "v", lambda: state["v"])
+
+    def workload():
+        for step in range(1, 6):
+            yield 100
+            state["v"] = step
+
+    sim.spawn(workload())
+    collector.start()
+    sim.run()
+    collector.stop()
+    series = collector.get("c", "v")
+    # Baseline at t=0 plus one sample per 100 ns; closing sample overlaps
+    # the last periodic one.
+    assert series.times[0] == 0
+    assert series.times[-1] == sim.now
+    assert len(series) >= 5
+
+
+def test_sampler_terminates_when_alone():
+    """The sampler must not keep an otherwise-finished simulation alive."""
+    sim = Simulator()
+    collector = TimelineCollector(sim, interval_ns=50)
+    collector.add_probe("c", "x", lambda: 0)
+
+    def workload():
+        yield 120
+
+    sim.spawn(workload())
+    collector.start()
+    sim.run()  # returns, i.e. the sampler stopped itself
+    assert sim.now <= 200
+
+
+def test_sampler_preserves_deadlock_detection():
+    """run_until_done must still raise when the workload deadlocks."""
+    sim = Simulator()
+    collector = TimelineCollector(sim, interval_ns=50)
+    collector.add_probe("c", "x", lambda: 0)
+
+    def blocked():
+        yield sim.event()  # never triggered
+
+    handle = sim.spawn(blocked())
+    collector.start()
+    with pytest.raises(SimulationError):
+        sim.run_until_done(handle)
+
+
+def test_start_is_idempotent_and_stop_takes_closing_sample():
+    sim = Simulator()
+    collector = TimelineCollector(sim, interval_ns=1000)
+    collector.add_probe("c", "x", lambda: 7)
+
+    def workload():
+        yield 250
+
+    sim.spawn(workload())
+    collector.start()
+    collector.start()
+    sim.run()
+    collector.stop()
+    series = collector.get("c", "x")
+    # Baseline at 0; the drain runs to the sampler's next tick (1000),
+    # where the sampler takes its last sample and exits.
+    assert series.times == [0, 1000]
+    assert series.times[-1] == sim.now
+    assert collector.to_dict()["interval_ns"] == 1000
+
+
+# -- utilization + attribution -------------------------------------------------
+
+
+def test_utilization_summary_reduces_busy_counters():
+    collector = TimelineCollector(Simulator())
+    busy = collector.add_probe("nic", "pipeline_busy_ns", lambda: 0,
+                               mode="counter")
+    bare = collector.add_probe("cpu.core0", "busy_ns", lambda: 0,
+                               mode="counter")
+    gauge = collector.add_probe("nic", "depth", lambda: 0)  # ignored
+    counter = collector.add_probe("nic", "tx_bytes", lambda: 0,
+                                  mode="counter")  # ignored: not busy_ns
+    for t, v in ((0, 0), (1000, 250)):
+        busy.append(t, v)
+        gauge.append(t, v)
+        counter.append(t, v)
+    for t, v in ((0, 0), (1000, 900)):
+        bare.append(t, v)
+    util = utilization_summary(collector)
+    assert util == {"nic.pipeline": 0.25, "cpu.core0": 0.9}
+
+
+def test_find_latency_knee_first_crossing():
+    assert find_latency_knee([2.0, 2.1, 2.2, 4.0, 9.0]) == 3
+    assert find_latency_knee([2.0, 2.0, 2.0]) == 2  # flat -> last index
+    assert find_latency_knee([5.0]) == 0
+    with pytest.raises(ValueError):
+        find_latency_knee([])
+
+
+def test_attribute_bottleneck_names_first_saturating():
+    points = [
+        {"offered_mrps": 1.0, "p99_us": 2.0,
+         "utilization": {"nic.fetch": 0.2, "cpu.core0": 0.1}},
+        {"offered_mrps": 4.0, "p99_us": 2.2,
+         "utilization": {"nic.fetch": 0.6, "cpu.core0": 0.3}},
+        {"offered_mrps": 7.0, "p99_us": 6.0,
+         "utilization": {"nic.fetch": 0.97, "cpu.core0": 0.5}},
+    ]
+    report = attribute_bottleneck(points)
+    assert report.knee_index == 2
+    assert report.knee_load_mrps == 7.0
+    assert report.bottleneck == "nic.fetch"
+    assert report.bottleneck_utilization == pytest.approx(0.97)
+    assert [p["bottleneck"] for p in report.per_point] == ["nic.fetch"] * 3
+    assert report.as_dict()["knee_latency_us"] == 6.0
+
+
+def test_attribute_bottleneck_tie_breaks_toward_prior_busiest():
+    points = [
+        {"offered_mrps": 1.0, "p99_us": 2.0,
+         "utilization": {"a": 0.5, "b": 0.2}},
+        {"offered_mrps": 2.0, "p99_us": 9.0,
+         "utilization": {"a": 0.9, "b": 0.9}},
+    ]
+    report = attribute_bottleneck(points)
+    assert report.bottleneck == "a"  # already busiest at the prior load
+
+
+def test_attribute_bottleneck_handles_missing_utilization():
+    points = [{"offered_mrps": 1.0, "p99_us": 2.0, "utilization": None}]
+    report = attribute_bottleneck(points)
+    assert report.bottleneck == "unknown"

@@ -1,0 +1,77 @@
+"""SpanTracer memory-bound modes: max_spans ring + drain (ISSUE 3 sat a)."""
+
+import pytest
+
+from repro.obs import SpanTracer, breakdown
+
+
+def test_default_is_unbounded():
+    tracer = SpanTracer()
+    for rpc_id in range(1000):
+        tracer.record(rpc_id, "req_issue", rpc_id)
+    assert len(tracer) == 1000
+    assert tracer.spans_evicted == 0
+
+
+def test_max_spans_evicts_oldest_fifo():
+    tracer = SpanTracer(max_spans=3)
+    for rpc_id in range(5):
+        tracer.record(rpc_id, "req_issue", rpc_id * 10)
+    assert len(tracer) == 3
+    assert [s.rpc_id for s in tracer.spans()] == [2, 3, 4]
+    assert tracer.spans_evicted == 2
+    assert tracer.span(0) is None
+
+
+def test_max_spans_updating_existing_span_does_not_evict():
+    tracer = SpanTracer(max_spans=2)
+    tracer.record(1, "req_issue", 0)
+    tracer.record(2, "req_issue", 10)
+    tracer.record(1, "resp_complete", 500)  # existing span, no new entry
+    assert len(tracer) == 2
+    assert tracer.spans_evicted == 0
+    assert tracer.span(1).complete
+
+
+def test_max_spans_validation():
+    with pytest.raises(ValueError, match="max_spans"):
+        SpanTracer(max_spans=0)
+
+
+def test_drain_consumes_spans_keeps_transfers_and_counter():
+    tracer = SpanTracer(max_spans=2)
+    tracer.record_transfer("upi", 4, 100)
+    for rpc_id in range(3):
+        tracer.record(rpc_id, "req_issue", rpc_id)
+    drained = tracer.drain()
+    assert [s.rpc_id for s in drained] == [1, 2]
+    assert len(tracer) == 0
+    assert tracer.spans_evicted == 1          # survives drain
+    assert tracer.transfers["upi"]["lines"] == 4  # survives drain
+    assert tracer.drain() == []
+
+
+def test_drain_streaming_bounds_memory_across_batches():
+    tracer = SpanTracer()
+    seen = []
+    for batch in range(4):
+        for i in range(10):
+            rpc_id = batch * 10 + i
+            tracer.record(rpc_id, "req_issue", rpc_id)
+            tracer.record(rpc_id, "resp_complete", rpc_id + 5)
+        seen.extend(tracer.drain())
+        assert len(tracer) == 0
+    assert len(seen) == 40
+    # Drained spans still feed breakdown() (it accepts iterables of spans).
+    result = breakdown(seen)
+    assert result.spans_used == 40
+
+
+def test_clear_resets_eviction_counter():
+    tracer = SpanTracer(max_spans=1)
+    tracer.record(1, "req_issue", 0)
+    tracer.record(2, "req_issue", 1)
+    assert tracer.spans_evicted == 1
+    tracer.clear()
+    assert tracer.spans_evicted == 0
+    assert len(tracer) == 0

@@ -1,0 +1,138 @@
+"""Exact busy-time accounting on Resource and Store (ISSUE 3 tentpole).
+
+The Usage integrals are *accounting*, not sampling: every mutation site
+advances the integral with the pre-mutation state, so busy time is exact
+regardless of when (or whether) anyone looks at it.
+"""
+
+import pytest
+
+from repro.sim import Simulator, Usage
+from repro.sim.resources import Resource, Store
+
+
+def test_usage_advance_integrates_pre_mutation_state():
+    usage = Usage(0)
+    usage.advance(10, 1)     # value 1 held over [0, 10)
+    usage.advance(15, 3, 2)  # value 3, queue 2 held over [10, 15)
+    assert usage.busy_ns == 10 * 1 + 5 * 3
+    assert usage.queue_ns == 5 * 2
+    assert usage.peak == 3
+    assert usage.queue_peak == 2
+
+
+def test_usage_open_interval_and_utilization():
+    usage = Usage(100)
+    usage.advance(200, 2)
+    assert usage.busy_integral(250, 1) == 100 * 2 + 50 * 1
+    assert usage.queue_integral(250, 4) == 50 * 4
+    # [100,200) at value 2, [200,350) at value 1, over capacity 2.
+    assert usage.utilization(350, 1, capacity=2) == pytest.approx(
+        (100 * 2 + 150 * 1) / (250 * 2))
+
+
+def test_usage_zero_span_utilization_is_zero():
+    assert Usage(5).utilization(5, 1) == 0.0
+
+
+def test_resource_usage_exact_busy_time():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1, name="r")
+    resource.enable_usage()
+
+    def worker(hold_ns):
+        yield from resource.use(hold_ns)
+
+    sim.spawn(worker(100))
+    sim.spawn(worker(50))  # queued behind the first
+    sim.run()
+    # Busy 150 ns of the 150 ns span; second worker waited 100 ns.
+    assert resource.usage.busy_integral(sim.now, resource.in_use) == 150
+    assert resource.utilization() == pytest.approx(1.0)
+    assert resource.usage.queue_ns == 100
+    assert resource.usage.queue_peak == 1
+
+
+def test_resource_usage_idle_gap_counted():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    resource.enable_usage()
+
+    def worker():
+        yield sim.timeout(60)  # idle 60 ns first
+        yield from resource.use(40)
+
+    sim.spawn(worker())
+    sim.run()
+    assert sim.now == 100
+    assert resource.usage.busy_integral(sim.now, resource.in_use) == 40
+    assert resource.utilization() == pytest.approx(0.4)
+
+
+def test_resource_usage_disabled_by_default():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    assert resource.usage is None
+    assert resource.utilization() == 0.0
+    usage = resource.enable_usage()
+    assert resource.enable_usage() is usage  # idempotent
+
+
+def test_store_usage_integrates_depth():
+    sim = Simulator()
+    store = Store(sim, name="q")
+    store.enable_usage()
+
+    def producer():
+        yield store.put("a")        # depth 0 -> 1 at t=0
+        yield sim.timeout(30)
+        yield store.put("b")        # depth 1 -> 2 at t=30
+
+    def consumer():
+        yield sim.timeout(100)
+        yield store.get()           # depth 2 -> 1 at t=100
+        yield sim.timeout(20)
+        yield store.get()           # depth 1 -> 0 at t=120
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    # item-ns: 30*1 + 70*2 + 20*1 = 190
+    assert store.usage.busy_integral(sim.now, len(store)) == 190
+    assert store.usage.peak == 2
+
+
+def test_store_usage_counts_blocked_putters():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.enable_usage()
+
+    def producer():
+        yield store.put("a")
+        yield store.put("b")  # blocks until the get at t=50
+
+    def consumer():
+        yield sim.timeout(50)
+        yield store.get()
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert store.usage.queue_integral(sim.now, len(store._putters)) == 50
+    assert store.usage.queue_peak == 1
+
+
+def test_store_try_put_try_get_advance_usage():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    usage = store.enable_usage()
+
+    def script():
+        store.try_put("a")
+        yield sim.timeout(25)
+        assert store.try_get() == "a"
+        yield sim.timeout(10)
+
+    sim.spawn(script())
+    sim.run()
+    assert usage.busy_integral(sim.now, len(store)) == 25

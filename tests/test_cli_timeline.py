@@ -1,0 +1,74 @@
+"""End-to-end tests of ``python -m repro timeline`` and ``trace --replay``."""
+
+import json
+
+from repro.__main__ import main
+
+
+def test_timeline_prints_utilization_and_writes_chrome_trace(capsys, tmp_path):
+    out_json = str(tmp_path / "echo_trace.json")
+    rc = main(["timeline", "--batch", "4", "--nreq", "2000",
+               "--chrome-trace", out_json])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "telemetry samples" in out
+    assert "Utilization (exact busy fractions)" in out
+    assert "nic.client" in out
+    assert "ui.perfetto.dev" in out
+    document = json.loads(open(out_json).read())
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    assert {e["ph"] for e in document["traceEvents"]} == {"M", "X", "C"}
+
+
+def test_timeline_open_loop_without_trace(capsys):
+    rc = main(["timeline", "--batch", "1", "--nreq", "1500",
+               "--open-loop-mrps", "1.0", "--interval-ns", "5000"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Utilization (exact busy fractions)" in out
+
+
+def test_timeline_chrome_trace_unwritable_path_fails_cleanly(capsys, tmp_path):
+    rc = main(["timeline", "--batch", "4", "--nreq", "1500",
+               "--chrome-trace", str(tmp_path / "no-such-dir" / "t.json")])
+    assert rc == 2
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_trace_replay_round_trip(capsys, tmp_path):
+    jsonl = str(tmp_path / "dump.jsonl")
+    rc = main(["trace", "--nreq", "300", "--window", "4", "--jsonl", jsonl])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["trace", "--replay", jsonl])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "replay of" in out
+    assert "300 spans" in out
+    assert "host->NIC fetch (req)" in out
+
+
+def test_trace_replay_missing_file_exits_nonzero(capsys, tmp_path):
+    rc = main(["trace", "--replay", str(tmp_path / "missing.jsonl")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "cannot read" in err
+
+
+def test_trace_replay_corrupt_file_exits_nonzero(capsys, tmp_path):
+    path = tmp_path / "corrupt.jsonl"
+    path.write_text('{"type": "span"\n')
+    rc = main(["trace", "--replay", str(path)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "not valid JSON" in err
+    assert "corrupt.jsonl:1" in err
+
+
+def test_trace_replay_empty_dump_exits_nonzero(capsys, tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text('{"type": "metrics", "snapshot": {}}\n')
+    rc = main(["trace", "--replay", str(path)])
+    assert rc == 2
+    assert "no spans" in capsys.readouterr().err
