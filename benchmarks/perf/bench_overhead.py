@@ -15,6 +15,11 @@ feature is off. This benchmark keeps that claim honest:
   bit-for-bit. Telemetry only *reads* model state; if enabling it ever
   changes a simulated result, that is a correctness bug, not a perf
   regression, and this benchmark fails.
+- **Multi-tenant A/B (hard)** — the same interleaved off/on comparison
+  over the Fig 14 virtualized multi-NIC rig
+  (``run_multi_tenant(noisy_mrps=4.0, nreq_total=3000)``), gating that
+  the per-tenant probes are zero-cost when disabled: per-tenant results
+  must be bit-identical with tenant telemetry off and on.
 - **Regression gate (optional)** — ``--max-untraced-regression PCT``
   additionally fails if the untraced median is more than PCT percent
   slower than the ``BENCH_kernel.json`` echo median. Off by default:
@@ -39,7 +44,7 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
                                          "..", ".."))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.harness.runner import run_closed_loop  # noqa: E402
+from repro.harness.runner import run_closed_loop, run_multi_tenant  # noqa: E402
 
 BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_kernel.json")
 
@@ -51,6 +56,20 @@ def echo_once(nreq: int, telemetry: bool):
     elapsed = time.perf_counter() - started
     signature = (result.throughput_mrps, result.p50_us, result.p99_us,
                  result.count)
+    return elapsed, signature
+
+
+def multi_tenant_once(nreq_total: int, telemetry: bool):
+    """Time one Fig 14 rig run; return (seconds, per-tenant signature)."""
+    started = time.perf_counter()
+    result = run_multi_tenant(noisy_mrps=4.0, steady_mrps=0.5,
+                              nreq_total=nreq_total, telemetry=telemetry)
+    elapsed = time.perf_counter() - started
+    signature = tuple(
+        (tenant, stats.count, stats.p50_us, stats.p99_us,
+         stats.throughput_mrps)
+        for tenant, stats in sorted(result.per_tenant.items())
+    )
     return elapsed, signature
 
 
@@ -78,6 +97,9 @@ def main(argv=None) -> int:
                         help="interleaved A/B repetitions (default 5)")
     parser.add_argument("--nreq", type=int, default=4000,
                         help="echo benchmark request count (default 4000)")
+    parser.add_argument("--tenant-nreq", type=int, default=3000,
+                        help="multi-tenant rig total request count "
+                             "(default 3000)")
     parser.add_argument("--max-untraced-regression", type=float, default=None,
                         metavar="PCT",
                         help="fail if the untraced median is more than PCT%% "
@@ -122,6 +144,29 @@ def main(argv=None) -> int:
     print(f"result signature: {signature}"
           + (" == BENCH_kernel.json" if committed is not None else
              " (no comparable BENCH_kernel.json entry)"))
+
+    # Multi-tenant rig: same interleaved off/on protocol, gating that the
+    # per-tenant probes (ISSUE 4) are zero-cost when disabled.
+    multi_tenant_once(args.tenant_nreq, telemetry=False)  # warmup
+    mt_off_times, mt_on_times = [], []
+    mt_off_sigs, mt_on_sigs = set(), set()
+    for _ in range(args.rounds):
+        seconds, sig = multi_tenant_once(args.tenant_nreq, telemetry=False)
+        mt_off_times.append(seconds)
+        mt_off_sigs.add(sig)
+        seconds, sig = multi_tenant_once(args.tenant_nreq, telemetry=True)
+        mt_on_times.append(seconds)
+        mt_on_sigs.add(sig)
+    if len(mt_off_sigs) != 1 or mt_off_sigs != mt_on_sigs:
+        print(f"FAIL: tenant telemetry changed simulated results\n"
+              f"  off: {sorted(mt_off_sigs)}\n  on:  {sorted(mt_on_sigs)}",
+              file=sys.stderr)
+        return 1
+    mt_off = statistics.median(mt_off_times)
+    mt_on = statistics.median(mt_on_times)
+    print(f"multi-tenant untraced median: {mt_off:.4f} s, "
+          f"telemetry median: {mt_on:.4f} s "
+          f"({mt_on / mt_off - 1.0:+.1%}); per-tenant results bit-identical")
 
     if args.max_untraced_regression is not None:
         if committed_median is None:

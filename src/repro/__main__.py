@@ -22,7 +22,9 @@ Commands:
   per-component utilization table; ``--chrome-trace`` exports a Chrome
   trace-event / Perfetto JSON file (open at https://ui.perfetto.dev);
   ``--report`` sweeps offered load and prints the bottleneck attribution
-  at the latency knee.
+  at the latency knee; ``--tenants N [--noisy-mrps X] [--steady-mrps Y]``
+  runs N echo tenants on one virtualized FPGA (Fig 14) and prints the
+  per-tenant utilization table instead.
 """
 
 from __future__ import annotations
@@ -133,6 +135,23 @@ def _fig11_load(jobs=1, cache=True):
 def _fig11_bottleneck(jobs=1, cache=True):
     result = experiments.fig11_bottleneck(jobs=jobs, cache=cache)
     return render_bottleneck(result["report"])
+
+
+@_register("fig14-isolation",
+           "Fig 14: tenant isolation on a virtualized multi-NIC FPGA")
+def _fig14_isolation(jobs=1, cache=True):
+    result = experiments.fig14_isolation(jobs=jobs, cache=cache)
+    lines = [render_bottleneck(result["report"])]
+    lines.append(render_table(
+        ["steady tenant", "p99 us (quiet)", "p99 us (noisy)", "drift",
+         "isolated"],
+        [(r["tenant"], r["p99_us_at_min_noise"], r["p99_us_at_max_noise"],
+          f"{r['p99_drift']:+.1%}", "yes" if r["isolated"] else "NO")
+         for r in result["isolation"]],
+        title=f"Steady-tenant p99 while {result['noisy']} ramps to "
+              f"saturation (paper: barely moves)",
+    ))
+    return "\n\n".join(lines)
 
 
 @_register("fig11-scale", "Fig 11 (right): thread scalability")
@@ -261,6 +280,9 @@ def cmd_timeline(args) -> int:
     from repro.harness.report import render_utilization
     from repro.harness.runner import EchoRig
 
+    if args.tenants is not None:
+        return _timeline_tenants(args)
+
     if args.report:
         result = experiments.fig11_bottleneck(
             loads_mrps=args.loads, batch_size=args.batch, nreq=args.nreq,
@@ -300,6 +322,50 @@ def cmd_timeline(args) -> int:
             return 2
         print(f"\nwrote {emitted} trace events to {args.chrome_trace} "
               "(open at https://ui.perfetto.dev)")
+    return 0
+
+
+def _timeline_tenants(args) -> int:
+    """``timeline --tenants N``: one noisy + N-1 steady tenants (Fig 14)."""
+    from repro.harness.report import render_tenant_utilization
+    from repro.harness.runner import MultiTenantEchoRig
+
+    try:
+        names = [f"t{i}" for i in range(args.tenants)]
+        rig = MultiTenantEchoRig(
+            tenants=names,
+            interface=args.interface,
+            batch_size=args.batch,
+            telemetry=True,
+            telemetry_interval_ns=args.interval_ns,
+        )
+        loads = {name: (args.noisy_mrps if name == names[0]
+                        else args.steady_mrps) for name in names}
+        result = rig.open_loop(loads, nreq_total=args.nreq)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_table(
+        ["tenant", "offered Mrps", "RPCs", "Mrps", "p50 us", "p99 us",
+         "drops"],
+        [(tenant, loads[tenant], stats.count, stats.throughput_mrps,
+          stats.p50_us, stats.p99_us, stats.drops)
+         for tenant, stats in result.per_tenant.items()],
+        title=f"Per-tenant echo over one virtualized FPGA "
+              f"({names[0]} is the noisy neighbour)",
+    ))
+    print()
+    print(render_tenant_utilization(result.utilization, result.tenant_map))
+    if args.chrome_trace:
+        try:
+            emitted = rig.export_chrome_trace(args.chrome_trace)
+        except OSError as exc:
+            print(f"error: cannot write {args.chrome_trace}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"\nwrote {emitted} trace events to {args.chrome_trace} "
+              "(one counter process per tenant; open at "
+              "https://ui.perfetto.dev)")
     return 0
 
 
@@ -439,6 +505,18 @@ def main(argv=None) -> int:
     timeline_parser.add_argument("--no-cache", action="store_true",
                                  help="ignore the sweep result cache for "
                                       "--report")
+    timeline_parser.add_argument("--tenants", type=int, default=None,
+                                 metavar="N",
+                                 help="multi-tenant mode: run N echo "
+                                      "tenants on one virtualized FPGA "
+                                      "(t0 is the noisy neighbour) and "
+                                      "print per-tenant utilization")
+    timeline_parser.add_argument("--noisy-mrps", type=float, default=7.5,
+                                 help="offered load of the noisy tenant "
+                                      "(with --tenants)")
+    timeline_parser.add_argument("--steady-mrps", type=float, default=0.5,
+                                 help="offered load of each steady tenant "
+                                      "(with --tenants)")
     resources_parser = sub.add_parser(
         "resources", help="estimate a NIC configuration's FPGA footprint"
     )

@@ -12,7 +12,10 @@ from repro.harness import experiments, report
 from repro.harness.runner import (
     BenchResult,
     EchoRig,
+    MultiTenantEchoRig,
+    MultiTenantResult,
     run_closed_loop,
+    run_multi_tenant,
     run_open_loop,
     run_raw_reads,
     run_thread_scaling,
@@ -24,7 +27,10 @@ __all__ = [
     "report",
     "BenchResult",
     "EchoRig",
+    "MultiTenantEchoRig",
+    "MultiTenantResult",
     "run_closed_loop",
+    "run_multi_tenant",
     "run_open_loop",
     "run_raw_reads",
     "run_thread_scaling",

@@ -23,6 +23,7 @@ Experiment index (see DESIGN.md section 4):
 - :func:`fig10_interfaces` — Fig 10 (CPU-NIC interface comparison)
 - :func:`fig11_latency_load` / :func:`fig11_scalability` — Fig 11
 - :func:`fig11_bottleneck` — Fig 11 (left) + first-saturating component
+- :func:`fig14_isolation` — Fig 14 (noisy neighbour on a virtualized FPGA)
 - :func:`fig12_kvs` — Fig 12 (memcached + MICA over Dagger)
 - :func:`fig15_flight_curves` — Fig 15 (Flight latency/load curves)
 - :func:`sec53_raw_access` — section 5.3's raw UPI-vs-PCIe read latency
@@ -62,6 +63,7 @@ _KVS_POINT = "repro.harness.experiments:_kvs_point"
 _FLIGHT_POINT = "repro.harness.experiments:_flight_point"
 _FIG3_POINT = "repro.harness.experiments:_fig3_point"
 _FIG5_POINT = "repro.harness.experiments:_fig5_point"
+_FIG14_POINT = "repro.harness.experiments:_fig14_point"
 
 
 def _kvs_point(**kwargs) -> Dict:
@@ -362,6 +364,92 @@ def fig11_bottleneck(loads_mrps: Optional[List[float]] = None,
     report = attribute_bottleneck(points)
     return {"batch_size": batch_size, "points": points,
             "report": report.as_dict()}
+
+
+def _fig14_point(noisy_mrps: float, steady_mrps: float, tenants: int,
+                 nreq_total: int, noisy: str = "t0") -> Dict:
+    """Sweep wrapper: one Fig 14 noisy-neighbour cell as a plain dict."""
+    from repro.harness.runner import run_multi_tenant
+
+    result = run_multi_tenant(
+        noisy_mrps=noisy_mrps, steady_mrps=steady_mrps, tenants=tenants,
+        noisy=noisy, nreq_total=nreq_total, telemetry=True,
+    )
+    data = result.to_dict()
+    # The ring-buffered samples are bulky and attribution only needs the
+    # summaries; drop them from the cached sweep payload.
+    data["timeline"] = None
+    return data
+
+
+#: Fig 14 anchor: the paper reports tenant medians "barely distinguishable"
+#: as neighbours are added — steady tenants must not follow the noisy one
+#: into saturation.
+FIG14_PAPER = {"max_steady_p99_drift": 0.10}
+
+
+def fig14_isolation(noisy_loads_mrps: Optional[List[float]] = None,
+                    steady_mrps: float = 0.5, tenants: int = 3,
+                    nreq_total: int = 6000, jobs: int = 1,
+                    cache: bool = True) -> Dict:
+    """Fig 14: tenant isolation on a virtualized FPGA (ISSUE 4 tentpole).
+
+    Ramps one tenant ("t0") to saturation while the other tenants hold a
+    steady trickle, with per-tenant telemetry enabled throughout. The
+    returned report names the *tenant* that owns the saturating component
+    (``nic.t0.fetch``-class, per section 5.4's batch-1 bound), and the
+    ``isolation`` rows quantify how far each steady tenant's p99 moved
+    between the lightest and heaviest noisy load — the paper's claim is
+    that it barely moves at all.
+    """
+    loads = noisy_loads_mrps or [1, 2, 4, 6, 7, 7.8]
+    noisy = "t0"
+    results = run_sweep(
+        [SweepPoint(_FIG14_POINT, dict(
+            noisy_mrps=load, steady_mrps=steady_mrps, tenants=tenants,
+            nreq_total=nreq_total, noisy=noisy,
+        )) for load in loads],
+        jobs=jobs, cache=cache,
+    )
+    points = []
+    for load, result in zip(loads, results):
+        noisy_stats = result["per_tenant"][noisy]
+        points.append({
+            "offered_mrps": load,
+            "p50_us": noisy_stats["p50_us"],
+            "p99_us": noisy_stats["p99_us"],
+            "throughput_mrps": noisy_stats["throughput_mrps"],
+            "utilization": result["utilization"],
+            "tenants": result["tenant_map"],
+            "per_tenant": {
+                tenant: {"p99_us": stats["p99_us"],
+                         "throughput_mrps": stats["throughput_mrps"],
+                         "drops": stats["drops"]}
+                for tenant, stats in result["per_tenant"].items()
+            },
+        })
+    report = attribute_bottleneck(points)
+    steady = [t for t in results[0]["tenants"] if t != noisy]
+    isolation = []
+    for tenant in steady:
+        p99_low = points[0]["per_tenant"][tenant]["p99_us"]
+        p99_high = points[-1]["per_tenant"][tenant]["p99_us"]
+        drift = (p99_high - p99_low) / p99_low if p99_low > 0 else 0.0
+        isolation.append({
+            "tenant": tenant,
+            "p99_us_at_min_noise": p99_low,
+            "p99_us_at_max_noise": p99_high,
+            "p99_drift": drift,
+            "isolated": abs(drift) <= FIG14_PAPER["max_steady_p99_drift"],
+        })
+    return {
+        "noisy": noisy,
+        "steady_mrps": steady_mrps,
+        "points": points,
+        "report": report.as_dict(),
+        "isolation": isolation,
+        "paper": FIG14_PAPER,
+    }
 
 
 #: Fig 11 (right) anchors: ~42 Mrps end-to-end plateau, ~80 Mrps raw reads.

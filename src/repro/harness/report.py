@@ -88,23 +88,57 @@ def render_utilization(utilization: dict,
     return render_table(["component", "busy"], rows, title=title)
 
 
+def render_tenant_utilization(
+        utilization: dict, tenants: dict,
+        title: str = "Per-tenant utilization (exact busy fractions)") -> str:
+    """Render a utilization summary grouped by owning tenant.
+
+    ``tenants`` is the :func:`repro.obs.utilization_tenants` key->tenant
+    map; components it does not name (the shared blue-region endpoints,
+    CPU cores) are grouped under ``shared``. Busiest first within each
+    group, busiest group first — so a noisy neighbour's saturated
+    namespace tops the table.
+    """
+    groups: dict = {}
+    for key, frac in utilization.items():
+        groups.setdefault(tenants.get(key, "shared"), []).append((key, frac))
+    ordered = sorted(
+        groups.items(),
+        key=lambda kv: (-max(frac for _, frac in kv[1]), kv[0]),
+    )
+    rows = []
+    for tenant, entries in ordered:
+        for key, frac in sorted(entries, key=lambda kv: -kv[1]):
+            rows.append((tenant, key, f"{frac:.1%}"))
+    return render_table(["tenant", "component", "busy"], rows, title=title)
+
+
 def render_bottleneck(report) -> str:
     """Render a :class:`repro.obs.BottleneckReport` (or its as_dict form)."""
     data = report if isinstance(report, dict) else report.as_dict()
     latency_key = next((k for k in data["per_point"][0] if k.endswith("_us")),
                        "p99_us") if data["per_point"] else "p99_us"
-    table = render_table(
-        ["offered Mrps", latency_key.replace("_us", " us"), "bottleneck",
-         "busy"],
-        [(p["offered_mrps"], p[latency_key], p["bottleneck"],
-          f"{p['utilization']:.1%}") for p in data["per_point"]],
-        title="Bottleneck attribution per load point",
-    )
+    with_tenant = any(p.get("tenant") for p in data["per_point"])
+    headers = ["offered Mrps", latency_key.replace("_us", " us"),
+               "bottleneck", "busy"]
+    if with_tenant:
+        headers.append("tenant")
+    rows = []
+    for p in data["per_point"]:
+        row = [p["offered_mrps"], p[latency_key], p["bottleneck"],
+               f"{p['utilization']:.1%}"]
+        if with_tenant:
+            row.append(p.get("tenant") or "-")
+        rows.append(row)
+    table = render_table(headers, rows,
+                         title="Bottleneck attribution per load point")
     verdict = (
         f"latency knee at {data['knee_load_mrps']} Mrps "
         f"(p99 {data['knee_latency_us']:.2f} us): first-saturating component "
         f"is {data['bottleneck']} at {data['bottleneck_utilization']:.1%} busy"
     )
+    if data.get("bottleneck_tenant"):
+        verdict += f", owned by tenant {data['bottleneck_tenant']}"
     return f"{table}\n{verdict}"
 
 

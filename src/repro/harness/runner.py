@@ -15,12 +15,13 @@ loops:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, is_dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field, is_dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hw.cpu import SoftwareThread
 from repro.hw.nic.config import NicHardConfig, NicSoftConfig
+from repro.hw.nic.virtualization import VirtualizedFpga
 from repro.hw.platform import Machine, MachineConfig
 from repro.hw.switch import ToRSwitch
 from repro.obs import (
@@ -32,6 +33,7 @@ from repro.obs import (
     export_chrome_trace,
     register_dagger_nic,
     utilization_summary,
+    utilization_tenants,
 )
 from repro.obs.timeline import DEFAULT_INTERVAL_NS
 from repro.rpc import RpcClient, RpcThreadedServer, ThreadingModel
@@ -474,3 +476,289 @@ def run_raw_reads(num_threads: int, nreads_per_thread: int = 20000,
     sim.run_until_done(sim.spawn(waiter(handles)))
     sim.run()
     return recorder.throughput_mrps()
+
+
+# -- multi-tenant rig (Fig 14) -------------------------------------------------
+
+
+@dataclass
+class MultiTenantResult:
+    """Outcome of one multi-tenant measurement run.
+
+    One :class:`BenchResult` per tenant plus the rig-level per-tenant
+    telemetry: ``utilization`` keys look like ``nic.<tenant>.fetch`` and
+    ``tenant_map`` says which tenant owns which key (shared components —
+    the blue-region interconnect endpoints — are absent from the map).
+    """
+
+    tenants: List[str]
+    per_tenant: Dict[str, BenchResult]
+    utilization: Optional[dict] = None
+    #: utilization-summary key -> owning tenant (repro.obs.utilization_tenants).
+    tenant_map: Optional[Dict[str, str]] = None
+    timeline: Optional[dict] = None
+    offered_mrps: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["per_tenant"] = {
+            tenant: result.to_dict()
+            for tenant, result in self.per_tenant.items()
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MultiTenantResult":
+        data = dict(data)
+        data["per_tenant"] = {
+            tenant: BenchResult.from_dict(result)
+            for tenant, result in data["per_tenant"].items()
+        }
+        return cls(**data)
+
+
+class MultiTenantEchoRig:
+    """N co-located echo tenants on one FPGA (:class:`VirtualizedFpga`).
+
+    Each tenant gets its own client NIC + server NIC pair (both tagged
+    with the tenant's name), its own RPC server, and its own CPU threads;
+    the only cross-tenant coupling is the FPGA's shared CCI-P endpoints —
+    exactly the paper's Fig 14 setup. With ``telemetry=True`` the rig
+    samples the virtualized FPGA's per-tenant probes, so
+    ``result.utilization`` carries one ``nic.<tenant>.*`` namespace per
+    tenant and :func:`repro.obs.attribute_bottleneck` can blame a noisy
+    neighbour by name.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[str] = ("t0", "t1", "t2"),
+        interface: str = "upi",
+        batch_size: int = 1,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        rpc_bytes: int = 48,
+        rx_ring_entries: int = 256,
+        max_utilization: float = 0.9,
+        seed: int = 1,
+        telemetry: bool = False,
+        telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
+    ):
+        if len(tenants) < 2:
+            raise ValueError(f"need at least 2 tenants, got {list(tenants)}")
+        if len(set(tenants)) != len(tenants):
+            raise ValueError(f"duplicate tenant names in {list(tenants)}")
+        self.tenants = list(tenants)
+        self.sim = Simulator()
+        self.machine = Machine(self.sim, MachineConfig(), calibration, seed=seed)
+        self.calibration = calibration
+        self.rpc_bytes = rpc_bytes
+        self.switch = ToRSwitch(self.sim, calibration, loopback=True)
+        self.vfpga = VirtualizedFpga(
+            self.machine, self.switch, max_utilization=max_utilization
+        )
+
+        # Per-tenant stacks: a client NIC and a server NIC per tenant, all
+        # resident on the one FPGA. num_flows=1 keeps 2N instances inside
+        # the utilization budget.
+        hard = NicHardConfig(
+            num_flows=1, interface=interface, rx_ring_entries=rx_ring_entries
+        )
+        soft = NicSoftConfig(batch_size=batch_size)
+        client_threads = self.machine.threads(len(self.tenants), start_core=0)
+        server_threads = self.machine.threads(
+            len(self.tenants), start_core=SERVER_CORE_BASE
+        )
+        self.client_stacks: Dict[str, DaggerStack] = {}
+        self.server_stacks: Dict[str, DaggerStack] = {}
+        self.servers: Dict[str, RpcThreadedServer] = {}
+        self.clients: Dict[str, RpcClient] = {}
+        for index, tenant in enumerate(self.tenants):
+            client_nic = self.vfpga.add_nic(
+                f"{tenant}-c", hard=hard, soft=soft, tenant=tenant
+            )
+            server_nic = self.vfpga.add_nic(
+                f"{tenant}-s", hard=hard, soft=soft, tenant=tenant
+            )
+            client_stack = DaggerStack.from_nic(self.machine, client_nic)
+            server_stack = DaggerStack.from_nic(self.machine, server_nic)
+            server = RpcThreadedServer(
+                self.sim, calibration, name=f"echo-{tenant}"
+            )
+            server.register_handler(
+                "echo", _echo_handler(0, response_bytes=rpc_bytes)
+            )
+            server.add_server_thread(
+                server_stack.port(0), server_threads[index],
+                model=ThreadingModel.DISPATCH,
+            )
+            conn = connect(client_stack, 0, server_stack, 0)
+            server.start()
+            self.client_stacks[tenant] = client_stack
+            self.server_stacks[tenant] = server_stack
+            self.servers[tenant] = server
+            self.clients[tenant] = RpcClient(
+                client_stack.port(0), client_threads[index], conn
+            )
+
+        # Per-tenant telemetry: the virtualized FPGA's probe source yields
+        # (tenant, name, mode, fn) 4-tuples, so one add_source call fans
+        # out into a nic.<tenant>.* namespace per tenant. Client/server
+        # probes are tagged per tenant too; the shared blue-region
+        # endpoints stay untenanted (they are the coupling under test).
+        self.timeline: Optional[TimelineCollector] = None
+        if telemetry:
+            collector = TimelineCollector(
+                self.sim, interval_ns=telemetry_interval_ns
+            )
+            self.vfpga.enable_usage()
+            collector.add_source("nic", self.vfpga)
+            collector.add_source("interconnect", self.machine.fpga)
+            used_cores = {}
+            for thread in client_threads + server_threads:
+                used_cores.setdefault(thread.core.core_id, thread.core)
+            for core_id, core in sorted(used_cores.items()):
+                collector.add_source(f"cpu.core{core_id}", core)
+            for tenant in self.tenants:
+                collector.add_source(
+                    f"client.{tenant}", self.clients[tenant], tenant=tenant
+                )
+                collector.add_source(
+                    f"server.{tenant}", self.servers[tenant], tenant=tenant
+                )
+            self.timeline = collector
+
+    def tenant_drops(self, tenant: str) -> int:
+        return (self.client_stacks[tenant].drops
+                + self.server_stacks[tenant].drops)
+
+    @property
+    def drops(self) -> int:
+        return sum(self.tenant_drops(tenant) for tenant in self.tenants)
+
+    def export_chrome_trace(self, target, max_spans: Optional[int] = None) -> int:
+        """Write this run's Perfetto JSON (per-tenant counter processes)."""
+        return export_chrome_trace(target, collector=self.timeline,
+                                   max_spans=max_spans)
+
+    def open_loop(self, loads_mrps: Dict[str, float],
+                  nreq_total: int = 6000,
+                  warmup_ns: Optional[int] = None,
+                  seed: int = 7) -> MultiTenantResult:
+        """Poisson arrivals per tenant at each tenant's own target load.
+
+        Request quotas are split proportionally to the offered loads so
+        every tenant keeps issuing for (approximately) the same stretch of
+        simulated time — a steady tenant must still be observing while the
+        noisy one saturates, or its p99 would miss the interference window.
+        The default warmup discards the first tenth of that stretch (a
+        fixed cutoff would swallow a short run's slow tenants whole).
+        """
+        if set(loads_mrps) != set(self.tenants):
+            raise ValueError(
+                f"loads {sorted(loads_mrps)} do not match tenants "
+                f"{sorted(self.tenants)}"
+            )
+        for tenant, load in loads_mrps.items():
+            if load <= 0:
+                raise ValueError(
+                    f"load must be positive, got {load} for {tenant!r}"
+                )
+        if nreq_total < len(self.tenants):
+            raise ValueError(
+                f"nreq_total must be >= {len(self.tenants)}, got {nreq_total}"
+            )
+        total_load = sum(loads_mrps.values())
+        if warmup_ns is None:
+            # Expected issuing stretch: nreq_total arrivals at total_load
+            # requests/us across all tenants.
+            warmup_ns = int(nreq_total * 1000 / total_load) // 10
+        quotas = {
+            tenant: max(1, round(nreq_total * load / total_load))
+            for tenant, load in loads_mrps.items()
+        }
+        recorders = {
+            tenant: LatencyRecorder(warmup_ns=warmup_ns)
+            for tenant in self.tenants
+        }
+        if self.timeline is not None:
+            self.timeline.start()
+        sim = self.sim
+        done = sim.event()
+        state = {"completed": 0, "target": sum(quotas.values())}
+
+        def issue(client, quota, recorder, interarrival):
+            issued = 0
+            next_arrival = sim.now
+            while issued < quota:
+                gap = interarrival.sample_ns()
+                next_arrival += gap
+                if next_arrival > sim.now:
+                    yield next_arrival - sim.now
+                issued += 1
+                arrival = next_arrival
+
+                def on_complete(call, arrival=arrival):
+                    recorder.record(arrival, call.completed_at)
+                    state["completed"] += 1
+                    if (state["completed"] >= state["target"]
+                            and not done.triggered):
+                        done.succeed()
+
+                yield from client.call_async(
+                    "echo", b"x" * min(self.rpc_bytes, 8), self.rpc_bytes,
+                    callback=on_complete,
+                )
+
+        for index, tenant in enumerate(self.tenants):
+            interarrival = Exponential(
+                mean=1000.0 / loads_mrps[tenant], rng=seed + index
+            )
+            sim.spawn(issue(self.clients[tenant], quotas[tenant],
+                            recorders[tenant], interarrival))
+
+        def waiter():
+            yield done
+
+        sim.run_until_done(sim.spawn(waiter()))
+        if self.timeline is not None:
+            self.timeline.stop()
+        util = tenant_map = timeline = None
+        if self.timeline is not None:
+            util = utilization_summary(self.timeline)
+            tenant_map = utilization_tenants(self.timeline)
+            timeline = self.timeline.to_dict()
+        per_tenant = {
+            tenant: BenchResult.from_recorder(
+                recorders[tenant], self.tenant_drops(tenant),
+                offered_mrps=loads_mrps[tenant],
+            )
+            for tenant in self.tenants
+        }
+        return MultiTenantResult(
+            tenants=list(self.tenants),
+            per_tenant=per_tenant,
+            utilization=util,
+            tenant_map=tenant_map,
+            timeline=timeline,
+            offered_mrps=dict(loads_mrps),
+        )
+
+
+def run_multi_tenant(noisy_mrps: float, steady_mrps: float = 0.5,
+                     tenants: int = 3, noisy: str = "t0",
+                     nreq_total: int = 6000, interface: str = "upi",
+                     batch_size: int = 1, telemetry: bool = False,
+                     telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
+                     calibration: Calibration = DEFAULT_CALIBRATION) -> MultiTenantResult:
+    """One noisy tenant at ``noisy_mrps``, the rest steady (Fig 14 point)."""
+    names = [f"t{i}" for i in range(tenants)]
+    if noisy not in names:
+        raise ValueError(f"noisy tenant {noisy!r} not in {names}")
+    rig = MultiTenantEchoRig(
+        tenants=names, interface=interface, batch_size=batch_size,
+        calibration=calibration, telemetry=telemetry,
+        telemetry_interval_ns=telemetry_interval_ns,
+    )
+    loads = {name: (noisy_mrps if name == noisy else steady_mrps)
+             for name in names}
+    return rig.open_loop(loads, nreq_total=nreq_total)

@@ -55,6 +55,7 @@ from repro.obs.timeline import (
     attribute_bottleneck,
     find_latency_knee,
     utilization_summary,
+    utilization_tenants,
 )
 from repro.obs.trace import (
     CANONICAL_POINTS,
@@ -88,6 +89,7 @@ __all__ = [
     "attribute_bottleneck",
     "find_latency_knee",
     "utilization_summary",
+    "utilization_tenants",
     "CANONICAL_POINTS",
     "RpcSpan",
     "SpanTracer",

@@ -10,7 +10,10 @@ flavor Perfetto's ``ui.perfetto.dev`` opens directly):
 - every :class:`~repro.obs.timeline.TimeSeries` becomes a ``"C"`` counter
   track. ``counter``-mode probes are exported as their per-interval *rate*
   (so a ``*busy_ns`` integral plots as utilization in [0, 1]); ``gauge``
-  probes are exported raw.
+  probes are exported raw. Tenant-tagged series (Fig 14 multi-tenant
+  rigs) get one counter *process* per tenant — Perfetto groups each
+  tenant's tracks under a ``tenant <name>`` heading — while untagged
+  series stay on the shared ``telemetry`` process.
 
 Timestamps: the trace-event format wants microseconds; simulated integer
 nanoseconds are divided by 1000.0 (Perfetto handles fractional µs).
@@ -28,6 +31,9 @@ from repro.obs.trace import RpcSpan, SpanTracer
 #: pid of the slice tracks (RPC pipeline) and of the counter tracks.
 PIPELINE_PID = 1
 TELEMETRY_PID = 2
+#: Tenant counter processes start here (one pid per tenant, in
+#: collector registration order).
+TENANT_PID_BASE = 10
 
 #: Thread tracks for the pipeline process, in display order.
 TRACKS: tuple = ("client CPU", "NIC (client)", "wire", "NIC (server)",
@@ -85,7 +91,7 @@ def _span_events(spans: Iterable[RpcSpan]) -> List[dict]:
     return events
 
 
-def _counter_events(series: TimeSeries) -> List[dict]:
+def _counter_events(series: TimeSeries, pid: int = TELEMETRY_PID) -> List[dict]:
     """One ``"C"`` event per sample (rate for counters, raw for gauges)."""
     track = f"{series.component}.{series.name}"
     if series.mode == "counter":
@@ -95,7 +101,7 @@ def _counter_events(series: TimeSeries) -> List[dict]:
     else:
         samples = list(zip(series.times, series.values))
     return [
-        {"ph": "C", "name": track, "pid": TELEMETRY_PID, "tid": 0,
+        {"ph": "C", "name": track, "pid": pid, "tid": 0,
          "ts": t / 1000.0, "args": {"value": value}}
         for t, value in samples
     ]
@@ -118,8 +124,17 @@ def chrome_trace_events(
             spans = spans[-max_spans:]
         events.extend(_span_events(spans))
     if collector is not None:
+        tenant_pids = {
+            tenant: TENANT_PID_BASE + index
+            for index, tenant in enumerate(collector.tenants())
+        }
+        for tenant, pid in tenant_pids.items():
+            events.append({"ph": "M", "pid": pid, "tid": 0,
+                           "name": "process_name",
+                           "args": {"name": f"tenant {tenant}"}})
         for series in collector.series():
-            events.extend(_counter_events(series))
+            pid = tenant_pids.get(series.tenant, TELEMETRY_PID)
+            events.extend(_counter_events(series, pid))
     return events
 
 

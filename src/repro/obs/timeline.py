@@ -14,6 +14,19 @@ Three pieces (ISSUE 3 tentpole):
   latency curve to name the first-saturating component at the knee of a
   Fig 11/15-style sweep.
 
+Tenant dimension (ISSUE 4): every series optionally carries a ``tenant``
+tag, so the virtualized multi-NIC model of Fig 14 can expose one probe
+namespace per virtual NIC. Multi-tenant sources yield *4-tuples*
+``(tenant, name, mode, fn)`` from ``timeline_probes()``;
+:meth:`TimelineCollector.add_source` lands those under
+``<component>.<tenant>`` with the tenant recorded on the series, which
+makes utilization keys look like ``nic.t0.fetch``.
+:func:`utilization_tenants` maps those summary keys back to their tenant,
+and :func:`attribute_bottleneck` uses that mapping (carried on each sweep
+point under ``"tenants"``) to name ``(tenant, component)`` — blaming a
+noisy neighbour by name, while a uniformly-saturated component class
+(every tenant equally busy) stays tenant-less.
+
 Probe *modes*:
 
 - ``"gauge"`` — an instantaneous value (queue depth, in-flight window,
@@ -60,15 +73,17 @@ class TimeSeries:
     periodic one).
     """
 
-    __slots__ = ("component", "name", "mode", "_t", "_v")
+    __slots__ = ("component", "name", "mode", "tenant", "_t", "_v")
 
     def __init__(self, component: str, name: str, mode: str = "gauge",
-                 max_samples: Optional[int] = DEFAULT_MAX_SAMPLES):
+                 max_samples: Optional[int] = DEFAULT_MAX_SAMPLES,
+                 tenant: Optional[str] = None):
         if mode not in ("gauge", "counter"):
             raise ValueError(f"mode must be 'gauge' or 'counter', got {mode!r}")
         self.component = component
         self.name = name
         self.mode = mode
+        self.tenant = tenant
         self._t: deque = deque(maxlen=max_samples)
         self._v: deque = deque(maxlen=max_samples)
 
@@ -118,7 +133,7 @@ class TimeSeries:
 
     def to_record(self) -> dict:
         """JSON-able record (``type: "timeseries"``, for sinks)."""
-        return {
+        record = {
             "type": "timeseries",
             "component": self.component,
             "name": self.name,
@@ -126,6 +141,9 @@ class TimeSeries:
             "t_ns": list(self._t),
             "values": list(self._v),
         }
+        if self.tenant is not None:
+            record["tenant"] = self.tenant
+        return record
 
 
 class TimelineCollector:
@@ -167,30 +185,52 @@ class TimelineCollector:
     # -- registration --------------------------------------------------------
 
     def add_probe(self, component: str, name: str,
-                  fn: Callable[[], float], mode: str = "gauge") -> TimeSeries:
+                  fn: Callable[[], float], mode: str = "gauge",
+                  tenant: Optional[str] = None) -> TimeSeries:
         """Register one probe; returns its (empty) series."""
         key = (component, name)
         if key in self._by_key:
             raise ValueError(f"duplicate probe {component}.{name}")
-        series = TimeSeries(component, name, mode, self.max_samples)
+        series = TimeSeries(component, name, mode, self.max_samples,
+                            tenant=tenant)
         self._series.append(series)
         self._by_key[key] = series
         self._probes.append((series, fn))
         return series
 
-    def add_source(self, component: str, source: Any) -> List[TimeSeries]:
+    def add_source(self, component: str, source: Any,
+                   tenant: Optional[str] = None) -> List[TimeSeries]:
         """Register every probe a component exposes.
 
         ``source.timeline_probes()`` must return an iterable of
-        ``(name, mode, fn)`` triples.
+        ``(name, mode, fn)`` triples — or, for multi-tenant sources such
+        as :class:`repro.hw.nic.virtualization.VirtualizedFpga`,
+        ``(tenant, name, mode, fn)`` 4-tuples. A 4-tuple lands under the
+        ``<component>.<tenant>`` namespace with the tenant recorded on
+        the series; a plain triple inherits this call's ``tenant``.
         """
-        return [self.add_probe(component, name, fn, mode)
-                for name, mode, fn in source.timeline_probes()]
+        made = []
+        for entry in source.timeline_probes():
+            if len(entry) == 4:
+                probe_tenant, name, mode, fn = entry
+                made.append(self.add_probe(
+                    f"{component}.{probe_tenant}", name, fn, mode,
+                    tenant=probe_tenant,
+                ))
+            else:
+                name, mode, fn = entry
+                made.append(self.add_probe(component, name, fn, mode,
+                                           tenant=tenant))
+        return made
 
-    def series(self, component: Optional[str] = None) -> List[TimeSeries]:
-        if component is None:
-            return list(self._series)
-        return [s for s in self._series if s.component == component]
+    def series(self, component: Optional[str] = None,
+               tenant: Optional[str] = None) -> List[TimeSeries]:
+        out = list(self._series)
+        if component is not None:
+            out = [s for s in out if s.component == component]
+        if tenant is not None:
+            out = [s for s in out if s.tenant == tenant]
+        return out
 
     def get(self, component: str, name: str) -> Optional[TimeSeries]:
         return self._by_key.get((component, name))
@@ -199,6 +239,14 @@ class TimelineCollector:
         seen: Dict[str, None] = {}
         for s in self._series:
             seen.setdefault(s.component, None)
+        return list(seen)
+
+    def tenants(self) -> List[str]:
+        """Distinct tenant tags, in registration order."""
+        seen: Dict[str, None] = {}
+        for s in self._series:
+            if s.tenant is not None:
+                seen.setdefault(s.tenant, None)
         return list(seen)
 
     # -- sampling ------------------------------------------------------------
@@ -258,6 +306,12 @@ class TimelineCollector:
 BUSY_SUFFIX = "busy_ns"
 
 
+def _summary_key(series: TimeSeries) -> str:
+    """Utilization-summary key of a ``*busy_ns`` series."""
+    stem = series.name[: -len(BUSY_SUFFIX)].rstrip("_")
+    return f"{series.component}.{stem}" if stem else series.component
+
+
 def utilization_summary(collector: TimelineCollector) -> Dict[str, float]:
     """Per-component busy fractions over the sampled window.
 
@@ -266,7 +320,8 @@ def utilization_summary(collector: TimelineCollector) -> Dict[str, float]:
     ``Δintegral / Δt`` — the exact mean utilization over the window the
     ring buffer retains. Keys are ``"component.probe"`` with the
     ``_busy_ns``/``busy_ns`` suffix stripped (``"nic.client.pipeline"``,
-    ``"cpu.core0"``).
+    ``"cpu.core0"``; for tenant-tagged series the component already
+    embeds the tenant: ``"nic.t0.fetch"``).
     """
     out: Dict[str, float] = {}
     for series in collector.series():
@@ -275,9 +330,25 @@ def utilization_summary(collector: TimelineCollector) -> Dict[str, float]:
         dt, dv = series.window_delta()
         if dt <= 0:
             continue
-        stem = series.name[: -len(BUSY_SUFFIX)].rstrip("_")
-        key = f"{series.component}.{stem}" if stem else series.component
-        out[key] = dv / dt
+        out[_summary_key(series)] = dv / dt
+    return out
+
+
+def utilization_tenants(collector: TimelineCollector) -> Dict[str, str]:
+    """Map :func:`utilization_summary` keys to their tenant tag.
+
+    Only tenant-tagged ``*busy_ns`` series appear; shared components
+    (interconnect, CPU cores) are absent, which is how
+    :func:`attribute_bottleneck` knows a bottleneck is tenant-less. The
+    mapping is JSON-able so sweep points can carry it through the result
+    cache under a ``"tenants"`` key.
+    """
+    out: Dict[str, str] = {}
+    for series in collector.series():
+        if (series.tenant is None or series.mode != "counter"
+                or not series.name.endswith(BUSY_SUFFIX)):
+            continue
+        out[_summary_key(series)] = series.tenant
     return out
 
 
@@ -319,6 +390,10 @@ class BottleneckReport:
     knee_latency_us: float
     bottleneck: str                       #: component saturating at the knee
     bottleneck_utilization: float
+    #: Tenant owning the saturating component, when the sweep carried the
+    #: tenant dimension and the saturation is tenant-specific (a noisy
+    #: neighbour); None for shared components and uniform saturation.
+    bottleneck_tenant: Optional[str] = None
     per_point: List[dict] = field(default_factory=list)
 
     def as_dict(self) -> dict:
@@ -328,12 +403,46 @@ class BottleneckReport:
             "knee_latency_us": self.knee_latency_us,
             "bottleneck": self.bottleneck,
             "bottleneck_utilization": self.bottleneck_utilization,
+            "bottleneck_tenant": self.bottleneck_tenant,
             "per_point": self.per_point,
         }
 
 
+def _component_class(key: str, tenant: str) -> str:
+    """Key with the tenant path segment wildcarded (``nic.t0.fetch`` ->
+    ``nic.*.fetch``), so same-class components compare across tenants."""
+    return ".".join("*" if part == tenant else part
+                    for part in key.split("."))
+
+
+def _blamed_tenant(util: Dict[str, float], tenants: Dict[str, str],
+                   key: str, margin: float) -> Optional[str]:
+    """Tenant to blame for ``key`` saturating, or None.
+
+    A tenant is only named when its component is meaningfully busier than
+    every *other* tenant's same-class component: if the busiest peer is
+    within ``margin`` (relative), the whole class saturates uniformly —
+    that is a shared bound wearing per-tenant clothes, and naming one
+    tenant would be noise, not attribution.
+    """
+    tenant = tenants.get(key)
+    if tenant is None:
+        return None
+    cls = _component_class(key, tenant)
+    value = util.get(key, 0.0)
+    for peer_key, peer_tenant in tenants.items():
+        if peer_tenant == tenant or peer_key not in util:
+            continue
+        if _component_class(peer_key, peer_tenant) != cls:
+            continue
+        if util[peer_key] >= (1.0 - margin) * value:
+            return None
+    return tenant
+
+
 def attribute_bottleneck(points: List[dict], factor: float = 1.5,
-                         latency_key: str = "p99_us") -> BottleneckReport:
+                         latency_key: str = "p99_us",
+                         tenant_margin: float = 0.1) -> BottleneckReport:
     """Name the first-saturating component at the latency knee of a sweep.
 
     ``points`` is a list of per-load dicts with at least ``offered_mrps``,
@@ -343,29 +452,40 @@ def attribute_bottleneck(points: List[dict], factor: float = 1.5,
     the most-utilized component at the knee point (ties break toward the
     component that was already busiest at the preceding load point, i.e.
     the *first* saturating one).
+
+    Tenant dimension: points may additionally carry ``"tenants"`` (the
+    :func:`utilization_tenants` mapping of that run). The report then
+    names ``(tenant, component)``: the saturating component's tenant is
+    blamed *only* when its utilization clearly exceeds every other
+    tenant's same-class component (by more than ``tenant_margin``,
+    relative) — a balanced run where all tenants saturate together keeps
+    ``bottleneck_tenant`` None.
     """
     if not points:
         raise ValueError("attribute_bottleneck needs at least one point")
     points = sorted(points, key=lambda p: p["offered_mrps"])
     knee = find_latency_knee([p[latency_key] for p in points], factor)
 
-    def busiest(index: int) -> Tuple[str, float]:
+    def busiest(index: int) -> Tuple[str, float, Optional[str]]:
         util = points[index].get("utilization") or {}
         if not util:
-            return "unknown", 0.0
+            return "unknown", 0.0, None
         prev = points[index - 1].get("utilization") or {} if index else {}
         # max by (utilization here, utilization at the previous load)
         name = max(util, key=lambda k: (util[k], prev.get(k, 0.0)))
-        return name, util[name]
+        tenants = points[index].get("tenants") or {}
+        tenant = _blamed_tenant(util, tenants, name, tenant_margin)
+        return name, util[name], tenant
 
-    bottleneck, bottleneck_util = busiest(knee)
+    bottleneck, bottleneck_util, bottleneck_tenant = busiest(knee)
     per_point = []
     for i, p in enumerate(points):
-        name, util = busiest(i)
+        name, util, tenant = busiest(i)
         per_point.append({
             "offered_mrps": p["offered_mrps"],
             latency_key: p[latency_key],
             "bottleneck": name,
+            "tenant": tenant,
             "utilization": util,
         })
     return BottleneckReport(
@@ -374,5 +494,6 @@ def attribute_bottleneck(points: List[dict], factor: float = 1.5,
         knee_latency_us=points[knee][latency_key],
         bottleneck=bottleneck,
         bottleneck_utilization=bottleneck_util,
+        bottleneck_tenant=bottleneck_tenant,
         per_point=per_point,
     )

@@ -49,6 +49,59 @@ def test_instances_share_endpoints():
     assert a.interface.endpoint is machine.fpga.upi_endpoint
 
 
+def test_tenant_defaults_to_address_and_can_group():
+    _, _, vfpga = make_vfpga()
+    vfpga.add_nic("a")
+    vfpga.add_nic("t0-c", tenant="t0")
+    vfpga.add_nic("t0-s", tenant="t0")
+    assert vfpga.tenant_names() == ["a", "t0"]
+    assert [n.address for n in vfpga.tenant_nics("t0")] == ["t0-c", "t0-s"]
+    assert [n.address for n in vfpga.tenant_nics("a")] == ["a"]
+
+
+def test_timeline_probes_yield_one_namespace_per_tenant():
+    _, _, vfpga = make_vfpga()
+    vfpga.add_nic("t0-c", tenant="t0")
+    vfpga.add_nic("t0-s", tenant="t0")
+    vfpga.add_nic("t1-c", tenant="t1")
+    probes = vfpga.timeline_probes()
+    assert all(len(entry) == 4 for entry in probes)
+    by_tenant = {}
+    for tenant, name, mode, fn in probes:
+        by_tenant.setdefault(tenant, []).append(name)
+        assert mode in ("gauge", "counter")
+        assert fn() == 0  # idle rig: every probe reads zero
+    assert set(by_tenant) == {"t0", "t1"}
+    for names in by_tenant.values():
+        assert {"fetch_busy_ns", "sched_busy_ns", "pipeline_busy_ns",
+                "eth_busy_ns"} <= set(names)
+
+
+def test_probes_attribute_traffic_to_the_right_tenant():
+    sim, _, vfpga = make_vfpga()
+    a = vfpga.add_nic("a", hard=NicHardConfig(num_flows=1), tenant="busy")
+    b = vfpga.add_nic("b", hard=NicHardConfig(num_flows=1), tenant="idle")
+    vfpga.enable_usage()
+    probes = {(tenant, name): fn
+              for tenant, name, _, fn in vfpga.timeline_probes()}
+    a.open_connection(1, 0, "b")
+    b.open_connection(1, 0, "a")
+
+    def proc():
+        yield from a.send_from_host(
+            0, RpcPacket(RpcKind.REQUEST, 1, "m", b"", 64)
+        )
+
+    sim.spawn(proc())
+    sim.run()
+    assert probes[("busy", "fetch_busy_ns")]() > 0
+    assert probes[("busy", "tx_rpcs")]() == 1
+    # The idle tenant's fetch FSM never ran: its integral must stay zero.
+    assert probes[("idle", "fetch_busy_ns")]() == 0
+    assert probes[("idle", "tx_rpcs")]() == 0
+    assert probes[("idle", "delivered_rpcs")]() == 1  # it received, only
+
+
 def test_cross_nic_traffic_through_switch():
     sim, _, vfpga = make_vfpga()
     a = vfpga.add_nic("a", hard=NicHardConfig(num_flows=1))

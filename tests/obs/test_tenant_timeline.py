@@ -1,0 +1,163 @@
+"""Tenant dimension of the timeline layer (ISSUE 4).
+
+Covers the 4-tuple ``timeline_probes()`` protocol, tenant-tagged series
+and summaries, per-tenant Perfetto counter processes, and the tenant
+attribution rules of ``attribute_bottleneck`` (noisy neighbour blamed by
+name; a uniformly-saturated class names nobody).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import utilization_summary, utilization_tenants
+from repro.obs.chrome_trace import (
+    TELEMETRY_PID,
+    TENANT_PID_BASE,
+    chrome_trace_events,
+)
+from repro.obs.timeline import TimelineCollector, attribute_bottleneck
+from repro.sim import Simulator
+
+
+class FakeTenantSource:
+    """Yields 4-tuple probes for two tenants plus one shared triple."""
+
+    def timeline_probes(self):
+        return [
+            ("t0", "fetch_busy_ns", "counter", lambda: 100),
+            ("t1", "fetch_busy_ns", "counter", lambda: 5),
+            ("depth", "gauge", lambda: 3),
+        ]
+
+
+def test_add_source_lands_tenant_probes_under_tenant_namespace():
+    collector = TimelineCollector(Simulator())
+    collector.add_source("nic", FakeTenantSource())
+    components = collector.components()
+    assert components == ["nic.t0", "nic.t1", "nic"]
+    assert collector.tenants() == ["t0", "t1"]
+    assert [s.name for s in collector.series(tenant="t0")] == ["fetch_busy_ns"]
+    shared = collector.get("nic", "depth")
+    assert shared is not None and shared.tenant is None
+
+
+def test_add_probe_tenant_tag_round_trips_record():
+    collector = TimelineCollector(Simulator())
+    tagged = collector.add_probe("client.t0", "outstanding", lambda: 1,
+                                 tenant="t0")
+    plain = collector.add_probe("cpu.core0", "busy_ns", lambda: 0,
+                                mode="counter")
+    assert tagged.to_record()["tenant"] == "t0"
+    assert "tenant" not in plain.to_record()
+
+
+def test_utilization_tenants_names_only_tagged_busy_series():
+    sim = Simulator()
+    collector = TimelineCollector(sim, interval_ns=10)
+    state = {"t0": 0, "t1": 0, "shared": 0}
+    collector.add_probe("nic.t0", "fetch_busy_ns",
+                        lambda: state["t0"], mode="counter", tenant="t0")
+    collector.add_probe("nic.t1", "fetch_busy_ns",
+                        lambda: state["t1"], mode="counter", tenant="t1")
+    collector.add_probe("interconnect", "upi_busy_ns",
+                        lambda: state["shared"], mode="counter")
+    collector.add_probe("nic.t0", "ring_depth", lambda: 2, tenant="t0")
+    collector.start()
+
+    def advance():
+        yield 100
+        state.update(t0=90, t1=10, shared=50)
+        yield 100
+
+    sim.run_until_done(sim.spawn(advance()))
+    collector.stop()
+    util = utilization_summary(collector)
+    tenants = utilization_tenants(collector)
+    assert util["nic.t0.fetch"] == pytest.approx(0.45)
+    assert util["nic.t1.fetch"] == pytest.approx(0.05)
+    assert tenants == {"nic.t0.fetch": "t0", "nic.t1.fetch": "t1"}
+    assert "interconnect.upi" in util and "interconnect.upi" not in tenants
+
+
+def _point(load, p99, util, tenants=None):
+    point = {"offered_mrps": load, "p99_us": p99, "utilization": util}
+    if tenants is not None:
+        point["tenants"] = tenants
+    return point
+
+
+TENANTS = {"nic.t0.fetch": "t0", "nic.t1.fetch": "t1", "nic.t2.fetch": "t2"}
+
+
+def test_noisy_neighbour_blamed_by_name():
+    points = [
+        _point(1.0, 2.0, {"nic.t0.fetch": 0.12, "nic.t1.fetch": 0.06,
+                          "nic.t2.fetch": 0.06, "interconnect.upi": 0.05},
+               TENANTS),
+        _point(7.8, 9.0, {"nic.t0.fetch": 0.95, "nic.t1.fetch": 0.06,
+                          "nic.t2.fetch": 0.06, "interconnect.upi": 0.2},
+               TENANTS),
+    ]
+    report = attribute_bottleneck(points)
+    assert report.bottleneck == "nic.t0.fetch"
+    assert report.bottleneck_tenant == "t0"
+    assert report.as_dict()["bottleneck_tenant"] == "t0"
+    assert report.per_point[-1]["tenant"] == "t0"
+
+
+def test_balanced_saturation_names_no_tenant():
+    points = [
+        _point(1.0, 2.0, {"nic.t0.fetch": 0.1, "nic.t1.fetch": 0.1,
+                          "nic.t2.fetch": 0.1}, TENANTS),
+        _point(8.0, 9.0, {"nic.t0.fetch": 0.93, "nic.t1.fetch": 0.91,
+                          "nic.t2.fetch": 0.92}, TENANTS),
+    ]
+    report = attribute_bottleneck(points)
+    assert report.bottleneck == "nic.t0.fetch"
+    assert report.bottleneck_tenant is None
+
+
+def test_shared_component_bottleneck_names_no_tenant():
+    points = [
+        _point(1.0, 2.0, {"interconnect.upi": 0.2, "nic.t0.fetch": 0.1},
+               TENANTS),
+        _point(8.0, 9.0, {"interconnect.upi": 0.97, "nic.t0.fetch": 0.5},
+               TENANTS),
+    ]
+    report = attribute_bottleneck(points)
+    assert report.bottleneck == "interconnect.upi"
+    assert report.bottleneck_tenant is None
+
+
+def test_points_without_tenant_mapping_stay_tenantless():
+    points = [
+        _point(1.0, 2.0, {"nic.client.fetch": 0.2}),
+        _point(8.0, 9.0, {"nic.client.fetch": 0.95}),
+    ]
+    report = attribute_bottleneck(points)
+    assert report.bottleneck == "nic.client.fetch"
+    assert report.bottleneck_tenant is None
+
+
+def test_chrome_trace_gives_each_tenant_its_own_counter_process():
+    sim = Simulator()
+    collector = TimelineCollector(sim, interval_ns=10)
+    collector.add_source("nic", FakeTenantSource())
+    collector.start()
+
+    def advance():
+        yield 50
+
+    sim.run_until_done(sim.spawn(advance()))
+    collector.stop()
+    events = chrome_trace_events(collector=collector)
+    names = {e["args"]["name"]: e["pid"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert names["tenant t0"] == TENANT_PID_BASE
+    assert names["tenant t1"] == TENANT_PID_BASE + 1
+    counter_pids = {e["name"]: e["pid"] for e in events if e["ph"] == "C"}
+    assert counter_pids["nic.t0.fetch utilization"] == TENANT_PID_BASE
+    assert counter_pids["nic.t1.fetch utilization"] == TENANT_PID_BASE + 1
+    assert counter_pids["nic.depth"] == TELEMETRY_PID
+    json.dumps(events)  # must stay JSON-able

@@ -35,6 +35,28 @@ def test_timeline_chrome_trace_unwritable_path_fails_cleanly(capsys, tmp_path):
     assert "cannot write" in capsys.readouterr().err
 
 
+def test_timeline_tenants_mode_prints_per_tenant_tables(capsys, tmp_path):
+    out_json = str(tmp_path / "tenants.json")
+    rc = main(["timeline", "--tenants", "3", "--noisy-mrps", "6.0",
+               "--nreq", "1500", "--chrome-trace", out_json])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "t0 is the noisy neighbour" in out
+    assert "Per-tenant utilization" in out
+    assert "nic.t0.fetch" in out and "nic.t2.fetch" in out
+    assert "shared" in out
+    document = json.loads(open(out_json).read())
+    processes = {e["args"]["name"] for e in document["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+    assert {"tenant t0", "tenant t1", "tenant t2"} <= processes
+
+
+def test_timeline_tenants_rejects_bad_count(capsys):
+    rc = main(["timeline", "--tenants", "1"])
+    assert rc == 2
+    assert "at least 2" in capsys.readouterr().err
+
+
 def test_trace_replay_round_trip(capsys, tmp_path):
     jsonl = str(tmp_path / "dump.jsonl")
     rc = main(["trace", "--nreq", "300", "--window", "4", "--jsonl", jsonl])
