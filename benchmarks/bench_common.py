@@ -12,6 +12,16 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 os.makedirs(RESULTS_DIR, exist_ok=True)
 
 
+def scrub_path(path: str) -> str:
+    """Reduce a local filesystem path to its basename for committed output.
+
+    Benchmark JSON that lands in the repo must not leak machine-local
+    absolute paths (scratch directories, usernames); the basename is enough
+    to identify which tree a baseline measurement came from.
+    """
+    return os.path.basename(os.path.normpath(path))
+
+
 def emit(name: str, text: str) -> None:
     """Print a result table and archive it (atomically).
 

@@ -22,12 +22,17 @@ additionally times the identical echo run against that tree in a
 subprocess, interleaved with the current tree's rounds so machine-load
 drift hits both sides equally; the JSON then records the baseline medians
 and the speedup. The baseline must produce the same result signature —
-the speedup claim is only meaningful between bit-identical simulations.
+the speedup claim is only meaningful between bit-identical simulations —
+unless ``--allow-signature-change`` is passed for a deliberate
+re-baseline PR (one that changes equal-timestamp event interleaving, like
+the zero-yield fast paths); then both signatures are recorded instead so
+the divergence is explicit in the committed JSON.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_kernel.py [--rounds N]
         [--nreq N] [--out PATH] [--baseline TREE]
+        [--allow-signature-change]
 """
 
 import argparse
@@ -41,7 +46,9 @@ import time
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
                                          "..", ".."))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
+from bench_common import scrub_path  # noqa: E402
 from repro.harness.runner import run_closed_loop  # noqa: E402
 from repro.sim.kernel import Simulator  # noqa: E402
 
@@ -110,6 +117,10 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", metavar="TREE", default=None,
                         help="older checkout to time against (interleaved "
                              "rounds; records the speedup)")
+    parser.add_argument("--allow-signature-change", action="store_true",
+                        help="accept a baseline with a different result "
+                             "signature (deliberate re-baseline PRs only); "
+                             "records both signatures instead of failing")
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be >= 1")
@@ -137,11 +148,18 @@ def main(argv=None) -> int:
         )
     signature = echo_sigs.pop()
     if args.baseline and baseline_sigs != {signature}:
-        raise AssertionError(
-            f"baseline tree produces different results "
-            f"({sorted(baseline_sigs)} vs {signature}); "
-            "a speedup between non-identical simulations is meaningless"
-        )
+        if len(baseline_sigs) != 1:
+            raise AssertionError(
+                f"baseline tree is non-deterministic: {sorted(baseline_sigs)}"
+            )
+        if not args.allow_signature_change:
+            raise AssertionError(
+                f"baseline tree produces different results "
+                f"({sorted(baseline_sigs)} vs {signature}); "
+                "a speedup between non-identical simulations is meaningless "
+                "(pass --allow-signature-change only for a deliberate "
+                "re-baseline)"
+            )
 
     report = {
         "rounds": args.rounds,
@@ -170,12 +188,21 @@ def main(argv=None) -> int:
         baseline_median = statistics.median(baseline_times)
         echo_median = statistics.median(echo_times)
         report["baseline"] = {
-            "tree": os.path.abspath(args.baseline),
+            # Basename only: committed JSON must not leak local paths.
+            "tree": scrub_path(args.baseline),
             "median_s": round(baseline_median, 4),
             "best_s": round(min(baseline_times), 4),
             "speedup_median": round(baseline_median / echo_median, 3),
             "speedup_best": round(min(baseline_times) / min(echo_times), 3),
         }
+        baseline_sig = baseline_sigs.pop()
+        if baseline_sig != signature:
+            report["baseline"]["signature"] = {
+                "throughput_mrps": baseline_sig[0],
+                "p50_us": baseline_sig[1],
+                "p99_us": baseline_sig[2],
+                "count": baseline_sig[3],
+            }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

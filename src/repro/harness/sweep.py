@@ -46,7 +46,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 from repro.harness.runner import BenchResult
 
 #: Bump when the result encoding or the meaning of cached entries changes.
-CACHE_VERSION = 1
+#: 2: zero-yield try_* fast paths re-baselined equal-timestamp grant order.
+CACHE_VERSION = 2
 
 #: Repo-level default cache directory (benchmarks/results/cache/).
 DEFAULT_CACHE_DIR = os.path.join(

@@ -60,7 +60,8 @@ class Core:
         """
         if cost_ns < 0:
             raise ValueError(f"negative cost {cost_ns}")
-        yield self.slots.request()
+        if not self.slots.try_acquire():
+            yield self.slots.request()
         self._active += 1
         try:
             calibration = self.calibration
@@ -130,7 +131,8 @@ class SoftwareThread:
         Fast-path protocol for call sites too hot for the :meth:`exec`
         generator (one generator object per RPC per side adds up)::
 
-            yield thread.core.slots.request()
+            if not thread.core.slots.try_acquire():
+                yield thread.core.slots.request()
             scaled = thread.begin_exec(cost_ns)
             try:
                 yield scaled
@@ -167,7 +169,9 @@ class SoftwareThread:
         # without the delegated generator.
         if cost_ns < 0:
             raise ValueError(f"negative cost {cost_ns}")
-        yield self.core.slots.request()
+        slots = self.core.slots
+        if not slots.try_acquire():
+            yield slots.request()
         scaled = self.begin_exec(cost_ns)
         try:
             yield scaled

@@ -57,7 +57,8 @@ class EthernetPort:
         """Occupy the port for the frame's serialization time."""
         if payload_bytes < 0:
             raise ValueError(f"negative payload {payload_bytes}")
-        yield self._port.request()
+        if not self._port.try_acquire():
+            yield self._port.request()
         try:
             # frame_bytes/serialization_ns inlined (one frame per RPC; two
             # method calls per frame show up on the echo hot path).

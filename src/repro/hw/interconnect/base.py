@@ -89,19 +89,23 @@ class CpuNicInterface:
 
     def _use_endpoint(self, occupancy_ns: int) -> Generator:
         """Consume shared read-engine bandwidth (FIFO, pipelined)."""
-        yield self.endpoint.request()
+        endpoint = self.endpoint
+        if not endpoint.try_acquire():
+            yield endpoint.request()
         try:
             yield occupancy_ns
         finally:
-            self.endpoint.release()
+            endpoint.release()
 
     def _use_write_endpoint(self, occupancy_ns: int) -> Generator:
         """Consume shared write-engine bandwidth (FIFO, pipelined)."""
-        yield self.write_endpoint.request()
+        endpoint = self.write_endpoint
+        if not endpoint.try_acquire():
+            yield endpoint.request()
         try:
             yield occupancy_ns
         finally:
-            self.write_endpoint.release()
+            endpoint.release()
 
     def _account(self, lines: int, to_nic: bool = True) -> None:
         self.lines_transferred += lines

@@ -51,7 +51,8 @@ class UpiInterface(CpuNicInterface):
             self.tracer.record_transfer(self.name, lines, self.sim.now)
         calibration = self.calibration
         endpoint = self.endpoint
-        yield endpoint.request()
+        if not endpoint.try_acquire():
+            yield endpoint.request()
         try:
             yield calibration.upi_endpoint_line_ns * lines
         finally:
@@ -66,7 +67,8 @@ class UpiInterface(CpuNicInterface):
             self.tracer.record_transfer(self.name, lines, self.sim.now)
         calibration = self.calibration
         endpoint = self.write_endpoint
-        yield endpoint.request()
+        if not endpoint.try_acquire():
+            yield endpoint.request()
         try:
             yield calibration.upi_endpoint_line_ns * lines
         finally:

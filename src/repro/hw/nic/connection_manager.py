@@ -87,7 +87,11 @@ class ConnectionManager:
 
         Hot callers inline the cache-hit half of this (``cache.lookup`` +
         ``yield _hit_ns``) and only delegate to :meth:`lookup_miss` on a
-        miss, skipping a generator per packet on the common path.
+        miss, skipping a generator per packet on the common path — the
+        same fast-path-or-fall-back shape as the ``try_* or yield`` idiom
+        on :class:`~repro.sim.resources.Resource`/``Store`` (the hit
+        latency itself is still paid as an int-yield; unlike an idle
+        resource grant, it is simulated time, not kernel overhead).
         """
         hit, entry = self.cache.lookup(connection_id)
         if hit:

@@ -273,9 +273,11 @@ class DaggerNic:
             # ring, no fetch FSM.
             lines = packet.lines(self.calibration.cache_line_bytes)
             self.sim.spawn(self._push_transfer(packet, lines, flow_id))
-            yield 0
-        else:
-            yield self.flow_rings[flow_id].tx_ring.put(packet)
+            return
+        tx_ring = self.flow_rings[flow_id].tx_ring
+        if not tx_ring.try_put(packet):
+            # Full ring: fall back to the blocking put (flow blocking, §4.4).
+            yield tx_ring.put(packet)
 
     def rx_ring(self, flow_id: int) -> Store:
         """The software RX ring for a flow (what a dispatch thread polls)."""
@@ -301,9 +303,14 @@ class DaggerNic:
 
     def _egress_sequencer(self, flow_id: int) -> Generator:
         # Body of egress_pipeline() inlined below (one delegated generator
-        # per transmitted packet otherwise); keep the two in sync.
-        get = self._egress_queues[flow_id].get
+        # per transmitted packet otherwise); keep the two in sync. Every
+        # queueing station takes the zero-yield try_* fast path when
+        # uncontended and falls back to the evented wait otherwise.
+        queue = self._egress_queues[flow_id]
+        get = queue.get
+        try_get = queue.try_get
         pipeline = self.pipeline
+        pipeline_try_acquire = pipeline.try_acquire
         connection_manager = self.connection_manager
         cache_lookup = connection_manager.cache.lookup
         lookup_hit_ns = connection_manager._hit_ns
@@ -311,15 +318,21 @@ class DaggerNic:
         monitor = self.monitor
         eth = self.eth
         eth_port_request = eth._port.request
+        eth_port_try_acquire = eth._port.try_acquire
         eth_port_release = eth._port.release
         eth_bytes_per_ns = eth.calibration.eth_bytes_per_ns
         switch_send = self.switch.send
         sim = self.sim
         while True:
-            packet = yield get()
-            if self.flow_control is not None:
-                yield from self.flow_control.acquire(packet)
-            yield pipeline.request()
+            packet = try_get()
+            if packet is None:
+                packet = yield get()
+            flow_control = self.flow_control
+            if (flow_control is not None
+                    and not flow_control.try_acquire(packet)):
+                yield from flow_control.acquire(packet)
+            if not pipeline_try_acquire():
+                yield pipeline.request()
             try:
                 yield self._cycle_ns
             finally:
@@ -343,7 +356,8 @@ class DaggerNic:
             # eth.transmit(packet.wire_bytes) inlined (same grant / delay /
             # release events, no delegated generator per frame); keep in
             # sync with EthernetPort.transmit.
-            yield eth_port_request()
+            if not eth_port_try_acquire():
+                yield eth_port_request()
             try:
                 wire_bytes = HEADER_BYTES + packet.payload_bytes
                 if wire_bytes < MIN_FRAME_BYTES:
@@ -362,9 +376,13 @@ class DaggerNic:
             switch_send(packet.dst_address, packet)
 
     def _control_sequencer(self) -> Generator:
-        get = self._control_queue.get
+        queue = self._control_queue
+        get = queue.get
+        try_get = queue.try_get
         while True:
-            packet = yield get()
+            packet = try_get()
+            if packet is None:
+                packet = yield get()
             yield from self.egress_pipeline(packet)
 
     def egress_pipeline(self, packet: RpcPacket) -> Generator:
@@ -373,7 +391,8 @@ class DaggerNic:
         pipeline = self.pipeline
         # pipeline.use(cycle) inlined: same grant/timeout/release events
         # without a delegated generator per packet.
-        yield pipeline.request()
+        if not pipeline.try_acquire():
+            yield pipeline.request()
         try:
             yield self._cycle_ns
         finally:
@@ -415,13 +434,19 @@ class DaggerNic:
         # unit pipelines like the RTL instead of serializing ~7 cycles.
         sim = self.sim
         pipeline = self.pipeline
+        pipeline_try_acquire = pipeline.try_acquire
         cycle_ns = self._cycle_ns
-        get = self._ingress_queue.get
+        queue = self._ingress_queue
+        get = queue.get
+        try_get = queue.try_get
         spawn = sim.spawn
         steer = self._ingress_steer
         while True:
-            packet = yield get()
-            yield pipeline.request()
+            packet = try_get()
+            if packet is None:
+                packet = yield get()
+            if not pipeline_try_acquire():
+                yield pipeline.request()
             try:
                 yield cycle_ns
             finally:

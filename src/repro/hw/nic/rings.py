@@ -10,6 +10,14 @@ Each NIC flow is 1-to-1 mapped to an RX/TX ring pair in software:
 
 Free-buffer bookkeeping is implicit in the Store capacity: a put is the
 paper's "write to a free entry", a get is "bookkeeping releases the entry".
+
+Both rings are driven through the zero-yield ``try_*`` fast paths on their
+uncontended sides (see :mod:`repro.sim.resources`): software enqueues into
+a non-full TX ring and the fetch FSM/dispatch pollers drain non-empty
+rings without a kernel round-trip; the NIC's RX-ring writes stay
+``try_put`` (overflow counts a drop, ``reject_when_full``), and only a
+full TX ring falls back to the evented blocking put — that is exactly the
+paper's "flow blocking".
 """
 
 from __future__ import annotations

@@ -53,7 +53,11 @@ class RxPath:
         """Wait for the first request, then fill the batch per soft config."""
         ring = self.nic.flow_rings[flow_id].tx_ring
         sim = self.nic.sim
-        first = yield ring.get()
+        # Zero-yield fast path: a non-empty ring yields the batch head
+        # synchronously; only an empty ring parks the FSM on the evented get.
+        first = ring.try_get()
+        if first is None:
+            first = yield ring.get()
         batch: List[RpcPacket] = [first]
         soft = self.nic.soft
         if soft.auto_batch:

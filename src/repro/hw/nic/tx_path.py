@@ -133,7 +133,11 @@ class TxPath:
         issue_occupancy_ns = nic.interface.issue_occupancy_ns
         spawn = nic.sim.spawn
         while True:
-            first = yield get()
+            # Zero-yield fast path: a non-empty FIFO hands the batch head
+            # over synchronously; only an empty FIFO parks the scheduler.
+            first = try_get()
+            if first is None:
+                first = yield get()
             slot_ids = [first]
             soft = nic.soft
             target = (nic.hard.max_batch if soft.auto_batch

@@ -158,7 +158,9 @@ class RpcClient:
         # thread.exec(port.cpu_tx_ns(packet)) inlined via begin/end_exec
         # (issue path runs once per RPC).
         thread = self.thread
-        yield thread.core.slots.request()
+        slots = thread.core.slots
+        if not slots.try_acquire():
+            yield slots.request()
         scaled = thread.begin_exec(self.port.cpu_tx_ns(packet))
         try:
             yield scaled
@@ -181,15 +183,22 @@ class RpcClient:
 
     def _poll_responses(self) -> Generator:
         port = self.port
-        get = port.rx_ring.get
+        rx_ring = port.rx_ring
+        get = rx_ring.get
+        try_get = rx_ring.try_get
         cpu_rx_ns = port.cpu_rx_ns
         thread = self.thread
-        request = thread.core.slots.request
+        slots = thread.core.slots
+        request = slots.request
+        try_acquire = slots.try_acquire
         begin_exec = thread.begin_exec
         end_exec = thread.end_exec
         while True:
-            packet = yield get()
-            yield request()
+            packet = try_get()
+            if packet is None:
+                packet = yield get()
+            if not try_acquire():
+                yield request()
             scaled = begin_exec(cpu_rx_ns(packet))
             try:
                 yield scaled

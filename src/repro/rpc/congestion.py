@@ -75,6 +75,19 @@ class CreditFlowControl:
     def available_credits(self, connection_id: int) -> int:
         return len(self._tokens(connection_id))
 
+    def try_acquire(self, packet: RpcPacket) -> bool:
+        """Zero-yield fast path of :meth:`acquire`.
+
+        Takes a banked credit synchronously (no generator, no Event, no
+        kernel dispatch) — the dominant case below saturation. Returns
+        False when the connection is out of credits; the caller then falls
+        back to ``yield from flow_control.acquire(packet)``, which counts
+        the stall and parks on the evented token get.
+        """
+        if packet.kind is RpcKind.CONTROL:
+            return True
+        return self._tokens(packet.connection_id).try_get() is not None
+
     def acquire(self, packet: RpcPacket) -> Generator:
         """Block (in the egress sequencer) until a credit is available."""
         if packet.kind is RpcKind.CONTROL:

@@ -55,7 +55,9 @@ class HandlerContext:
         if cost_ns < 0:
             raise ValueError(f"negative cost {cost_ns}")
         thread = self.thread
-        yield thread.core.slots.request()
+        slots = thread.core.slots
+        if not slots.try_acquire():
+            yield slots.request()
         scaled = thread.begin_exec(cost_ns)
         try:
             yield scaled
@@ -125,19 +127,26 @@ class RpcServerThread:
         dispatch_ns = calibration.cpu_dispatch_ns
         sim = self.sim
         port = self.port
-        get = port.rx_ring.get
+        rx_ring = port.rx_ring
+        get = rx_ring.get
+        try_get = rx_ring.try_get
         cpu_rx_ns = port.cpu_rx_ns
         thread = self.thread
-        request = thread.core.slots.request
+        slots = thread.core.slots
+        request = slots.request
+        try_acquire = slots.try_acquire
         begin_exec = thread.begin_exec
         end_exec = thread.end_exec
         while True:
-            packet = yield get()
+            packet = try_get()
+            if packet is None:
+                packet = yield get()
             packet.stamp("server_rx", sim.now)
             if self.tracer is not None:
                 self.tracer.record(packet.rpc_id, "req_dispatch",
                                    sim.now)
-            yield request()
+            if not try_acquire():
+                yield request()
             scaled = begin_exec(cpu_rx_ns(packet) + dispatch_ns)
             try:
                 yield scaled
@@ -151,8 +160,11 @@ class RpcServerThread:
 
     def _worker_loop(self, worker: SoftwareThread) -> Generator:
         wakeup_ns = self.server.calibration.cpu_worker_wakeup_ns
+        queue = self._worker_queue
         while True:
-            packet = yield self._worker_queue.get()
+            packet = queue.try_get()
+            if packet is None:
+                packet = yield queue.get()
             yield from worker.exec(wakeup_ns)
             yield from self._handle(worker, packet)
 
@@ -167,7 +179,9 @@ class RpcServerThread:
             tracer.record(packet.rpc_id, "handler_done", self.sim.now)
         response_payload, response_bytes = result
         response = packet.make_response(response_payload, response_bytes)
-        yield thread.core.slots.request()
+        slots = thread.core.slots
+        if not slots.try_acquire():
+            yield slots.request()
         scaled = thread.begin_exec(self.port.cpu_tx_ns(response))
         try:
             yield scaled

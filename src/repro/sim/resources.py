@@ -15,6 +15,36 @@ returned by :meth:`Resource.request`, :meth:`Store.put` or :meth:`Store.get`
 must be yielded before the process yields anything else, and must not be
 kept after the yield resumes — the kernel recycles it as soon as its
 callbacks have run.
+
+Zero-yield fast paths: below saturation the dominant case is an *idle*
+resource or a *non-empty* store, where the evented path above still pays a
+pooled-event allocation, a now-queue append, and a full kernel dispatch
+bounce per operation. :meth:`Resource.try_acquire`, :meth:`Store.try_get`
+and :meth:`Store.try_put` resolve that case synchronously — no Event, no
+now-queue entry, no kernel round-trip — and report failure so the caller
+can fall back to the evented slow path::
+
+    if not resource.try_acquire():
+        yield resource.request()
+    ...
+    item = store.try_get()
+    if item is None:
+        item = yield store.get()
+    ...
+    if not store.try_put(item):
+        yield store.put(item)          # only for non-rejecting stores
+
+The fast paths never jump the FIFO queue (a Resource has waiters only at
+capacity, where ``try_acquire`` fails; a Store has getters only when empty,
+where ``try_get`` returns None and ``try_put`` hands off directly like
+``put`` would), :meth:`Resource.release` pairs identically with both paths,
+and :class:`Usage` integrals stay exact because every *mutating* fast path
+advances the accounting exactly like its evented twin. The pooling rules
+above are unchanged on the slow path. Note that a successful ``try_*``
+resolves *before* events already queued at the current timestamp, so
+converting a call site changes grant interleaving at equal timestamps —
+such a conversion requires a determinism re-baseline (see
+docs/performance.md §1).
 """
 
 from __future__ import annotations
@@ -166,6 +196,25 @@ class Resource:
             self._waiters.append(event)
         return event
 
+    def try_acquire(self) -> bool:
+        """Zero-yield fast path: take a server now if one is idle.
+
+        Returns True and occupies a server synchronously — no Event, no
+        now-queue entry, no kernel dispatch — when ``in_use < capacity``;
+        returns False otherwise (the caller then falls back to ``yield
+        resource.request()``, queueing FIFO behind existing waiters).
+        Never jumps the queue: waiters exist only while the resource is at
+        capacity, where this fails. :meth:`release` pairs identically with
+        both acquisition paths, and :class:`Usage` stays exact.
+        """
+        if self._in_use < self.capacity:
+            if self.usage is not None:
+                self.usage.advance(self.sim.now, self._in_use,
+                                   len(self._waiters))
+            self._in_use += 1
+            return True
+        return False
+
     def release(self) -> None:
         """Release one server; hands it to the oldest waiter if any."""
         if self._in_use <= 0:
@@ -273,7 +322,14 @@ class Store:
         return event
 
     def try_put(self, item: Any) -> bool:
-        """Non-blocking put; returns False (and counts a drop) when full."""
+        """Non-blocking put; returns False when full.
+
+        Mirrors the evented :meth:`put` exactly short of the Event: a full
+        ``reject_when_full`` store counts a drop (as ``put`` would when
+        failing with :class:`QueueFullError`); a full *blocking* store
+        counts nothing — the caller falls back to ``yield store.put(item)``
+        and blocks, so nothing was dropped.
+        """
         if self.usage is not None:
             self.usage.advance(self.sim.now, len(self._items),
                                len(self._putters))
@@ -286,7 +342,8 @@ class Store:
         if capacity is None or len(self._items) < capacity:
             self._items.append(item)
             return True
-        self.drops += 1
+        if self.reject_when_full:
+            self.drops += 1
         return False
 
     def get(self) -> Event:
@@ -323,7 +380,14 @@ class Store:
         return event
 
     def try_get(self) -> Any:
-        """Non-blocking get; returns None when empty."""
+        """Non-blocking get; returns None when empty.
+
+        Zero-yield fast path of :meth:`get`: same FIFO order, same
+        ``on_get`` notification, same blocked-putter admission — minus the
+        Event and the kernel dispatch. Callers fall back to ``item = yield
+        store.get()`` on None (which requires items to never be None; every
+        in-tree store holds packets, slot ids, or credit tokens).
+        """
         if self.usage is not None:
             self.usage.advance(self.sim.now, len(self._items),
                                len(self._putters))

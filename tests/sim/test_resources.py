@@ -181,11 +181,22 @@ def test_store_try_put_try_get():
     store = Store(sim, capacity=2)
     assert store.try_put("a")
     assert store.try_put("b")
+    # A full *blocking* store refuses without counting a drop: the caller
+    # falls back to the evented put and blocks, nothing was lost.
     assert not store.try_put("c")
-    assert store.drops == 1
+    assert store.drops == 0
     assert store.try_get() == "a"
     assert store.try_get() == "b"
     assert store.try_get() is None
+
+
+def test_store_try_put_full_reject_store_counts_drop():
+    sim = Simulator()
+    store = Store(sim, capacity=1, reject_when_full=True)
+    assert store.try_put("a")
+    assert not store.try_put("b")
+    # Same accounting as the evented put failing with QueueFullError.
+    assert store.drops == 1
 
 
 def test_store_direct_handoff_to_waiting_getter():
