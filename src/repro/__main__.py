@@ -154,6 +154,22 @@ def _fig14_isolation(jobs=1, cache=True):
     return "\n\n".join(lines)
 
 
+@_register("chaos",
+           "Chaos: tail latency + recovery invariants per fault class")
+def _chaos(jobs=1, cache=True):
+    result = experiments.figx_chaos(jobs=jobs, cache=cache)
+    return render_table(
+        ["fault class", "p50 us", "p99 us", "p99.9 us", "retx", "dup drop",
+         "lost", "recovered"],
+        [(r["fault_class"], r["p50_us"], r["p99_us"], r["p999_us"],
+          r["retransmissions"], r["duplicates_dropped"], r["lost_rpcs"],
+          "yes" if r["recovered"] else "NO")
+         for r in result["points"]],
+        title=f"Seeded fault injection (seed {result['seed']}, "
+              f"{result['nreq']} RPCs/class at {result['load_mrps']} Mrps)",
+    )
+
+
 @_register("fig11-scale", "Fig 11 (right): thread scalability")
 def _fig11_scale(jobs=1, cache=True):
     rows = experiments.fig11_scalability(jobs=jobs, cache=cache)

@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the Dagger reproduction (`repro.chaos`).
+
+The ROADMAP's chaos-engineering item: a seed-scheduled fault layer that
+exercises the recovery paths of the reliable transport and the credit
+engine — wire loss/reorder/duplication (plus correlated loss bursts) at
+the ToR switch, degraded-NIC tenants, straggler cores, and
+connection-cache thrash — with every fault decision drawn from one seeded
+RNG so any run is bit-identical reproducible from ``(code, config)``.
+
+See ``docs/robustness.md`` for the fault model and the determinism
+contract.
+"""
+
+from repro.chaos.faults import (
+    CacheThrashFault,
+    ChaosConfig,
+    StragglerFault,
+    WireFaults,
+)
+from repro.chaos.injector import ChaosInjector, ChaosStats
+from repro.chaos.rig import FAULT_CLASSES, HostDeliveryAuditor, run_chaos_point
+
+__all__ = [
+    "CacheThrashFault",
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosStats",
+    "FAULT_CLASSES",
+    "HostDeliveryAuditor",
+    "StragglerFault",
+    "WireFaults",
+    "run_chaos_point",
+]

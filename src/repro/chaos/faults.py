@@ -1,0 +1,115 @@
+"""Fault-schedule configuration (plain data, JSON round-trippable).
+
+Configs are dataclasses of primitives with exact ``to_dict``/``from_dict``
+inverses, so a chaos experiment's parameters travel through the sweep
+executor's canonical-JSON cache keys unchanged — the same property the
+figure experiments rely on for bit-identical reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class WireFaults:
+    """Per-crossing wire faults applied at the ToR switch.
+
+    Loss/duplication/reordering are i.i.d. per packet; ``burst_enter`` /
+    ``burst_exit`` add a two-state Gilbert-Elliott channel on top for
+    correlated loss bursts (every packet during a burst is dropped).
+    """
+
+    loss: float = 0.0  # P(drop) per crossing
+    reorder: float = 0.0  # P(extra delay) per crossing
+    reorder_delay_ns: int = 2_000  # delay a "reordered" packet this much
+    duplicate: float = 0.0  # P(deliver twice) per crossing
+    burst_enter: float = 0.0  # P(good -> burst) per crossing
+    burst_exit: float = 0.5  # P(burst -> good) per crossing
+    spare_control: bool = False  # exempt NIC-terminated control packets
+
+    def __post_init__(self):
+        for name in ("loss", "reorder", "duplicate", "burst_enter",
+                     "burst_exit"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.reorder_delay_ns < 0:
+            raise ValueError(
+                f"reorder_delay_ns must be >= 0, got {self.reorder_delay_ns}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return (self.loss > 0 or self.reorder > 0 or self.duplicate > 0
+                or self.burst_enter > 0)
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Periodically slow one core by ``slowdown`` for ``duration_ns``."""
+
+    core_id: int = 0
+    slowdown: float = 4.0
+    period_ns: int = 200_000  # quiet time between windows
+    duration_ns: int = 50_000  # length of each slow window
+    windows: int = 0  # 0 = disabled
+
+    def __post_init__(self):
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+        if self.windows < 0:
+            raise ValueError(f"windows must be >= 0, got {self.windows}")
+        if self.windows and (self.period_ns < 1 or self.duration_ns < 1):
+            raise ValueError("period_ns and duration_ns must be >= 1")
+
+
+@dataclass(frozen=True)
+class CacheThrashFault:
+    """Periodically flush the NIC connection caches (all entries)."""
+
+    period_ns: int = 100_000
+    flushes: int = 0  # 0 = disabled
+
+    def __post_init__(self):
+        if self.flushes < 0:
+            raise ValueError(f"flushes must be >= 0, got {self.flushes}")
+        if self.flushes and self.period_ns < 1:
+            raise ValueError(f"period_ns must be >= 1, got {self.period_ns}")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One complete seeded fault schedule."""
+
+    seed: int = 1
+    wire: WireFaults = field(default_factory=WireFaults)
+    #: NIC address -> extra one-way wire delay (ns) for packets *from* it
+    #: (a degraded tenant: flaky optics, an oversubscribed uplink, ...).
+    degraded_nics: Dict[str, int] = field(default_factory=dict)
+    straggler: StragglerFault = field(default_factory=StragglerFault)
+    cache_thrash: CacheThrashFault = field(default_factory=CacheThrashFault)
+
+    def __post_init__(self):
+        for address, extra_ns in self.degraded_nics.items():
+            if extra_ns < 0:
+                raise ValueError(
+                    f"degraded_nics[{address!r}] must be >= 0, got {extra_ns}"
+                )
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["degraded_nics"] = dict(sorted(data["degraded_nics"].items()))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosConfig":
+        data = dict(data)
+        if "wire" in data:
+            data["wire"] = WireFaults(**data["wire"])
+        if "straggler" in data:
+            data["straggler"] = StragglerFault(**data["straggler"])
+        if "cache_thrash" in data:
+            data["cache_thrash"] = CacheThrashFault(**data["cache_thrash"])
+        return cls(**data)

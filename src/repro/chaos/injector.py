@@ -1,0 +1,174 @@
+"""The fault injector: one seeded RNG driving every fault decision.
+
+Determinism contract: with a fixed :class:`ChaosConfig` and a fixed
+workload, the injector draws from its ``random.Random(seed)`` in a fixed
+order (one evaluation per wire crossing, in simulation event order, plus
+the precomputed straggler/thrash schedules), so two runs of the same seed
+produce bit-identical results. Nothing here reads wall-clock time or
+global RNG state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.chaos.faults import ChaosConfig
+from repro.rpc.messages import RpcKind
+
+#: Ring bound on the recorded fault-event timeline (oldest kept).
+MAX_FAULT_EVENTS = 10_000
+
+
+@dataclass
+class ChaosStats:
+    wire_losses: int = 0
+    wire_burst_losses: int = 0
+    wire_reorders: int = 0
+    wire_duplicates: int = 0
+    control_faults: int = 0  # faults that hit CONTROL (ACK/NACK/CREDIT)
+    degraded_crossings: int = 0
+    straggler_windows: int = 0
+    cache_flushes: int = 0
+    cache_entries_flushed: int = 0
+
+
+class ChaosInjector:
+    """Applies a :class:`ChaosConfig` to a running rig.
+
+    Wire faults hook the switch (``switch.wire_faults = injector``);
+    stragglers and cache thrash run as ordinary simulation processes.
+    """
+
+    def __init__(self, sim, config: ChaosConfig):
+        self.sim = sim
+        self.config = config
+        self.stats = ChaosStats()
+        self._rng = random.Random(config.seed)
+        self._in_burst = False
+        self._degraded = dict(config.degraded_nics)
+        #: Bounded (t_ns, kind, rpc_id) fault-event log for the timeline.
+        self.events: List[Tuple[int, str, Any]] = []
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, switch, cores=(), nics=()) -> None:
+        """Install the wire hook and spawn the scheduled fault processes."""
+        switch.wire_faults = self
+        straggler = self.config.straggler
+        if straggler.windows > 0:
+            for core in cores:
+                if core.core_id == straggler.core_id:
+                    self.sim.spawn(self._straggle(core))
+                    break
+        thrash = self.config.cache_thrash
+        if thrash.flushes > 0 and nics:
+            self.sim.spawn(self._thrash(list(nics)))
+
+    # -- wire faults (called by ToRSwitch.send) --------------------------------
+
+    def on_wire(self, dst_address: str, packet) -> list:
+        """Fault verdict for one wire crossing.
+
+        Returns the deliveries the crossing produces as
+        ``[(packet, extra_delay_ns), ...]`` — empty list for a loss, two
+        entries for a duplication (the second a :meth:`RpcPacket.clone`,
+        never the same object twice). CONTROL packets are subject to the
+        same faults unless ``spare_control`` — a lost NACK / ACK / CREDIT
+        grant is precisely the scenario the transport's timeout and the
+        credit engine's reconciliation exist for.
+        """
+        cfg = self.config.wire
+        rng = self._rng
+        extra = self._degraded.get(packet.src_address, 0)
+        if extra:
+            self.stats.degraded_crossings += 1
+        is_control = packet.kind is RpcKind.CONTROL
+        if is_control and cfg.spare_control:
+            return [(packet, extra)]
+        # Correlated bursts: two-state Gilbert-Elliott channel (every
+        # packet during a burst is lost).
+        if cfg.burst_enter > 0.0:
+            if self._in_burst:
+                if rng.random() < cfg.burst_exit:
+                    self._in_burst = False
+                else:
+                    self._drop(packet, "burst_loss", is_control)
+                    self.stats.wire_burst_losses += 1
+                    return []
+            elif rng.random() < cfg.burst_enter:
+                self._in_burst = True
+                self._drop(packet, "burst_loss", is_control)
+                self.stats.wire_burst_losses += 1
+                return []
+        if cfg.loss > 0.0 and rng.random() < cfg.loss:
+            self._drop(packet, "loss", is_control)
+            self.stats.wire_losses += 1
+            return []
+        deliveries = [(packet, extra)]
+        if cfg.duplicate > 0.0 and rng.random() < cfg.duplicate:
+            self.stats.wire_duplicates += 1
+            if is_control:
+                self.stats.control_faults += 1
+            self._record("duplicate", packet)
+            deliveries.append((packet.clone(), extra))
+        if cfg.reorder > 0.0 and rng.random() < cfg.reorder:
+            self.stats.wire_reorders += 1
+            if is_control:
+                self.stats.control_faults += 1
+            self._record("reorder", packet)
+            deliveries = [(pkt, delay + cfg.reorder_delay_ns)
+                          for pkt, delay in deliveries]
+        return deliveries
+
+    def _drop(self, packet, kind: str, is_control: bool) -> None:
+        if is_control:
+            self.stats.control_faults += 1
+        self._record(kind, packet)
+
+    def _record(self, kind: str, packet) -> None:
+        if len(self.events) >= MAX_FAULT_EVENTS:
+            self.events.pop(0)
+        self.events.append((self.sim.now, kind,
+                            None if packet is None else packet.rpc_id))
+
+    # -- scheduled faults -------------------------------------------------------
+
+    def _straggle(self, core):
+        spec = self.config.straggler
+        for _ in range(spec.windows):
+            yield spec.period_ns
+            core.slowdown = spec.slowdown
+            self.stats.straggler_windows += 1
+            self._record("straggler_on", None)
+            yield spec.duration_ns
+            core.slowdown = 1.0
+            self._record("straggler_off", None)
+
+    def _thrash(self, nics):
+        spec = self.config.cache_thrash
+        for _ in range(spec.flushes):
+            yield spec.period_ns
+            flushed = 0
+            for nic in nics:
+                flushed += nic.connection_manager.cache.flush()
+            self.stats.cache_flushes += 1
+            self.stats.cache_entries_flushed += flushed
+            self._record("cache_flush", None)
+
+    # -- observability ----------------------------------------------------------
+
+    def timeline_probes(self):
+        """Timeline probe set (repro.obs): fault counters over time."""
+        stats = self.stats
+        return [
+            ("wire_losses", "counter",
+             lambda: stats.wire_losses + stats.wire_burst_losses),
+            ("wire_reorders", "counter", lambda: stats.wire_reorders),
+            ("wire_duplicates", "counter", lambda: stats.wire_duplicates),
+            ("control_faults", "counter", lambda: stats.control_faults),
+            ("cache_flushes", "counter", lambda: stats.cache_flushes),
+            ("straggler_windows", "counter",
+             lambda: stats.straggler_windows),
+        ]

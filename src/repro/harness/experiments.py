@@ -452,6 +452,81 @@ def fig14_isolation(noisy_loads_mrps: Optional[List[float]] = None,
     }
 
 
+_CHAOS_POINT = "repro.chaos.rig:run_chaos_point"
+
+#: §4.5 leaves reliable transport as future work, so there are no published
+#: fault numbers to anchor on; the gate asserts recovery *invariants*:
+#: nothing lost beyond this fraction, and zero duplicate host executions.
+CHAOS_PAPER = {"max_lost_fraction": 0.01}
+
+
+def figx_chaos(fault_classes: Optional[List[str]] = None,
+               load_mrps: float = 1.0, nreq: int = 2000, seed: int = 1,
+               hedge_ns: Optional[int] = None,
+               jobs: int = 1, cache: bool = True) -> Dict:
+    """Chaos: tail latency + recovery accounting per fault class (ISSUE 6).
+
+    Runs one seeded open-loop echo workload per fault class (see
+    :data:`repro.chaos.rig.FAULT_CLASSES`) over the reliable transport +
+    credit flow control, and reports p50/p99/p99.9 alongside the recovery
+    counters. ``recovered`` is the per-class invariant: bounded loss and
+    zero duplicate host deliveries.
+    """
+    from repro.chaos.rig import FAULT_CLASSES
+
+    classes = list(fault_classes or FAULT_CLASSES)
+    results = run_sweep(
+        [SweepPoint(_CHAOS_POINT, dict(
+            fault_class=fault_class, load_mrps=load_mrps, nreq=nreq,
+            seed=seed, hedge_ns=hedge_ns,
+        )) for fault_class in classes],
+        jobs=jobs, cache=cache,
+    )
+    baseline = next(
+        (r for c, r in zip(classes, results) if c == "none"), results[0]
+    )
+    max_lost = nreq * CHAOS_PAPER["max_lost_fraction"]
+    points = []
+    for fault_class, result in zip(classes, results):
+        transport = result["transport"]
+        flow = result["flow_control"]
+
+        def both(section, field):
+            return section["client"][field] + section["server"][field]
+
+        points.append({
+            "fault_class": fault_class,
+            "completed": result["completed"],
+            "lost_rpcs": result["lost_rpcs"],
+            "p50_us": result["p50_us"],
+            "p99_us": result["p99_us"],
+            "p999_us": result["p999_us"],
+            "p99_vs_fault_free": (
+                round(result["p99_us"] / baseline["p99_us"], 3)
+                if baseline["p99_us"] else 0.0
+            ),
+            "duplicate_host_deliveries":
+                result["duplicate_host_deliveries"],
+            "retransmissions": both(transport, "retransmissions"),
+            "timeout_retransmissions":
+                both(transport, "timeout_retransmissions"),
+            "duplicates_dropped": both(transport, "duplicates_dropped"),
+            "lost_unrecoverable": both(transport, "lost_unrecoverable"),
+            "credit_repairs": both(flow, "credit_repairs"),
+            "hedges_sent": result["hedges_sent"],
+            "faults_injected": result["chaos"],
+            "recovered": (result["lost_rpcs"] <= max_lost
+                          and result["duplicate_host_deliveries"] == 0),
+        })
+    return {
+        "points": points,
+        "seed": seed,
+        "nreq": nreq,
+        "load_mrps": load_mrps,
+        "paper": CHAOS_PAPER,
+    }
+
+
 #: Fig 11 (right) anchors: ~42 Mrps end-to-end plateau, ~80 Mrps raw reads.
 FIG11_PAPER = {"e2e_plateau_mrps": 42.0, "raw_plateau_mrps": 80.0}
 

@@ -152,6 +152,7 @@ class EchoRig:
         trace_max_spans: Optional[int] = None,
         telemetry: bool = False,
         telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
+        chaos=None,
     ):
         self.sim = Simulator()
         self.machine = Machine(self.sim, MachineConfig(), calibration, seed=seed)
@@ -218,6 +219,24 @@ class EchoRig:
                 if isinstance(stack, DaggerStack)]
         for nic, role in zip(nics, ("client", "server")):
             register_dagger_nic(self.registry, nic, component=f"nic.{role}")
+
+        # Fault injection (repro.chaos): accepts a ChaosConfig or its dict
+        # form. None (the default) installs nothing — the switch keeps its
+        # zero-overhead perfect-wire path and no fault processes exist.
+        self.chaos = None
+        if chaos is not None:
+            from repro.chaos import ChaosConfig, ChaosInjector
+
+            config = (chaos if isinstance(chaos, ChaosConfig)
+                      else ChaosConfig.from_dict(chaos))
+            rig_cores = {}
+            for thread in client_threads + server_threads:
+                rig_cores.setdefault(thread.core.core_id, thread.core)
+            self.chaos = ChaosInjector(self.sim, config)
+            self.chaos.attach(self.switch,
+                              cores=[core for _, core
+                                     in sorted(rig_cores.items())],
+                              nics=nics)
         if trace:
             self.tracer = SpanTracer(max_spans=trace_max_spans)
             attach_tracer(self.tracer, self.clients)
@@ -248,6 +267,8 @@ class EchoRig:
             for i, client in enumerate(self.clients):
                 collector.add_source(f"client{i}", client)
             collector.add_source("server.rpc", self.server)
+            if self.chaos is not None:
+                collector.add_source("chaos", self.chaos)
             self.timeline = collector
 
     @property

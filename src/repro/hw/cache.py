@@ -59,6 +59,14 @@ class DirectMappedCache:
             return True
         return False
 
+    def flush(self) -> int:
+        """Drop every entry (chaos: connection-cache thrash); returns the
+        number of entries invalidated. Subsequent lookups all miss and pay
+        the DRAM fallback until the working set is re-fetched."""
+        flushed = len(self._slots)
+        self._slots.clear()
+        return flushed
+
     @property
     def occupancy(self) -> int:
         return len(self._slots)

@@ -45,6 +45,10 @@ class Core:
         self.llc_domain = llc_domain
         self._active = 0
         self.busy_ns = 0  # accumulated busy time (utilization accounting)
+        #: Straggler multiplier (chaos fault injection): every burst on
+        #: this core scales by this factor. 1.0 = healthy; applied before
+        #: the jitter draw so the RNG stream is unchanged when healthy.
+        self.slowdown = 1.0
 
     def _jitter(self) -> int:
         mean = self.calibration.cpu_jitter_mean_ns
@@ -70,6 +74,8 @@ class Core:
                 scaled = int(cost_ns * calibration.smt_slowdown)
             if self.llc_domain is not None:
                 scaled = int(scaled * self.llc_domain.multiplier_for(thread))
+            if self.slowdown != 1.0:
+                scaled = int(scaled * self.slowdown)
             # Inlined _jitter(); must draw exactly when _jitter would so the
             # per-core RNG stream (and thus every tail latency) is unchanged.
             mean = calibration.cpu_jitter_mean_ns
@@ -151,6 +157,8 @@ class SoftwareThread:
             scaled = int(cost_ns * calibration.smt_slowdown)
         if core.llc_domain is not None:
             scaled = int(scaled * core.llc_domain.multiplier_for(self))
+        if core.slowdown != 1.0:
+            scaled = int(scaled * core.slowdown)
         mean = calibration.cpu_jitter_mean_ns
         if mean > 0:
             scaled += int(core.rng.expovariate(1.0 / mean))

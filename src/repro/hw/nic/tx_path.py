@@ -162,14 +162,32 @@ class TxPath:
         rings = nic.flow_rings[flow_id]
         yield from nic.interface.nic_to_host(lines)
         tracer = nic.tracer
+        transport = nic.transport
+        if transport is None:
+            for pkt in batch:
+                pkt.stamp("host_delivered", nic.sim.now)
+                if rings.rx_ring.try_put(pkt):
+                    nic.monitor.delivered_rpcs += 1
+                    if tracer is not None:
+                        tracer.record_packet(pkt, "host_delivered",
+                                             nic.sim.now)
+                else:
+                    nic.monitor.dropped_rx_ring += 1
+            return
+        rx_ring = rings.rx_ring
         for pkt in batch:
-            pkt.stamp("host_delivered", nic.sim.now)
-            if rings.rx_ring.try_put(pkt):
-                nic.monitor.delivered_rpcs += 1
-                if tracer is not None:
-                    tracer.record_packet(pkt, "host_delivered", nic.sim.now)
-                if nic.transport is not None:
-                    nic.transport.on_delivered(pkt)
-            else:
+            # Ring-full is checked *before* committing delivery to the
+            # transport, and duplicates are suppressed *before* the ring:
+            # the host must never execute one RPC twice, and the receiver
+            # state must never record a packet the ring then rejects.
+            if not rx_ring.can_accept:
                 nic.monitor.dropped_rx_ring += 1
                 self._notify_drop(pkt)
+                continue
+            if not transport.on_delivered(pkt):
+                continue  # duplicate: counted in TransportStats
+            pkt.stamp("host_delivered", nic.sim.now)
+            assert rx_ring.try_put(pkt)
+            nic.monitor.delivered_rpcs += 1
+            if tracer is not None:
+                tracer.record_packet(pkt, "host_delivered", nic.sim.now)

@@ -39,6 +39,12 @@ class ToRSwitch:
             self.delay_ns = calibration.tor_delay_ns
         self._table: Dict[str, Callable[[Any], None]] = {}
         self.packets_forwarded = 0
+        #: Optional wire-fault injector (see :mod:`repro.chaos`): an object
+        #: whose ``on_wire(dst_address, packet)`` returns the deliveries a
+        #: crossing produces as ``[(packet, extra_delay_ns), ...]`` — empty
+        #: for a loss, two entries for a duplication. None = perfect wire.
+        self.wire_faults = None
+        self.packets_dropped = 0
 
     def register(self, address: str, ingress: Callable[[Any], None]) -> None:
         """Add a static table entry: address -> NIC ingress function."""
@@ -56,9 +62,25 @@ class ToRSwitch:
         except KeyError:
             raise UnknownDestinationError(dst_address) from None
         self.packets_forwarded += 1
+        if self.wire_faults is not None:
+            deliveries = self.wire_faults.on_wire(dst_address, packet)
+            if not deliveries:
+                self.packets_dropped += 1
+                return
+            for copy, extra_ns in deliveries:
+                self._schedule(ingress, copy, self.delay_ns + extra_ns)
+            return
 
         def _deliver():
             yield self.delay_ns
+            ingress(packet)
+
+        self.sim.spawn(_deliver())
+
+    def _schedule(self, ingress: Callable[[Any], None], packet: Any,
+                  delay_ns: int) -> None:
+        def _deliver():
+            yield delay_ns
             ingress(packet)
 
         self.sim.spawn(_deliver())

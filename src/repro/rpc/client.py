@@ -98,6 +98,9 @@ class RpcClient:
         thread: SoftwareThread,
         connection_id: int,
         name: str = "",
+        hedge_ns: Optional[int] = None,
+        max_hedges: int = 1,
+        hedge_budget: float = 0.05,
     ):
         self.port = port
         self.thread = thread
@@ -109,6 +112,17 @@ class RpcClient:
         self._pending: Dict[int, RpcCall] = {}
         self.calls_issued = 0
         self.calls_completed = 0
+        # Request hedging (tail-tolerance): a call still pending after
+        # ``hedge_ns`` is re-sent (up to ``max_hedges`` copies), but total
+        # hedges are budgeted to ``1 + hedge_budget * calls_issued`` so a
+        # systemic outage cannot stampede the fabric. None disables — the
+        # issue path then schedules nothing extra. Duplicate responses are
+        # already tolerated by the poller (late pop returns None).
+        self.hedge_ns = hedge_ns
+        self.max_hedges = max_hedges
+        self.hedge_budget = hedge_budget
+        self.hedges_sent = 0
+        self.hedges_denied = 0
         self._poller = self.sim.spawn(self._poll_responses())
 
     # -- issue path -----------------------------------------------------------
@@ -167,7 +181,35 @@ class RpcClient:
         finally:
             thread.end_exec()
         yield from self.port.send(packet)
+        if self.hedge_ns is not None:
+            self.sim.spawn(self._hedge_call(call))
         return call
+
+    def _hedge_call(self, call: RpcCall) -> Generator:
+        """Re-send a straggling call after ``hedge_ns`` (tail tolerance).
+
+        The hedge is a fresh wire-level packet (new transport seq, own
+        timestamps) carrying the same ``rpc_id``, so whichever copy's
+        response arrives first completes the call and the loser is ignored
+        by the poller. Hedging trades duplicate *execution* for latency —
+        only safe for idempotent methods, hence opt-in per client.
+        """
+        budget = self.max_hedges
+        while budget > 0:
+            yield self.hedge_ns
+            if call.done or call.packet.rpc_id not in self._pending:
+                return
+            allowance = 1 + int(self.hedge_budget * self.calls_issued)
+            if self.hedges_sent >= allowance:
+                self.hedges_denied += 1
+                return
+            budget -= 1
+            self.hedges_sent += 1
+            copy = call.packet.clone()
+            copy.seq = None  # a brand-new packet to the transport
+            copy.timestamps = {}
+            yield from self.thread.exec(self.port.cpu_tx_ns(copy))
+            yield from self.port.send(copy)
 
     def call(self, method: str, payload: Any, payload_bytes: int,
              lb_key: Optional[int] = None,
@@ -228,6 +270,7 @@ class RpcClient:
         return [
             ("outstanding", "gauge", lambda: len(self._pending)),
             ("calls_completed", "counter", lambda: self.calls_completed),
+            ("hedges_sent", "counter", lambda: self.hedges_sent),
         ]
 
     def fail_pending(self, reason: str = "connection torn down") -> None:

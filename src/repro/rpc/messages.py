@@ -87,6 +87,29 @@ class RpcPacket:
         """Record the first time the packet passes a named trace point."""
         self.timestamps.setdefault(point, now)
 
+    def clone(self) -> "RpcPacket":
+        """Independent copy with the same identity (rpc_id, seq).
+
+        Retransmission and wire duplication must send a *distinct object*:
+        the original may still be aliased by an in-flight wire event, and
+        two deliveries sharing one mutable packet corrupt each other's
+        per-hop timestamps.
+        """
+        return RpcPacket(
+            kind=self.kind,
+            connection_id=self.connection_id,
+            method=self.method,
+            payload=self.payload,
+            payload_bytes=self.payload_bytes,
+            src_address=self.src_address,
+            dst_address=self.dst_address,
+            src_flow=self.src_flow,
+            rpc_id=self.rpc_id,
+            lb_key=self.lb_key,
+            seq=self.seq,
+            timestamps=dict(self.timestamps),
+        )
+
     def make_response(self, payload: Any, payload_bytes: int) -> "RpcPacket":
         """Build the response packet for this request (addresses swapped)."""
         if self.kind is not RpcKind.REQUEST:

@@ -289,6 +289,18 @@ class Store:
     def is_full(self) -> bool:
         return self.capacity is not None and len(self._items) >= self.capacity
 
+    @property
+    def can_accept(self) -> bool:
+        """Would ``try_put`` succeed right now?
+
+        True when a getter is parked (direct hand-off) or there is spare
+        capacity. Lets callers make an accept/reject decision *before*
+        committing side effects that a failed put could not roll back.
+        """
+        if self._getters:
+            return True
+        return self.capacity is None or len(self._items) < self.capacity
+
     def put(self, item: Any) -> Event:
         """Return an event that triggers once the item is enqueued."""
         sim = self.sim

@@ -1,0 +1,189 @@
+"""Unit tests for the chaos fault model: configs, injector, switch hook."""
+
+import pytest
+
+from repro.chaos import (
+    CacheThrashFault,
+    ChaosConfig,
+    ChaosInjector,
+    StragglerFault,
+    WireFaults,
+)
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.switch import ToRSwitch
+from repro.rpc.messages import RpcKind, RpcPacket
+from repro.sim import Simulator
+
+
+def request(src="a", dst="b"):
+    return RpcPacket(RpcKind.REQUEST, 1, "m", b"", 48, src_address=src,
+                     dst_address=dst)
+
+
+def control(src="a", dst="b"):
+    return RpcPacket(RpcKind.CONTROL, 1, "__ack__", 0, 16, src_address=src,
+                     dst_address=dst)
+
+
+# -- config validation + round-trip -----------------------------------------
+
+
+def test_wire_fault_rates_validated():
+    with pytest.raises(ValueError, match="loss"):
+        WireFaults(loss=1.5)
+    with pytest.raises(ValueError, match="burst_enter"):
+        WireFaults(burst_enter=-0.1)
+    with pytest.raises(ValueError, match="reorder_delay_ns"):
+        WireFaults(reorder=0.1, reorder_delay_ns=-1)
+
+
+def test_straggler_and_thrash_validated():
+    with pytest.raises(ValueError, match="slowdown"):
+        StragglerFault(slowdown=0.5)
+    with pytest.raises(ValueError, match="period_ns"):
+        StragglerFault(windows=1, period_ns=0)
+    with pytest.raises(ValueError, match="flushes"):
+        CacheThrashFault(flushes=-1)
+    with pytest.raises(ValueError, match="degraded_nics"):
+        ChaosConfig(degraded_nics={"a": -5})
+
+
+def test_wire_active_flag():
+    assert not WireFaults().active
+    assert WireFaults(loss=0.01).active
+    assert WireFaults(burst_enter=0.01).active
+
+
+def test_config_dict_round_trip():
+    config = ChaosConfig(
+        seed=7,
+        wire=WireFaults(loss=0.02, reorder=0.05, duplicate=0.01),
+        degraded_nics={"server": 2_000, "client": 500},
+        straggler=StragglerFault(core_id=3, windows=2),
+        cache_thrash=CacheThrashFault(flushes=4),
+    )
+    data = config.to_dict()
+    assert ChaosConfig.from_dict(data) == config
+    # Canonical: degraded_nics serialized in sorted key order.
+    assert list(data["degraded_nics"]) == ["client", "server"]
+
+
+def test_from_dict_of_partial_override():
+    config = ChaosConfig.from_dict({"seed": 3, "wire": {"loss": 0.1}})
+    assert config.seed == 3
+    assert config.wire.loss == 0.1
+    assert config.straggler.windows == 0
+
+
+# -- injector verdicts -------------------------------------------------------
+
+
+def make_injector(**wire):
+    sim = Simulator()
+    config = ChaosConfig(seed=5, wire=WireFaults(**wire))
+    return sim, ChaosInjector(sim, config)
+
+
+def test_loss_drops_some_but_not_all():
+    _, injector = make_injector(loss=0.3)
+    verdicts = [injector.on_wire("b", request()) for _ in range(200)]
+    dropped = sum(1 for v in verdicts if not v)
+    assert dropped == injector.stats.wire_losses
+    assert 20 < dropped < 120  # ~60 expected; crude but seed-stable bounds
+
+
+def test_duplicate_delivers_a_clone_not_the_same_object():
+    _, injector = make_injector(duplicate=1.0)
+    packet = request()
+    deliveries = injector.on_wire("b", packet)
+    assert len(deliveries) == 2
+    assert deliveries[0][0] is packet
+    assert deliveries[1][0] is not packet
+    assert deliveries[1][0].rpc_id == packet.rpc_id
+    assert deliveries[1][0].seq == packet.seq
+
+
+def test_reorder_adds_the_configured_delay():
+    _, injector = make_injector(reorder=1.0, reorder_delay_ns=7_000)
+    deliveries = injector.on_wire("b", request())
+    assert [delay for _, delay in deliveries] == [7_000]
+
+
+def test_burst_loss_is_correlated():
+    _, injector = make_injector(burst_enter=0.2, burst_exit=0.2)
+    outcomes = [bool(injector.on_wire("b", request())) for _ in range(400)]
+    assert injector.stats.wire_burst_losses > 0
+    # Correlation: at least one run of >= 3 consecutive losses, which
+    # i.i.d. loss at this average rate would make vanishingly rare.
+    losses = "".join("L" if not ok else "." for ok in outcomes)
+    assert "LLL" in losses
+
+
+def test_spare_control_exempts_control_packets():
+    _, injector = make_injector(loss=1.0, spare_control=True)
+    # Control passes untouched; data is annihilated.
+    packet = control()
+    assert injector.on_wire("b", packet) == [(packet, 0)]
+    assert injector.on_wire("b", request()) == []
+
+
+def test_control_faults_are_counted_separately():
+    _, injector = make_injector(loss=1.0)
+    injector.on_wire("b", control())
+    injector.on_wire("b", request())
+    assert injector.stats.wire_losses == 2
+    assert injector.stats.control_faults == 1
+
+
+def test_degraded_nic_adds_delay_by_source():
+    sim = Simulator()
+    config = ChaosConfig(seed=5, degraded_nics={"a": 1_500})
+    injector = ChaosInjector(sim, config)
+    deliveries = injector.on_wire("b", request(src="a"))
+    assert deliveries[0][1] == 1_500
+    deliveries = injector.on_wire("a", request(src="b"))
+    assert deliveries[0][1] == 0
+    assert injector.stats.degraded_crossings >= 1
+
+
+def test_same_seed_same_verdicts():
+    def verdict_trace(seed):
+        sim = Simulator()
+        config = ChaosConfig(seed=seed, wire=WireFaults(
+            loss=0.1, reorder=0.1, duplicate=0.1))
+        injector = ChaosInjector(sim, config)
+        return [(len(injector.on_wire("b", request())))
+                for _ in range(300)]
+
+    assert verdict_trace(9) == verdict_trace(9)
+    assert verdict_trace(9) != verdict_trace(10)
+
+
+# -- switch integration ------------------------------------------------------
+
+
+def test_switch_counts_chaos_drops_and_stays_clean_without_faults():
+    sim = Simulator()
+    switch = ToRSwitch(sim, DEFAULT_CALIBRATION, loopback=True)
+    assert switch.wire_faults is None  # default path: no chaos, no cost
+    config = ChaosConfig(seed=5, wire=WireFaults(loss=1.0))
+    injector = ChaosInjector(sim, config)
+    injector.attach(switch)
+    assert switch.wire_faults is injector
+
+    received = []
+    switch.register("b", received.append)
+    for _ in range(5):
+        switch.send("b", request())
+    sim.run()
+    assert received == []
+    assert switch.packets_dropped == 5
+
+
+def test_fault_event_log_is_bounded():
+    from repro.chaos.injector import MAX_FAULT_EVENTS
+
+    _, injector = make_injector(loss=1.0)
+    for _ in range(MAX_FAULT_EVENTS + 50):
+        injector.on_wire("b", request())
+    assert len(injector.events) == MAX_FAULT_EVENTS

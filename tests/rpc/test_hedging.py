@@ -1,0 +1,135 @@
+"""Tests for client-side request hedging (tail tolerance, opt-in).
+
+A call still pending after ``hedge_ns`` is re-sent as a brand-new wire
+packet with the same ``rpc_id``; whichever response returns first wins
+and the loser is dropped by the poller. Hedging duplicates *execution*,
+so it is only safe for idempotent methods and stays off by default.
+
+The port here is a fake with a scriptable drop count, so the straggler
+is the *first* transmission and the hedge's rescue is observable without
+a full chaos rig (that path is covered in tests/chaos/).
+"""
+
+from repro.hw.platform import Machine
+from repro.rpc import RpcClient
+from repro.sim import Simulator
+from repro.sim.resources import Store
+
+WIRE_NS = 1_000
+
+
+class ScriptedPort:
+    """Echoes requests back as responses, dropping the first ``drop`` sends."""
+
+    def __init__(self, sim, drop=0):
+        self.sim = sim
+        self.rx_ring = Store(sim, name="fake-rx")
+        self.sent = []
+        self.drop = drop
+
+    def cpu_tx_ns(self, packet):
+        return 100
+
+    def cpu_rx_ns(self, packet):
+        return 100
+
+    def send(self, packet):
+        self.sent.append(packet)
+        if self.drop > 0:
+            self.drop -= 1
+            return
+        self.sim.spawn(self._echo(packet))
+        return
+        yield  # pragma: no cover
+
+    def _echo(self, packet):
+        yield WIRE_NS
+        self.rx_ring.try_put(packet.make_response(packet.payload,
+                                                  packet.payload_bytes))
+
+
+def make_client(drop=0, hedge_ns=None, max_hedges=1, hedge_budget=0.05):
+    sim = Simulator()
+    machine = Machine(sim)
+    port = ScriptedPort(sim, drop=drop)
+    client = RpcClient(port, machine.thread(0), connection_id=1,
+                       hedge_ns=hedge_ns, max_hedges=max_hedges,
+                       hedge_budget=hedge_budget)
+    return sim, port, client
+
+
+def issue(sim, client, count=1):
+    calls = []
+
+    def main():
+        for _ in range(count):
+            call = yield from client.call_async("echo", b"x", 48)
+            calls.append(call)
+
+    sim.spawn(main())
+    return calls
+
+
+def test_hedge_rescues_a_lost_request():
+    sim, port, client = make_client(drop=1, hedge_ns=10_000)
+    calls = issue(sim, client)
+    sim.run()
+    call = calls[0]
+    assert call.done
+    assert client.hedges_sent == 1
+    assert len(port.sent) == 2  # original + hedge
+    # The hedge is a fresh wire-level packet, not the original object.
+    assert port.sent[1] is not port.sent[0]
+    assert port.sent[1].rpc_id == port.sent[0].rpc_id
+    assert port.sent[1].seq is None  # gets its own transport seq
+    assert call.latency_ns >= 10_000  # paid the hedge delay, not forever
+
+
+def test_fast_response_means_no_hedge():
+    sim, port, client = make_client(drop=0, hedge_ns=50_000)
+    calls = issue(sim, client)
+    sim.run()
+    assert calls[0].done
+    assert client.hedges_sent == 0
+    assert len(port.sent) == 1
+
+
+def test_duplicate_response_is_ignored_by_the_poller():
+    # Nothing dropped AND a hedge fires: two responses race for one call.
+    sim, port, client = make_client(drop=0, hedge_ns=500)  # < round trip
+    calls = issue(sim, client)
+    sim.run()
+    assert calls[0].done
+    assert client.hedges_sent == 1
+    assert client.calls_completed == 1  # the loser was silently dropped
+    assert client.outstanding == 0
+
+
+def test_hedge_budget_caps_a_stampede():
+    # Budget 0.0 allows exactly 1 + int(0 * issued) = 1 hedge in total:
+    # with every send dropped, the second straggler is denied its hedge.
+    sim, port, client = make_client(drop=100, hedge_ns=1_000,
+                                    hedge_budget=0.0)
+    calls = issue(sim, client, count=2)
+    sim.run()
+    assert client.hedges_sent == 1
+    assert client.hedges_denied >= 1
+    assert not any(call.done for call in calls)
+
+
+def test_max_hedges_bounds_resends_per_call():
+    sim, port, client = make_client(drop=100, hedge_ns=1_000,
+                                    max_hedges=3, hedge_budget=10.0)
+    issue(sim, client)
+    sim.run()
+    assert client.hedges_sent == 3
+    assert len(port.sent) == 4  # original + three hedges, then give up
+
+
+def test_hedging_off_by_default():
+    sim, port, client = make_client(drop=1)
+    calls = issue(sim, client)
+    sim.run()
+    assert client.hedge_ns is None
+    assert client.hedges_sent == 0
+    assert not calls[0].done  # lost for good: no hedge, no transport
