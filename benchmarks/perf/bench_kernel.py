@@ -7,7 +7,15 @@ Measures two things and writes ``BENCH_kernel.json`` at the repo root:
   int-yield fast path) — reported as simulated events per second;
 - **echo**: wall-clock time of the tier-1 reference run, a 4k-request
   closed-loop echo benchmark over the full Dagger stack
-  (``run_closed_loop(batch_size=4, nreq=4000)``).
+  (``run_closed_loop(batch_size=4, nreq=4000)``);
+- **mesh**: the sharded-engine scaling scenario — a 4-host full-mesh
+  closed-loop echo (``repro.harness.mesh.run_echo_mesh``) timed at 1, 2,
+  and 4 shards with rounds interleaved across shard counts. Reported as
+  events per second of wall time per shard count plus the speedup vs
+  ``shards=1``; every run's result signature must be byte-identical
+  (the conservative-window engine's parity contract), which is asserted.
+  Wall-clock scaling needs real cores: the JSON records ``cpu_count`` so
+  a 1-core container's flat curve is not mistaken for an engine defect.
 
 Methodology: one warmup run, then ``--rounds`` timed repetitions (default
 9); the JSON records the median and the best. Medians are the headline
@@ -32,7 +40,13 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_kernel.py [--rounds N]
         [--nreq N] [--out PATH] [--baseline TREE]
-        [--allow-signature-change]
+        [--allow-signature-change] [--scenario pump,echo,mesh]
+
+``--scenario`` selects a comma-separated subset (default ``all``); the
+sections *not* run in this invocation are carried over unchanged from an
+existing ``--out`` file, so ``--scenario mesh`` appends the mesh numbers
+alongside previously recorded pump/echo results instead of clobbering
+them.
 """
 
 import argparse
@@ -49,12 +63,20 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
 from bench_common import scrub_path  # noqa: E402
+from repro.harness.mesh import mesh_signature, run_echo_mesh  # noqa: E402
 from repro.harness.runner import run_closed_loop  # noqa: E402
 from repro.sim.kernel import Simulator  # noqa: E402
 
 #: Synthetic pump workload: PROCS timer processes x TICKS timeouts each.
 PUMP_PROCS = 50
 PUMP_TICKS = 20_000
+
+#: Sharded mesh scenario: 4 hosts, full mesh, timed at these shard counts.
+MESH_HOSTS = 4
+MESH_NREQ_PER_HOST = 4000
+MESH_SHARD_COUNTS = (1, 2, 4)
+
+_SCENARIOS = ("pump", "echo", "mesh")
 
 
 def pump_once() -> float:
@@ -105,6 +127,60 @@ def echo_subprocess(tree: str, nreq: int):
     return payload["elapsed"], tuple(payload["signature"])
 
 
+def mesh_once(shards: int, nreq_per_host: int):
+    """Time one sharded mesh run; return (seconds, result)."""
+    started = time.perf_counter()
+    result = run_echo_mesh(hosts=MESH_HOSTS, shards=shards,
+                           nreq_per_host=nreq_per_host)
+    return time.perf_counter() - started, result
+
+
+def run_mesh_scenario(rounds: int, nreq_per_host: int) -> dict:
+    """The mesh section: interleaved rounds across shard counts.
+
+    Asserts the parity contract along the way — every (round, shard count)
+    run must produce the same canonical result signature.
+    """
+    times = {shards: [] for shards in MESH_SHARD_COUNTS}
+    signatures = set()
+    result = None
+    mesh_once(1, nreq_per_host)  # warmup (builders, imports, pools)
+    for _ in range(rounds):
+        for shards in MESH_SHARD_COUNTS:
+            seconds, result = mesh_once(shards, nreq_per_host)
+            times[shards].append(seconds)
+            signatures.add(mesh_signature(result))
+    if len(signatures) != 1:
+        raise AssertionError(
+            "sharded mesh runs are not bit-identical across shard counts "
+            f"({len(signatures)} distinct signatures)"
+        )
+    serial_median = statistics.median(times[1])
+    section = {
+        "hosts": MESH_HOSTS,
+        "nreq_per_host": nreq_per_host,
+        "cpu_count": os.cpu_count(),
+        "signature": {
+            "throughput_mrps": result.throughput_mrps,
+            "p50_us": result.p50_us,
+            "p99_us": result.p99_us,
+            "count": result.count,
+            "events_total": result.events_total,
+            "windows": result.windows,
+        },
+        "shards": {},
+    }
+    for shards in MESH_SHARD_COUNTS:
+        median = statistics.median(times[shards])
+        section["shards"][str(shards)] = {
+            "median_s": round(median, 4),
+            "best_s": round(min(times[shards]), 4),
+            "median_events_per_s": round(result.events_total / median),
+            "speedup_vs_serial": round(serial_median / median, 3),
+        }
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=9,
@@ -121,49 +197,44 @@ def main(argv=None) -> int:
                         help="accept a baseline with a different result "
                              "signature (deliberate re-baseline PRs only); "
                              "records both signatures instead of failing")
+    parser.add_argument("--scenario", default="all", metavar="LIST",
+                        help="comma-separated subset of "
+                             f"{','.join(_SCENARIOS)} (default: all); "
+                             "skipped sections are carried over from an "
+                             "existing --out file")
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be >= 1")
+    if args.scenario == "all":
+        scenarios = set(_SCENARIOS)
+    else:
+        scenarios = set(args.scenario.split(","))
+        unknown = scenarios - set(_SCENARIOS)
+        if unknown:
+            parser.error(f"unknown scenario(s): {', '.join(sorted(unknown))}")
+    if args.baseline and "echo" not in scenarios:
+        parser.error("--baseline times the echo scenario; include it in "
+                     "--scenario")
 
-    pump_events = PUMP_PROCS * PUMP_TICKS
-    pump_once()  # warmup
-    pump_times = [pump_once() for _ in range(args.rounds)]
+    # Sections not selected this invocation survive from the existing file,
+    # so scenario-scoped runs append rather than clobber.
+    carried = {}
+    if os.path.exists(args.out):
+        try:
+            with open(args.out) as handle:
+                carried = json.load(handle)
+        except (OSError, ValueError):
+            carried = {}
+    report = {"rounds": args.rounds}
+    for section in ("pump", "echo", "mesh", "baseline"):
+        if section in carried:
+            report[section] = carried[section]
 
-    echo_once(args.nreq)  # warmup
-    echo_times = []
-    baseline_times = []
-    echo_sigs = set()
-    baseline_sigs = set()
-    for round_index in range(args.rounds):
-        seconds, sig = echo_once(args.nreq)
-        echo_times.append(seconds)
-        echo_sigs.add(sig)
-        if args.baseline:
-            seconds, sig = echo_subprocess(args.baseline, args.nreq)
-            baseline_times.append(seconds)
-            baseline_sigs.add(sig)
-    if len(echo_sigs) != 1:
-        raise AssertionError(
-            f"echo benchmark is non-deterministic: {sorted(echo_sigs)}"
-        )
-    signature = echo_sigs.pop()
-    if args.baseline and baseline_sigs != {signature}:
-        if len(baseline_sigs) != 1:
-            raise AssertionError(
-                f"baseline tree is non-deterministic: {sorted(baseline_sigs)}"
-            )
-        if not args.allow_signature_change:
-            raise AssertionError(
-                f"baseline tree produces different results "
-                f"({sorted(baseline_sigs)} vs {signature}); "
-                "a speedup between non-identical simulations is meaningless "
-                "(pass --allow-signature-change only for a deliberate "
-                "re-baseline)"
-            )
-
-    report = {
-        "rounds": args.rounds,
-        "pump": {
+    if "pump" in scenarios:
+        pump_events = PUMP_PROCS * PUMP_TICKS
+        pump_once()  # warmup
+        pump_times = [pump_once() for _ in range(args.rounds)]
+        report["pump"] = {
             "procs": PUMP_PROCS,
             "ticks_per_proc": PUMP_TICKS,
             "events": pump_events,
@@ -171,8 +242,43 @@ def main(argv=None) -> int:
             "best_s": round(min(pump_times), 4),
             "median_events_per_s": round(
                 pump_events / statistics.median(pump_times)),
-        },
-        "echo": {
+        }
+
+    if "echo" in scenarios:
+        report.pop("baseline", None)  # stale unless recomputed below
+        echo_once(args.nreq)  # warmup
+        echo_times = []
+        baseline_times = []
+        echo_sigs = set()
+        baseline_sigs = set()
+        for round_index in range(args.rounds):
+            seconds, sig = echo_once(args.nreq)
+            echo_times.append(seconds)
+            echo_sigs.add(sig)
+            if args.baseline:
+                seconds, sig = echo_subprocess(args.baseline, args.nreq)
+                baseline_times.append(seconds)
+                baseline_sigs.add(sig)
+        if len(echo_sigs) != 1:
+            raise AssertionError(
+                f"echo benchmark is non-deterministic: {sorted(echo_sigs)}"
+            )
+        signature = echo_sigs.pop()
+        if args.baseline and baseline_sigs != {signature}:
+            if len(baseline_sigs) != 1:
+                raise AssertionError(
+                    f"baseline tree is non-deterministic: "
+                    f"{sorted(baseline_sigs)}"
+                )
+            if not args.allow_signature_change:
+                raise AssertionError(
+                    f"baseline tree produces different results "
+                    f"({sorted(baseline_sigs)} vs {signature}); "
+                    "a speedup between non-identical simulations is "
+                    "meaningless (pass --allow-signature-change only for a "
+                    "deliberate re-baseline)"
+                )
+        report["echo"] = {
             "nreq": args.nreq,
             "median_s": round(statistics.median(echo_times), 4),
             "best_s": round(min(echo_times), 4),
@@ -182,8 +288,11 @@ def main(argv=None) -> int:
                 "p99_us": signature[2],
                 "count": signature[3],
             },
-        },
-    }
+        }
+
+    if "mesh" in scenarios:
+        report["mesh"] = run_mesh_scenario(args.rounds, MESH_NREQ_PER_HOST)
+
     if args.baseline:
         baseline_median = statistics.median(baseline_times)
         echo_median = statistics.median(echo_times)

@@ -1,0 +1,106 @@
+"""Sharded-engine parity gate: serial vs sharded must be bit-identical.
+
+Runs the multi-host echo mesh (``repro.harness.mesh.run_echo_mesh``) once
+at ``shards=1`` (the serial fallback) and twice at ``--shards N``, then
+compares canonical result signatures:
+
+- **serial vs sharded**: the conservative-window engine's contract is that
+  partitioning hosts across worker processes never changes the simulation.
+  A signature diff here is a correctness bug, not a perf regression.
+- **sharded vs sharded**: the second sharded run guards run-to-run
+  determinism of the parallel path itself (worker scheduling must not
+  leak into results).
+
+Writes an artifact JSON (``--out``) recording the signatures, the
+per-host event counts from each run, and the parity verdicts, then exits
+non-zero on any mismatch so CI fails loudly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sharded.py
+        [--hosts N] [--shards N] [--nreq N] [--out PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         "..", ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.mesh import mesh_signature, run_echo_mesh  # noqa: E402
+
+
+def _run(hosts: int, shards: int, nreq_per_host: int):
+    result = run_echo_mesh(hosts=hosts, shards=shards,
+                           nreq_per_host=nreq_per_host)
+    return {
+        "shards": shards,
+        "signature": mesh_signature(result),
+        "events_per_host": result.events_per_host,
+        "events_total": result.events_total,
+        "windows": result.windows,
+        "throughput_mrps": result.throughput_mrps,
+        "p50_us": result.p50_us,
+        "p99_us": result.p99_us,
+        "count": result.count,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hosts", type=int, default=4,
+                        help="mesh size (default 4)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="sharded-side shard count (default 2)")
+    parser.add_argument("--nreq", type=int, default=1000,
+                        help="requests per host (default 1000)")
+    parser.add_argument("--out", default="mesh_parity.json",
+                        help="artifact JSON path (default mesh_parity.json)")
+    args = parser.parse_args(argv)
+    if args.shards < 2:
+        parser.error("--shards must be >= 2 (shards=1 is the serial side)")
+    if args.hosts < args.shards:
+        parser.error("--hosts must be >= --shards")
+
+    serial = _run(args.hosts, 1, args.nreq)
+    sharded = _run(args.hosts, args.shards, args.nreq)
+    sharded_again = _run(args.hosts, args.shards, args.nreq)
+
+    serial_vs_sharded = serial["signature"] == sharded["signature"]
+    run_to_run = sharded["signature"] == sharded_again["signature"]
+
+    artifact = {
+        "hosts": args.hosts,
+        "nreq_per_host": args.nreq,
+        "cpu_count": os.cpu_count(),
+        "runs": [serial, sharded, sharded_again],
+        "parity": {
+            "serial_vs_sharded": serial_vs_sharded,
+            "sharded_run_to_run": run_to_run,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for run in artifact["runs"]:
+        print(f"shards={run['shards']}: events={run['events_total']} "
+              f"windows={run['windows']} mrps={run['throughput_mrps']}")
+    if not serial_vs_sharded:
+        print("PARITY FAILURE: sharded signature diverges from serial",
+              file=sys.stderr)
+        return 1
+    if not run_to_run:
+        print("PARITY FAILURE: sharded runs are not deterministic "
+              "run-to-run", file=sys.stderr)
+        return 1
+    print(f"parity OK: shards={args.shards} bit-identical to serial "
+          f"({args.hosts}-host mesh, {args.nreq} req/host)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

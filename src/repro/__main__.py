@@ -3,11 +3,13 @@
 Commands:
 
 - ``list`` — show every reproducible experiment with its paper artifact.
-- ``run <experiment> [...] [--jobs N] [--no-cache]`` — run experiments by
-  id (e.g. ``fig10``, ``table3``, or ``all``) and print paper-vs-measured
-  tables; ``--jobs`` fans each experiment's sweep across worker processes
-  and repeated runs reuse the content-addressed result cache (results are
-  bit-identical either way — see ``repro.harness.sweep``).
+- ``run <experiment> [...] [--jobs N] [--no-cache] [--shards N]`` — run
+  experiments by id (e.g. ``fig10``, ``table3``, or ``all``) and print
+  paper-vs-measured tables; ``--jobs`` fans each experiment's sweep across
+  worker processes and repeated runs reuse the content-addressed result
+  cache; ``--shards`` runs shard-aware experiments (``mesh``) on N
+  parallel event loops (results are bit-identical in every mode — see
+  ``repro.harness.sweep`` and ``repro.sim.sharded``).
 - ``sweep [--clear]`` — inspect or purge the sweep result cache.
 - ``calibration`` — dump the timing-model constants and their anchors.
 - ``resources [--flows N] [--connections N] [...]`` — estimate the FPGA
@@ -30,6 +32,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -170,6 +173,24 @@ def _chaos(jobs=1, cache=True):
     )
 
 
+@_register("mesh",
+           "Sharded engine: multi-host echo mesh parity across shard counts")
+def _mesh(jobs=1, cache=True, shards=None):
+    shard_counts = None if shards is None else sorted({1, shards})
+    rows = experiments.mesh_scaling(shard_counts=shard_counts,
+                                    jobs=jobs, cache=cache)
+    return render_table(
+        ["shards", "Mrps", "p50 us", "p99 us", "windows", "events",
+         "parity"],
+        [(r["shards"], round(r["throughput_mrps"], 3), round(r["p50_us"], 3),
+          round(r["p99_us"], 3), r["windows"], r["events_total"],
+          "bit-identical" if r["parity"] else "DIVERGED")
+         for r in rows],
+        title="4-host full-mesh echo, serial vs sharded "
+              "(repro.sim.sharded; signatures must match byte-for-byte)",
+    )
+
+
 @_register("fig11-scale", "Fig 11 (right): thread scalability")
 def _fig11_scale(jobs=1, cache=True):
     rows = experiments.fig11_scalability(jobs=jobs, cache=cache)
@@ -229,11 +250,17 @@ def cmd_run(args) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               "see `python -m repro list`", file=sys.stderr)
         return 2
+    shards = getattr(args, "shards", None)
     for target in targets:
         description, runner = _REGISTRY[target]
         print(f"== {target}: {description}")
         started = time.time()
-        print(runner(jobs=args.jobs, cache=not args.no_cache))
+        kwargs = {"jobs": args.jobs, "cache": not args.no_cache}
+        # Only shard-aware experiments take the kwarg; forcing it on the
+        # others would turn `run all --shards N` into a TypeError.
+        if shards is not None and "shards" in inspect.signature(runner).parameters:
+            kwargs["shards"] = shards
+        print(runner(**kwargs))
         print(f"   ({time.time() - started:.1f}s)\n")
     return 0
 
@@ -460,6 +487,11 @@ def main(argv=None) -> int:
     run_parser.add_argument("--no-cache", action="store_true",
                             help="ignore and do not update the sweep "
                                  "result cache")
+    run_parser.add_argument("--shards", type=int, default=None, metavar="N",
+                            help="run shard-aware experiments (e.g. 'mesh') "
+                                 "with N parallel event-loop workers; "
+                                 "results are bit-identical to --shards 1 "
+                                 "(see repro.sim.sharded)")
     sweep_parser = sub.add_parser(
         "sweep", help="inspect or purge the sweep result cache"
     )

@@ -9,6 +9,7 @@ benchmarks print.
 """
 
 from repro.harness import experiments, report
+from repro.harness.mesh import EchoMeshRig, MeshResult, run_echo_mesh
 from repro.harness.runner import (
     BenchResult,
     EchoRig,
@@ -26,7 +27,10 @@ __all__ = [
     "experiments",
     "report",
     "BenchResult",
+    "EchoMeshRig",
     "EchoRig",
+    "MeshResult",
+    "run_echo_mesh",
     "MultiTenantEchoRig",
     "MultiTenantResult",
     "run_closed_loop",

@@ -800,3 +800,43 @@ def sec53_raw_access() -> Dict:
     results["paper_upi_ns"] = 400
     results["paper_pcie_ns"] = 450
     return results
+
+
+# ------------------------------------------------------------- sharded mesh
+
+
+def mesh_scaling(shard_counts: Optional[List[int]] = None, hosts: int = 4,
+                 nreq_per_host: int = 2000, jobs: int = 1,
+                 cache: bool = True) -> List[Dict]:
+    """Sharded-engine parity over the multi-host echo mesh (ISSUE 7).
+
+    Runs the full-mesh closed-loop echo at each shard count through
+    ``run_sweep`` and reports the *simulated* metrics plus a ``parity``
+    flag: every row's result signature (everything except the shard count
+    itself) must be byte-identical to the serial row's. Wall-clock scaling
+    is deliberately not measured here — it belongs to
+    ``benchmarks/perf/bench_kernel.py --scenario mesh``, outside the
+    deterministic cache.
+    """
+    from repro.harness.mesh import mesh_signature
+
+    counts = list(shard_counts or [1, 2, 4])
+    if 1 not in counts:
+        counts = [1] + counts
+    results = run_sweep(
+        [SweepPoint("repro.harness.mesh:run_echo_mesh", dict(
+            hosts=hosts, shards=shards, nreq_per_host=nreq_per_host,
+        )) for shards in counts],
+        jobs=jobs, cache=cache,
+    )
+    serial = mesh_signature(results[counts.index(1)])
+    return [{
+        "shards": shards,
+        "throughput_mrps": result["throughput_mrps"],
+        "p50_us": result["p50_us"],
+        "p99_us": result["p99_us"],
+        "count": result["count"],
+        "windows": result["windows"],
+        "events_total": result["events_total"],
+        "parity": mesh_signature(result) == serial,
+    } for shards, result in zip(counts, results)]

@@ -1,0 +1,378 @@
+"""Multi-host echo mesh over the sharded engine (one Simulator per host).
+
+The single-machine :class:`~repro.harness.runner.EchoRig` puts client and
+server NICs on one FPGA behind one simulator. This rig scales out instead:
+``hosts`` machines, each with its own client NIC and server NIC behind a
+:class:`~repro.hw.switch.ShardBoundary`, every host running a closed-loop
+echo workload against *every other* host (a full mesh — the densest
+cross-host traffic pattern, so it is the honest scaling benchmark for
+:mod:`repro.sim.sharded`).
+
+Cross-host connections cannot go through :func:`repro.stacks.connect` (the
+two stacks live in different simulators, possibly different processes), so
+each side registers the connection independently with an id that is a pure
+function of the (client_host, server_host) pair — both sides compute the
+same id without ever sharing an object.
+
+``run_echo_mesh(shards=N)`` returns a :class:`MeshResult` whose fields —
+including merged latency percentiles (via :meth:`SummaryStats.merge` over
+the per-host sample runs), per-host breakdowns, window count, and per-host
+event counts — are bit-identical for every shard count. ``signature()``
+drops only the ``shards`` field itself; its canonical JSON is what the
+parity gates (tests, ``bench_sharded.py``, CI) compare byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.harness.runner import SERVER_CORE_BASE, _echo_handler
+from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hw.nic.config import NicHardConfig, NicSoftConfig
+from repro.hw.platform import Machine, MachineConfig
+from repro.hw.switch import ShardBoundary
+from repro.rpc import RpcClient, RpcThreadedServer, ThreadingModel
+from repro.sim import LatencyRecorder, Simulator, SummaryStats
+from repro.sim.sharded import canonical_json, run_sharded
+from repro.stacks import DaggerStack
+
+#: Base for deterministic cross-host connection ids: far above anything
+#: next_connection_id() hands out in-process, so explicit mesh ids can
+#: never collide with locally allocated ones.
+_MESH_CONNECTION_BASE = 1_000_000
+
+
+def _mesh_connection_id(client_host: int, server_host: int, hosts: int) -> int:
+    """Connection id for the (client_host -> server_host) pair.
+
+    A pure function of the pair so both endpoints — built in different
+    processes with no shared state — register the same id.
+    """
+    return _MESH_CONNECTION_BASE + client_host * hosts + server_host
+
+
+def _client_address(host_id: int) -> str:
+    return f"h{host_id}-c"
+
+
+def _server_address(host_id: int) -> str:
+    return f"h{host_id}-s"
+
+
+def _flow_index(host_id: int, remote: int) -> int:
+    """Dense [0, hosts-2] flow index for a remote host (skips ``host_id``)."""
+    return remote - 1 if remote > host_id else remote
+
+
+class MeshHost:
+    """One host of the echo mesh: machine, client+server NICs, workload.
+
+    Satisfies the :func:`repro.sim.sharded.run_sharded` host protocol:
+    exposes ``sim``, ``boundary``, and ``finish()`` returning plain data.
+    The closed-loop issue processes are spawned at construction, so the
+    engine's first window finds the kick-off events already pending.
+    """
+
+    def __init__(
+        self,
+        host_id: int,
+        hosts: int,
+        nreq_per_host: int,
+        window: int = 64,
+        batch_size: int = 4,
+        rpc_bytes: int = 48,
+        service_ns: int = 0,
+        warmup_ns: int = 20_000,
+        tor_delay_ns: Optional[int] = None,
+        seed: int = 1,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ):
+        if hosts < 2:
+            raise ValueError(f"a mesh needs at least 2 hosts, got {hosts}")
+        if not 0 <= host_id < hosts:
+            raise ValueError(f"host_id {host_id} out of range for {hosts} hosts")
+        if nreq_per_host < 1:
+            raise ValueError(f"nreq_per_host must be >= 1, got {nreq_per_host}")
+        peers = [h for h in range(hosts) if h != host_id]
+        if len(peers) > SERVER_CORE_BASE * 2:
+            raise ValueError(
+                f"{len(peers)} peer connections exceed the per-host thread "
+                f"budget ({SERVER_CORE_BASE * 2})"
+            )
+        self.host_id = host_id
+        self.hosts = hosts
+        self.window = window
+        self.rpc_bytes = rpc_bytes
+        self.sim = Simulator()
+        self.machine = Machine(self.sim, MachineConfig(), calibration,
+                               seed=(seed << 4) + host_id)
+        self.boundary = ShardBoundary(self.sim, calibration, host_id=host_id,
+                                      delay_ns=tor_delay_ns)
+
+        hard = NicHardConfig(num_flows=len(peers))
+        self.client_stack = DaggerStack(
+            self.machine, self.boundary, _client_address(host_id),
+            hard=hard, soft=NicSoftConfig(batch_size=batch_size),
+        )
+        self.server_stack = DaggerStack(
+            self.machine, self.boundary, _server_address(host_id),
+            hard=hard, soft=NicSoftConfig(batch_size=batch_size),
+        )
+
+        self.server = RpcThreadedServer(self.sim, calibration,
+                                        name=f"echo-h{host_id}")
+        self.server.register_handler(
+            "echo", _echo_handler(service_ns, response_bytes=rpc_bytes)
+        )
+        client_threads = self.machine.threads(len(peers), start_core=0)
+        server_threads = self.machine.threads(len(peers),
+                                              start_core=SERVER_CORE_BASE)
+        self.clients: List[RpcClient] = []
+        for remote in peers:
+            flow = _flow_index(host_id, remote)
+            # Server side of the connection *from* `remote`'s client.
+            self.server.add_server_thread(
+                self.server_stack.port(flow), server_threads[flow],
+                model=ThreadingModel.DISPATCH,
+            )
+            self.server_stack.register_connection(
+                _mesh_connection_id(remote, host_id, hosts), flow,
+                _client_address(remote),
+            )
+            # Client side of our connection *to* `remote`'s server.
+            outbound = _mesh_connection_id(host_id, remote, hosts)
+            self.client_stack.register_connection(
+                outbound, flow, _server_address(remote),
+            )
+            self.clients.append(
+                RpcClient(self.client_stack.port(flow), client_threads[flow],
+                          outbound)
+            )
+        self.server.start()
+
+        self.recorder = LatencyRecorder(name=f"h{host_id}",
+                                        warmup_ns=warmup_ns)
+        self.completed = 0
+        base, extra = divmod(nreq_per_host, len(peers))
+        self.quotas = [base + (1 if i < extra else 0)
+                       for i in range(len(peers))]
+        for client, quota in zip(self.clients, self.quotas):
+            if quota:
+                self.sim.spawn(self._issue(client, quota))
+
+    def _issue(self, client: RpcClient, quota: int):
+        """Closed loop: keep ``window`` RPCs in flight until quota issued.
+
+        Self-terminating — no completion gate: the sharded engine runs every
+        host to full drain, which is exactly when all issue loops have
+        finished and every response has been polled.
+        """
+        recorder = self.recorder
+
+        def on_complete(call):
+            recorder.record(call.issued_at, call.completed_at)
+            self.completed += 1
+
+        issued = 0
+        while issued < quota:
+            while client.outstanding >= self.window:
+                yield 100
+            issued += 1
+            yield from client.call_async(
+                "echo", b"x" * min(self.rpc_bytes, 8), self.rpc_bytes,
+                callback=on_complete,
+            )
+
+    def finish(self) -> Dict[str, Any]:
+        recorder = self.recorder
+        return {
+            "host": self.host_id,
+            "samples": list(recorder.samples),
+            "first_finish_ns": recorder.first_finish_ns,
+            "last_finish_ns": recorder.last_finish_ns,
+            "discarded": recorder.discarded,
+            "issued": sum(self.quotas),
+            "completed": self.completed,
+            "requests_handled": self.server.requests_handled,
+            "drops": self.client_stack.drops + self.server_stack.drops,
+            "packets_forwarded": self.boundary.packets_forwarded,
+        }
+
+
+def build_mesh_host(host_id: int, **params: Any) -> MeshHost:
+    """Builder entry point for :func:`repro.sim.sharded.run_sharded`."""
+    return MeshHost(host_id=host_id, **params)
+
+
+@dataclass
+class MeshResult:
+    """Outcome of a mesh run; every field except ``shards`` is identical
+    for every shard count (that is the parity contract)."""
+
+    hosts: int
+    shards: int
+    throughput_mrps: float
+    p50_us: float
+    p90_us: float
+    p99_us: float
+    mean_us: float
+    count: int
+    drops: int
+    windows: int
+    events_total: int
+    events_per_host: List[int]
+    per_host: List[dict]
+
+    def signature(self) -> dict:
+        """Everything the run computed, minus the shard count itself."""
+        data = asdict(self)
+        del data["shards"]
+        return data
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MeshResult":
+        return cls(**data)
+
+
+def mesh_signature(result: Union[MeshResult, dict]) -> str:
+    """Canonical-JSON signature of a mesh result (or its dict form).
+
+    This is the byte string the A/B parity gates compare: identical bytes
+    <=> the sharded run reproduced the serial run exactly.
+    """
+    if isinstance(result, MeshResult):
+        data = result.signature()
+    else:
+        data = {key: value for key, value in result.items()
+                if key != "shards"}
+    return canonical_json(data)
+
+
+def run_echo_mesh(
+    hosts: int = 4,
+    shards: int = 1,
+    nreq_per_host: int = 4000,
+    window: int = 64,
+    batch_size: int = 4,
+    rpc_bytes: int = 48,
+    service_ns: int = 0,
+    warmup_ns: int = 20_000,
+    tor_delay_ns: Optional[int] = None,
+    seed: int = 1,
+    record_boundary_log: bool = False,
+    max_windows: Optional[int] = None,
+) -> MeshResult:
+    """Closed-loop full-mesh echo across ``hosts`` machines on ``shards``
+    event-loop workers; see the module docstring for the parity contract."""
+    lookahead = (tor_delay_ns if tor_delay_ns is not None
+                 else DEFAULT_CALIBRATION.tor_delay_ns)
+    sharded = run_sharded(
+        "repro.harness.mesh:build_mesh_host",
+        hosts=hosts,
+        params=dict(
+            hosts=hosts,
+            nreq_per_host=nreq_per_host,
+            window=window,
+            batch_size=batch_size,
+            rpc_bytes=rpc_bytes,
+            service_ns=service_ns,
+            warmup_ns=warmup_ns,
+            tor_delay_ns=tor_delay_ns,
+            seed=seed,
+        ),
+        shards=shards,
+        lookahead_ns=lookahead,
+        record_boundary_log=record_boundary_log,
+        max_windows=max_windows,
+    )
+
+    parts = [
+        SummaryStats.from_samples(host["samples"], keep_samples=True)
+        for host in sharded.per_host if host["samples"]
+    ]
+    if not parts:
+        raise ValueError(
+            "no latency samples survived warmup — lower warmup_ns or raise "
+            "nreq_per_host"
+        )
+    merged = SummaryStats.merge(parts)
+    firsts = [host["first_finish_ns"] for host in sharded.per_host
+              if host["first_finish_ns"] is not None]
+    lasts = [host["last_finish_ns"] for host in sharded.per_host
+             if host["last_finish_ns"] is not None]
+    span_ns = max(lasts) - min(firsts)
+    throughput_mrps = ((merged.count - 1) * 1e3 / span_ns
+                       if merged.count >= 2 and span_ns > 0 else 0.0)
+
+    per_host = []
+    for index, host in enumerate(sharded.per_host):
+        samples = host["samples"]
+        stats = (SummaryStats.from_samples(samples) if samples else None)
+        per_host.append({
+            "host": host["host"],
+            "count": len(samples),
+            "p50_us": stats.p50_us if stats else None,
+            "p99_us": stats.p99_us if stats else None,
+            "issued": host["issued"],
+            "completed": host["completed"],
+            "requests_handled": host["requests_handled"],
+            "drops": host["drops"],
+            "packets_forwarded": host["packets_forwarded"],
+            "events": sharded.events_per_host[index],
+        })
+
+    return MeshResult(
+        hosts=hosts,
+        shards=shards,
+        throughput_mrps=throughput_mrps,
+        p50_us=merged.p50_us,
+        p90_us=merged.p90_us,
+        p99_us=merged.p99_us,
+        mean_us=merged.mean_ns / 1000.0,
+        count=merged.count,
+        drops=sum(host["drops"] for host in sharded.per_host),
+        windows=sharded.windows,
+        events_total=sharded.events_total,
+        events_per_host=list(sharded.events_per_host),
+        per_host=per_host,
+    )
+
+
+class EchoMeshRig:
+    """Facade mirroring :class:`~repro.harness.runner.EchoRig`'s shape for
+    the multi-host mesh: construct with the topology, then call
+    :meth:`closed_loop` with the shard count.
+
+    Unlike ``EchoRig`` there is no live rig object to poke at afterwards —
+    the hosts are built inside the engine (possibly in worker processes)
+    and torn down when the run completes; only the result comes back.
+    """
+
+    def __init__(self, hosts: int = 4, batch_size: int = 4,
+                 rpc_bytes: int = 48, service_ns: int = 0,
+                 tor_delay_ns: Optional[int] = None, seed: int = 1):
+        self.hosts = hosts
+        self.batch_size = batch_size
+        self.rpc_bytes = rpc_bytes
+        self.service_ns = service_ns
+        self.tor_delay_ns = tor_delay_ns
+        self.seed = seed
+
+    def closed_loop(self, window: int = 64, nreq_per_host: int = 4000,
+                    warmup_ns: int = 20_000, shards: int = 1) -> MeshResult:
+        return run_echo_mesh(
+            hosts=self.hosts,
+            shards=shards,
+            nreq_per_host=nreq_per_host,
+            window=window,
+            batch_size=self.batch_size,
+            rpc_bytes=self.rpc_bytes,
+            service_ns=self.service_ns,
+            warmup_ns=warmup_ns,
+            tor_delay_ns=self.tor_delay_ns,
+            seed=self.seed,
+        )

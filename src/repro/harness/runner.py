@@ -153,7 +153,17 @@ class EchoRig:
         telemetry: bool = False,
         telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
         chaos=None,
+        shards: int = 1,
     ):
+        if shards != 1:
+            # A loopback rig has exactly one host, so there is no shard
+            # boundary to cut along; point callers at the topology that has
+            # one instead of silently ignoring the request.
+            raise ValueError(
+                "EchoRig is a single-machine rig and only supports "
+                "shards=1; for sharded execution use the multi-host mesh "
+                "(repro.harness.mesh.run_echo_mesh / EchoMeshRig)"
+            )
         self.sim = Simulator()
         self.machine = Machine(self.sim, MachineConfig(), calibration, seed=seed)
         self.calibration = calibration

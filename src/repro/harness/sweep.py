@@ -246,21 +246,52 @@ def cache_info(cache_dir: Optional[str] = None) -> Dict[str, Any]:
 # -- executor ------------------------------------------------------------------
 
 
+def _accepts_shards(point: SweepPoint) -> bool:
+    """True when the point's function takes an explicit ``shards`` kwarg."""
+    import inspect
+
+    try:
+        signature = inspect.signature(point.resolve())
+    except (TypeError, ValueError):
+        return False
+    return "shards" in signature.parameters
+
+
 def run_sweep(
     points: Iterable[SweepPoint],
     jobs: int = 1,
     cache: bool = True,
     cache_dir: Optional[str] = None,
     stats: Optional[Dict[str, int]] = None,
+    shards: Optional[int] = None,
 ) -> List[Any]:
     """Evaluate sweep points; results come back in input order.
 
     ``jobs > 1`` fans cache misses across a process pool. ``stats``, when
     given, is filled with ``{"hits": n, "misses": n}``.
+
+    ``shards`` injects a shard count into every point whose measurement
+    function takes an explicit ``shards`` parameter and whose params do not
+    already pin one (points that set their own, and shard-unaware
+    functions, are left untouched). This is orthogonal to ``jobs``: jobs
+    parallelize *across* grid cells, shards parallelize the event loops
+    *inside* one cell (see :mod:`repro.sim.sharded`). Because sharded runs
+    are bit-identical to serial ones, the injected value changes the cache
+    key but never the measured payload beyond its recorded ``shards``
+    field.
     """
     points = list(points)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if shards is not None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        points = [
+            SweepPoint(point.fn, {**point.params, "shards": shards})
+            if "shards" not in point.params and _accepts_shards(point)
+            else point
+            for point in points
+        ]
     cache_dir = cache_dir or DEFAULT_CACHE_DIR
     fingerprint = calibration_fingerprint()
     keys = [point.cache_key(fingerprint) for point in points]

@@ -22,6 +22,31 @@ from repro.hw.switch import ToRSwitch
 from repro.sim.kernel import Simulator
 
 
+def partition_hosts(num_hosts: int, shards: int) -> List[List[int]]:
+    """Deterministic contiguous shard assignment for a multi-host topology.
+
+    Returns ``shards`` lists of host ids covering ``range(num_hosts)`` in
+    order; the first ``num_hosts % shards`` shards take one extra host. The
+    sharded engine (see :mod:`repro.sim.sharded`) relies on this being a
+    pure function of ``(num_hosts, shards)``: placement must never depend
+    on runtime state, or worker-count changes could reorder work.
+    """
+    if num_hosts < 1:
+        raise ValueError(f"need at least one host, got {num_hosts}")
+    if not 1 <= shards <= num_hosts:
+        raise ValueError(
+            f"shards must be in [1, {num_hosts}], got {shards}"
+        )
+    base, extra = divmod(num_hosts, shards)
+    assignment: List[List[int]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        assignment.append(list(range(start, start + size)))
+        start += size
+    return assignment
+
+
 class Cluster:
     """N machines behind one ToR switch."""
 

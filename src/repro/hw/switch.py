@@ -56,7 +56,14 @@ class ToRSwitch:
         return sorted(self._table)
 
     def send(self, dst_address: str, packet: Any) -> None:
-        """Forward ``packet`` to ``dst_address`` after the switch delay."""
+        """Forward ``packet`` to ``dst_address`` after the switch delay.
+
+        Both the perfect-wire path and the fault-injection path route
+        through :meth:`_schedule`, so the per-destination delay arithmetic
+        lives in exactly one place and the two paths cannot drift. Chaos
+        verdict accounting (``packets_dropped`` on a loss verdict, one
+        scheduled delivery per surviving copy) is unchanged.
+        """
         try:
             ingress = self._table[dst_address]
         except KeyError:
@@ -70,12 +77,7 @@ class ToRSwitch:
             for copy, extra_ns in deliveries:
                 self._schedule(ingress, copy, self.delay_ns + extra_ns)
             return
-
-        def _deliver():
-            yield self.delay_ns
-            ingress(packet)
-
-        self.sim.spawn(_deliver())
+        self._schedule(ingress, packet, self.delay_ns)
 
     def _schedule(self, ingress: Callable[[Any], None], packet: Any,
                   delay_ns: int) -> None:
@@ -84,3 +86,63 @@ class ToRSwitch:
             ingress(packet)
 
         self.sim.spawn(_deliver())
+
+
+class ShardBoundary(ToRSwitch):
+    """A host's view of the ToR at a shard boundary (sharded simulation).
+
+    In :mod:`repro.sim.sharded` every host owns a private
+    :class:`~repro.sim.kernel.Simulator`, so the rack's single ToR object is
+    replaced by one ``ShardBoundary`` per host: local destinations (same
+    host) are delivered through the ordinary :meth:`ToRSwitch._schedule`
+    path, while packets for remote hosts are *captured* as timestamped
+    egress records instead of being scheduled directly. The sharded engine
+    drains the captures at each conservative-window barrier and injects them
+    into the destination host's simulator in the canonical
+    ``(arrival_ns, src_host, seq)`` order.
+
+    The capture stamps ``arrival = now + delay_ns`` — the full ToR crossing
+    is charged at the source, which is exactly what makes ``delay_ns`` the
+    engine's lookahead. Cross-shard wire faults are not supported (the chaos
+    injector's RNG is single-stream and would break shard independence);
+    ``wire_faults`` may only be used for host-local traffic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        calibration: Calibration,
+        host_id: int = 0,
+        delay_ns: Optional[int] = None,
+    ):
+        super().__init__(sim, calibration, delay_ns=delay_ns)
+        self.host_id = host_id
+        self._remote: set = set()
+        self._egress: list = []
+        self._egress_seq = 0
+
+    def set_remote_addresses(self, addresses) -> None:
+        """Install the set of addresses served by other shards."""
+        self._remote = set(addresses) - set(self._table)
+
+    def send(self, dst_address: str, packet: Any) -> None:
+        if dst_address in self._table:
+            super().send(dst_address, packet)
+            return
+        if dst_address not in self._remote:
+            raise UnknownDestinationError(dst_address)
+        self.packets_forwarded += 1
+        self._egress.append(
+            (self.sim.now + self.delay_ns, self.host_id, self._egress_seq,
+             dst_address, packet)
+        )
+        self._egress_seq += 1
+
+    def drain_egress(self) -> list:
+        """Take the captured ``(arrival, src_host, seq, dst, packet)`` records."""
+        egress, self._egress = self._egress, []
+        return egress
+
+    def deliver(self, dst_address: str, packet: Any) -> None:
+        """Hand an injected cross-shard packet to the local ingress (at ``now``)."""
+        self._table[dst_address](packet)

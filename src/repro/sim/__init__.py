@@ -9,6 +9,7 @@ Simulated time is integer nanoseconds throughout the repository.
 from repro.sim.kernel import Simulator, Event, Timeout, Interrupt, SimulationError
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store, QueueFullError, Usage
+from repro.sim.sharded import ShardedResult, run_sharded
 from repro.sim.stats import LatencyRecorder, SummaryStats, percentile
 from repro.sim.distributions import (
     Distribution,
@@ -34,6 +35,8 @@ __all__ = [
     "LatencyRecorder",
     "SummaryStats",
     "percentile",
+    "ShardedResult",
+    "run_sharded",
     "Distribution",
     "Constant",
     "Exponential",

@@ -383,6 +383,106 @@ class Simulator:
         if until is not None:
             self.now = until
 
+    def inject(self, when: int, action: Callable[[], None]) -> None:
+        """Schedule ``action()`` at absolute simulated time ``when``.
+
+        Entry point for externally produced event batches (the sharded
+        engine delivers cross-shard packets through this). The callback is
+        interleaved with locally scheduled events in exact ``(time, seq)``
+        order: an injected event at time ``t`` fires after same-``t`` events
+        that were already scheduled and before same-``t`` events scheduled
+        later. ``when`` must not lie in this simulator's past.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot inject at {when}: simulator clock is at {self.now}"
+            )
+        event = Event(self)
+        event.triggered = True
+        event.callbacks.append(lambda _event: action())
+        if when == self.now:
+            self._nowq.append(event)
+        else:
+            heappush(self._heap, (when, self._seq, event))
+            self._seq += 1
+
+    def run_horizon(self, horizon: int) -> int:
+        """Process every event strictly before ``horizon``; count them.
+
+        The conservative-window entry point for sharded simulation: unlike
+        :meth:`run`, the boundary is *exclusive* (an event at exactly
+        ``horizon`` stays pending — it may still race with a cross-shard
+        arrival at the same timestamp) and the clock is left at the last
+        processed event rather than fast-forwarded, so a later
+        :meth:`inject` at any ``t >= horizon`` keeps exact ordering against
+        the events that remain on the heap.
+
+        Returns the number of events dispatched in this window.
+        """
+        if self._nowq and self.now >= horizon:
+            raise SimulationError(
+                f"horizon {horizon} is not ahead of pending work at {self.now}"
+            )
+        # Same inlined pop/dispatch/recycle loop as run(); see the comment
+        # there. The only structural difference is the strict `< horizon`
+        # stop condition and the dispatched-event counter.
+        heap = self._heap
+        nowq = self._nowq
+        pop = heappop
+        popleft = nowq.popleft
+        tfree = self._timeout_free
+        cfree = self._control_free
+        now = self.now
+        count = 0
+        while True:
+            if nowq:
+                if heap and heap[0][0] <= now:
+                    head = pop(heap)
+                    now = self.now = head[0]
+                    event = head[2]
+                else:
+                    event = popleft()
+            elif heap:
+                when = heap[0][0]
+                if when >= horizon:
+                    break
+                event = pop(heap)[2]
+                now = self.now = when
+            else:
+                break
+            count += 1
+            callbacks = event.callbacks
+            recyclable = event._recyclable
+            if recyclable:
+                # Pooled single-shot event: dispatch without touching the
+                # ``processed`` flag (it is reset here anyway) and refile.
+                try:
+                    [callback] = callbacks
+                except ValueError:
+                    event._run_callbacks()
+                    event.processed = False
+                else:
+                    callbacks.clear()
+                    callback(event)
+                    if callbacks:
+                        callbacks.clear()
+                event.triggered = False
+                event.value = None
+                event._exception = None
+                free = tfree if recyclable == _TIMEOUT_POOL else cfree
+                if len(free) < _POOL_CAP:
+                    free.append(event)
+            else:
+                try:
+                    [callback] = callbacks
+                except ValueError:
+                    event._run_callbacks()
+                else:
+                    event.processed = True
+                    callbacks.clear()
+                    callback(event)
+        return count
+
     def run_until_done(self, process: "Process") -> Any:
         """Run until a given process finishes; return its value.
 

@@ -1,0 +1,415 @@
+"""Conservative-window parallel simulation: one event loop per host.
+
+The single-core kernel plateaus around ~1.4M events/s (see
+``BENCH_kernel.json``); the next order of magnitude comes from the physics
+already in the model. Every cross-host packet must traverse the ToR switch,
+which charges at least ``tor_delay_ns`` (0.3 us, Table 3 of the Dagger
+paper) of wire time — so a host's events in the next ``tor_delay_ns`` of
+simulated time can never be affected by what *other* hosts do during that
+same span. That bound is the classic *lookahead* of conservative parallel
+discrete-event simulation, and this module exploits it:
+
+- every host owns a private :class:`~repro.sim.kernel.Simulator` plus a
+  :class:`~repro.hw.switch.ShardBoundary` that captures cross-host egress
+  instead of scheduling it;
+- hosts are partitioned across *shards* (worker processes) with
+  :func:`repro.hw.cluster.partition_hosts`;
+- a coordinator repeatedly grants every host the same horizon
+  ``H = T_min + lookahead`` (``T_min`` = earliest pending event or
+  undelivered boundary packet anywhere), each host runs
+  :meth:`~repro.sim.kernel.Simulator.run_horizon` (strictly-before-``H``
+  semantics), and captured egress is exchanged at the barrier.
+
+Why this is safe: any packet sent during a window starts at some
+``t >= T_min`` and arrives at ``t + delay >= T_min + lookahead = H``, i.e.
+never inside the window that produced it. Arrivals are injected *before*
+the next window in the canonical total order ``(arrival_ns, src_host,
+seq)``, so the destination heap sees them at deterministic positions.
+
+Bit-identity to serial is structural, not statistical: ``shards=1`` runs
+the *identical* windowed per-host algorithm in-process (no worker
+processes, no pickling differences in event order — boundary packets are
+pickle-round-tripped in both modes so a packet object is never aliased
+across hosts). The only thing that changes with ``shards`` is which OS
+process executes a host's window; the event sequence each host processes
+is the same. Per-host results are shipped as canonical JSON (same
+``sort_keys``/``separators`` contract as :mod:`repro.harness.sweep`), and
+the mesh benchmarks gate on byte equality of those signatures.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import multiprocessing
+import pickle
+import traceback
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import SimulationError
+
+#: Boundary record layout: (arrival_ns, src_host, seq, dst_address, blob).
+#: ``blob`` is the pickled packet; (arrival_ns, src_host, seq) is the
+#: canonical total order in which same-window arrivals commit.
+BoundaryEvent = Tuple[int, int, int, str, bytes]
+
+
+def _resolve(path: str) -> Callable[..., Any]:
+    """Resolve a ``"module:attr"`` dotted path (sweep's convention)."""
+    module_name, sep, attr = path.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"builder path must look like 'pkg.module:fn', got {path!r}"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise AttributeError(f"{module_name!r} has no attribute {attr!r}") from None
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical JSON: same bytes for the same data on every path.
+
+    Mirrors the sweep cache's normalization (``sort_keys`` + compact
+    separators) so sharded result signatures compose with the rest of the
+    determinism machinery.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of a sharded run, identical for every shard count."""
+
+    hosts: int
+    shards: int
+    lookahead_ns: int
+    windows: int
+    events_per_host: List[int]
+    per_host: List[Any]
+    #: Committed cross-shard deliveries as (arrival_ns, src_host, seq,
+    #: dst_host) in commit order; only populated with record_boundary_log.
+    boundary_log: Optional[List[Tuple[int, int, int, int]]] = field(default=None)
+
+    @property
+    def events_total(self) -> int:
+        return sum(self.events_per_host)
+
+
+class _ShardRuntime:
+    """Builds and drives the host simulators owned by one shard.
+
+    Used verbatim by both execution modes — called directly in-process for
+    ``shards=1``, or inside a worker process behind a pipe for
+    ``shards>1`` — so the per-host work is the same code path either way.
+    """
+
+    def __init__(self, builder_path: str, host_ids: List[int],
+                 params: Dict[str, Any], lookahead_ns: int):
+        builder = _resolve(builder_path)
+        self.hosts = {hid: builder(host_id=hid, **params) for hid in host_ids}
+        for hid, host in self.hosts.items():
+            delay = host.boundary.delay_ns
+            if delay < lookahead_ns:
+                raise SimulationError(
+                    f"host {hid} boundary delay {delay} ns is below the "
+                    f"engine lookahead {lookahead_ns} ns — the conservative "
+                    "window would miss its arrivals"
+                )
+
+    def hello(self):
+        """(host -> local addresses, host -> first pending event time)."""
+        addresses = {hid: host.boundary.addresses()
+                     for hid, host in self.hosts.items()}
+        peeks = {hid: host.sim.peek() for hid, host in self.hosts.items()}
+        return addresses, peeks
+
+    def set_peers(self, all_addresses) -> None:
+        for host in self.hosts.values():
+            host.boundary.set_remote_addresses(all_addresses)
+
+    def window(self, horizon: int, injections: Dict[int, List[BoundaryEvent]]):
+        """Inject boundary arrivals, run one window, capture egress.
+
+        Returns ``{host_id: (egress, next_event_time, events_dispatched)}``.
+        Hosts run in ascending id order; injections for a host MUST already
+        be in canonical (arrival, src, seq) order — the engine sorts them.
+        """
+        out = {}
+        for hid in sorted(self.hosts):
+            host = self.hosts[hid]
+            sim = host.sim
+            boundary = host.boundary
+            for arrival, _src, _seq, dst, blob in injections.get(hid, ()):
+                packet = pickle.loads(blob)
+                sim.inject(arrival, partial(boundary.deliver, dst, packet))
+            events = sim.run_horizon(horizon)
+            egress = [
+                (arrival, src, seq, dst,
+                 pickle.dumps(packet, protocol=pickle.HIGHEST_PROTOCOL))
+                for arrival, src, seq, dst, packet in boundary.drain_egress()
+            ]
+            out[hid] = (egress, sim.peek(), events)
+        return out
+
+    def finish(self) -> Dict[int, str]:
+        """Per-host results as canonical JSON strings.
+
+        Hosts return plain JSON-able data from ``finish()``; shipping the
+        canonical encoding (rather than live objects) guarantees the
+        coordinator sees byte-identical payloads whether the host ran
+        in-process or in a worker.
+        """
+        return {hid: canonical_json(host.finish())
+                for hid, host in self.hosts.items()}
+
+
+def _shard_worker(conn, builder_path: str, host_ids: List[int],
+                  params: Dict[str, Any], lookahead_ns: int) -> None:
+    """Worker process main loop: lockstep request/reply over one pipe."""
+    try:
+        runtime = _ShardRuntime(builder_path, host_ids, params, lookahead_ns)
+        conn.send(("hello",) + runtime.hello())
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "peers":
+                runtime.set_peers(message[1])
+                conn.send(("ok",))
+            elif kind == "window":
+                conn.send(("window", runtime.window(message[1], message[2])))
+            elif kind == "finish":
+                conn.send(("finish", runtime.finish()))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ValueError(f"unknown message {kind!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class _LocalShards:
+    """In-process execution of every host (``shards=1``)."""
+
+    def __init__(self, builder_path, host_ids, params, lookahead_ns):
+        self.runtime = _ShardRuntime(builder_path, host_ids, params,
+                                     lookahead_ns)
+        self._reply = None
+
+    def hello(self):
+        return self.runtime.hello()
+
+    def set_peers(self, all_addresses):
+        self.runtime.set_peers(all_addresses)
+
+    def send_window(self, horizon, injections):
+        self._reply = self.runtime.window(horizon, injections)
+
+    def recv_window(self):
+        reply, self._reply = self._reply, None
+        return reply
+
+    def finish(self):
+        return self.runtime.finish()
+
+    def close(self):
+        pass
+
+
+class _RemoteShard:
+    """A worker process driven over a duplex pipe."""
+
+    def __init__(self, ctx, builder_path, host_ids, params, lookahead_ns):
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_shard_worker,
+            args=(child, builder_path, host_ids, params, lookahead_ns),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def _recv(self, expected: str):
+        try:
+            message = self.conn.recv()
+        except EOFError:
+            raise SimulationError(
+                "shard worker died without reporting an error"
+            ) from None
+        if message[0] == "error":
+            raise SimulationError(f"shard worker failed:\n{message[1]}")
+        if message[0] != expected:  # pragma: no cover - protocol misuse
+            raise SimulationError(
+                f"expected {expected!r} reply, got {message[0]!r}"
+            )
+        return message[1:]
+
+    def hello(self):
+        addresses, peeks = self._recv("hello")
+        return addresses, peeks
+
+    def set_peers(self, all_addresses):
+        self.conn.send(("peers", all_addresses))
+        self._recv("ok")
+
+    def send_window(self, horizon, injections):
+        self.conn.send(("window", horizon, injections))
+
+    def recv_window(self):
+        return self._recv("window")[0]
+
+    def finish(self):
+        self.conn.send(("finish",))
+        return self._recv("finish")[0]
+
+    def close(self):
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - hung worker
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+def run_sharded(
+    builder: str,
+    hosts: int,
+    params: Optional[Dict[str, Any]] = None,
+    shards: int = 1,
+    *,
+    lookahead_ns: int,
+    record_boundary_log: bool = False,
+    max_windows: Optional[int] = None,
+) -> ShardedResult:
+    """Run ``hosts`` per-host simulators to completion across ``shards``.
+
+    ``builder`` is a ``"module:fn"`` path (the sweep executor's dotted-path
+    convention, so workers can re-resolve it); it is called as
+    ``builder(host_id=i, **params)`` and must return an object exposing
+    ``sim`` (a :class:`~repro.sim.kernel.Simulator`), ``boundary`` (a
+    :class:`~repro.hw.switch.ShardBoundary` or duck-type equivalent whose
+    ``delay_ns`` is at least ``lookahead_ns``), and ``finish()`` returning
+    plain JSON-able data.
+
+    The run terminates when no host has pending events and no boundary
+    packet is in flight. Results, window count, and per-host event counts
+    are identical for every valid ``shards`` value — that is the contract
+    the parity gates enforce.
+    """
+    # Imported lazily: repro.sim is the bottom layer and must stay
+    # importable without pulling in the hardware models; only the engine
+    # entry point needs the topology partitioner.
+    from repro.hw.cluster import partition_hosts
+
+    params = dict(params or {})
+    assignment = partition_hosts(hosts, shards)
+    if shards == 1:
+        handles: List[Any] = [
+            _LocalShards(builder, assignment[0], params, lookahead_ns)
+        ]
+    else:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        handles = [
+            _RemoteShard(ctx, builder, host_ids, params, lookahead_ns)
+            for host_ids in assignment
+        ]
+    try:
+        address_to_host: Dict[str, int] = {}
+        host_to_handle: Dict[int, Any] = {}
+        next_times: Dict[int, Optional[int]] = {}
+        all_addresses: List[str] = []
+        for handle, host_ids in zip(handles, assignment):
+            addresses, peeks = handle.hello()
+            for hid in host_ids:
+                host_to_handle[hid] = handle
+                next_times[hid] = peeks[hid]
+                for address in addresses[hid]:
+                    if address in address_to_host:
+                        raise SimulationError(
+                            f"address {address!r} registered on hosts "
+                            f"{address_to_host[address]} and {hid}"
+                        )
+                    address_to_host[address] = hid
+                    all_addresses.append(address)
+        for handle in handles:
+            handle.set_peers(sorted(all_addresses))
+
+        pending: List[Tuple[int, BoundaryEvent]] = []  # (dst_host, record)
+        events_per_host = {hid: 0 for hid in range(hosts)}
+        windows = 0
+        boundary_log: Optional[List[Tuple[int, int, int, int]]] = (
+            [] if record_boundary_log else None
+        )
+        while True:
+            candidates = [t for t in next_times.values() if t is not None]
+            candidates.extend(record[0] for _dst, record in pending)
+            if not candidates:
+                break
+            if max_windows is not None and windows >= max_windows:
+                raise SimulationError(
+                    f"exceeded max_windows={max_windows} "
+                    f"(windows={windows}, pending={len(pending)})"
+                )
+            horizon = min(candidates) + lookahead_ns
+            injections: Dict[int, List[BoundaryEvent]] = {}
+            for dst_host, record in pending:
+                injections.setdefault(dst_host, []).append(record)
+            for batch in injections.values():
+                batch.sort(key=lambda record: record[:3])
+            if boundary_log is not None:
+                committed = sorted(
+                    (record[0], record[1], record[2], dst_host)
+                    for dst_host, record in pending
+                )
+                boundary_log.extend(committed)
+            pending = []
+            for handle, host_ids in zip(handles, assignment):
+                handle.send_window(
+                    horizon,
+                    {hid: injections[hid] for hid in host_ids
+                     if hid in injections},
+                )
+            for handle in handles:
+                for hid, (egress, next_time, events) in handle.recv_window().items():
+                    next_times[hid] = next_time
+                    events_per_host[hid] += events
+                    for record in egress:
+                        dst_address = record[3]
+                        try:
+                            dst_host = address_to_host[dst_address]
+                        except KeyError:
+                            raise SimulationError(
+                                f"boundary packet for unknown address "
+                                f"{dst_address!r} from host {record[1]}"
+                            ) from None
+                        pending.append((dst_host, record))
+            windows += 1
+
+        results: Dict[int, str] = {}
+        for handle in handles:
+            results.update(handle.finish())
+        per_host = [json.loads(results[hid]) for hid in range(hosts)]
+    finally:
+        for handle in handles:
+            handle.close()
+    return ShardedResult(
+        hosts=hosts,
+        shards=shards,
+        lookahead_ns=lookahead_ns,
+        windows=windows,
+        events_per_host=[events_per_host[hid] for hid in range(hosts)],
+        per_host=per_host,
+        boundary_log=boundary_log,
+    )

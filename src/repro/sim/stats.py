@@ -7,6 +7,7 @@ throughput in requests per second of simulated time.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
@@ -50,12 +51,19 @@ class SummaryStats:
     min_ns: float
     max_ns: float
 
+    # Retained sorted samples when built with ``keep_samples=True``; a plain
+    # class attribute (NOT a dataclass field) so ``asdict``/``repr``/``==``
+    # and every serialized signature that embeds a SummaryStats stay exactly
+    # as before. Required by :meth:`merge`.
+    samples = None  # type: Optional[tuple]
+
     @classmethod
-    def from_samples(cls, samples: Sequence[float]) -> "SummaryStats":
+    def from_samples(cls, samples: Sequence[float], *,
+                     keep_samples: bool = False) -> "SummaryStats":
         if not samples:
             raise ValueError("no samples to summarize")
         data = sorted(samples)
-        return cls(
+        stats = cls(
             count=len(data),
             mean_ns=sum(data) / len(data),
             p50_ns=percentile(data, 50, presorted=True),
@@ -64,6 +72,43 @@ class SummaryStats:
             min_ns=float(data[0]),
             max_ns=float(data[-1]),
         )
+        if keep_samples:
+            stats.samples = tuple(data)
+        return stats
+
+    @classmethod
+    def merge(cls, parts: Iterable["SummaryStats"]) -> "SummaryStats":
+        """Combine per-shard summaries into one *exact* whole.
+
+        Every part must have been built with ``keep_samples=True``: order
+        statistics (percentiles, min/max) cannot be merged from aggregates
+        alone, so the merge k-way-merges the retained sorted sample runs and
+        recomputes. The result is bit-identical to
+        ``from_samples(concatenation_of_all_parts)`` — same sorted order,
+        same left-to-right float summation — which is what lets the sharded
+        harness report one summary that exactly matches a serial run's. The
+        merged summary retains its samples, so merges compose.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("no summaries to merge")
+        for part in parts:
+            if part.samples is None:
+                raise ValueError(
+                    "merge requires summaries built with keep_samples=True"
+                )
+        data = list(heapq.merge(*(part.samples for part in parts)))
+        stats = cls(
+            count=len(data),
+            mean_ns=sum(data) / len(data),
+            p50_ns=percentile(data, 50, presorted=True),
+            p90_ns=percentile(data, 90, presorted=True),
+            p99_ns=percentile(data, 99, presorted=True),
+            min_ns=float(data[0]),
+            max_ns=float(data[-1]),
+        )
+        stats.samples = tuple(data)
+        return stats
 
     @property
     def p50_us(self) -> float:
@@ -124,8 +169,8 @@ class LatencyRecorder:
     def count(self) -> int:
         return len(self.samples)
 
-    def summary(self) -> SummaryStats:
-        return SummaryStats.from_samples(self.samples)
+    def summary(self, *, keep_samples: bool = False) -> SummaryStats:
+        return SummaryStats.from_samples(self.samples, keep_samples=keep_samples)
 
     def throughput_rps(self) -> float:
         """Sustained completion rate over the measured window, in req/s."""

@@ -4,7 +4,7 @@ import pytest
 
 from repro.hw.calibration import DEFAULT_CALIBRATION
 from repro.hw.ethernet import ETHERNET_OVERHEAD_BYTES, MIN_FRAME_BYTES, EthernetPort
-from repro.hw.switch import ToRSwitch, UnknownDestinationError
+from repro.hw.switch import ShardBoundary, ToRSwitch, UnknownDestinationError
 from repro.sim import Simulator
 
 CAL = DEFAULT_CALIBRATION
@@ -105,3 +105,110 @@ def test_switch_counts_and_addresses():
     sim.run()
     assert switch.packets_forwarded == 2
     assert switch.addresses() == ["a", "b"]
+
+
+# ------------------------------------------------------- Fault-path schedule
+
+
+class _StubFaults:
+    """Chaos stand-in returning a fixed delivery verdict per crossing."""
+
+    def __init__(self, verdicts):
+        self.verdicts = list(verdicts)
+
+    def on_wire(self, dst_address, packet):
+        return self.verdicts.pop(0)
+
+
+def test_switch_fault_and_fast_paths_share_delay():
+    # Both paths route through _schedule: a fault verdict with zero extra
+    # delay must land at exactly the same time as the perfect wire.
+    sim = Simulator()
+    switch = ToRSwitch(sim, CAL)
+    received = []
+    switch.register("dst", lambda pkt: received.append((pkt, sim.now)))
+    switch.wire_faults = _StubFaults([[("faulted", 0)], [("delayed", 7)]])
+    switch.send("dst", "faulted")
+    switch.send("dst", "delayed")
+    switch.wire_faults = None
+    switch.send("dst", "clean")
+    sim.run()
+    assert sorted(received) == [
+        ("clean", CAL.tor_delay_ns),
+        ("delayed", CAL.tor_delay_ns + 7),
+        ("faulted", CAL.tor_delay_ns),
+    ]
+    assert switch.packets_forwarded == 3
+    assert switch.packets_dropped == 0
+
+
+def test_switch_fault_loss_accounting():
+    sim = Simulator()
+    switch = ToRSwitch(sim, CAL)
+    received = []
+    switch.register("dst", received.append)
+    switch.wire_faults = _StubFaults([[], [("dup", 0), ("dup", 3)]])
+    switch.send("dst", "lost")
+    switch.send("dst", "dup")
+    sim.run()
+    assert received == ["dup", "dup"]
+    assert switch.packets_forwarded == 2
+    assert switch.packets_dropped == 1
+
+
+# ----------------------------------------------------------- ShardBoundary
+
+
+def test_boundary_local_delivery_uses_switch_path():
+    sim = Simulator()
+    boundary = ShardBoundary(sim, CAL, host_id=3)
+    received = []
+    boundary.register("local", lambda pkt: received.append((pkt, sim.now)))
+    boundary.send("local", "pkt")
+    sim.run()
+    assert received == [("pkt", CAL.tor_delay_ns)]
+    assert boundary.drain_egress() == []
+
+
+def test_boundary_captures_remote_egress():
+    sim = Simulator()
+    boundary = ShardBoundary(sim, CAL, host_id=1, delay_ns=300)
+    boundary.register("local", lambda pkt: None)
+    boundary.set_remote_addresses(["local", "far", "farther"])
+    boundary.send("far", "a")
+    boundary.send("farther", "b")
+    assert boundary.packets_forwarded == 2
+    egress = boundary.drain_egress()
+    # (arrival = now + delay, src host, monotonically increasing seq).
+    assert egress == [(300, 1, 0, "far", "a"), (300, 1, 1, "farther", "b")]
+    assert boundary.drain_egress() == []  # drain clears
+
+
+def test_boundary_remote_set_excludes_local_table():
+    sim = Simulator()
+    boundary = ShardBoundary(sim, CAL)
+    boundary.register("local", lambda pkt: None)
+    boundary.set_remote_addresses(["local", "far"])
+    received = []
+    boundary._table["local"] = received.append
+    boundary.send("local", "pkt")  # local wins, never captured
+    sim.run()
+    assert received == ["pkt"]
+    assert boundary.drain_egress() == []
+
+
+def test_boundary_unknown_destination():
+    sim = Simulator()
+    boundary = ShardBoundary(sim, CAL)
+    boundary.set_remote_addresses(["far"])
+    with pytest.raises(UnknownDestinationError):
+        boundary.send("nowhere", "pkt")
+
+
+def test_boundary_deliver_is_immediate():
+    sim = Simulator()
+    boundary = ShardBoundary(sim, CAL)
+    received = []
+    boundary.register("local", lambda pkt: received.append((pkt, sim.now)))
+    boundary.deliver("local", "injected")
+    assert received == [("injected", 0)]

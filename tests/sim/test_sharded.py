@@ -1,0 +1,257 @@
+"""Sharded conservative-window engine: determinism and boundary order.
+
+Uses a tiny toy topology (hosts that ping each other through a
+:class:`~repro.hw.switch.ShardBoundary`) so the engine's contracts can be
+checked without the full Dagger stack: serial and sharded runs must be
+bit-identical, same-timestamp cross-shard arrivals must commit in
+``(arrival_ns, src_host, seq)`` order, and repeated runs at any shard
+count must agree byte-for-byte.
+"""
+
+import pytest
+
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.cluster import partition_hosts
+from repro.hw.switch import ShardBoundary
+from repro.sim import Simulator
+from repro.sim.kernel import SimulationError
+from repro.sim.sharded import canonical_json, run_sharded
+
+TOY_BUILDER = "tests.sim.test_sharded:build_toy_host"
+BOOM_BUILDER = "tests.sim.test_sharded:build_boom_host"
+
+DELAY_NS = 100
+
+
+class ToyHost:
+    """Minimal shardable host: sends ``sends`` packets to the next host.
+
+    Every host fires at the *same* simulated times (``period_ns`` apart),
+    so cross-shard arrivals from different source hosts collide on
+    timestamps — exactly the case the canonical commit order must resolve
+    deterministically.
+    """
+
+    def __init__(self, host_id, hosts=2, sends=3, period_ns=50,
+                 delay_ns=DELAY_NS, fan_in=False):
+        self.sim = Simulator()
+        self.host_id = host_id
+        self.hosts = hosts
+        self.boundary = ShardBoundary(self.sim, DEFAULT_CALIBRATION,
+                                      host_id=host_id, delay_ns=delay_ns)
+        self.received = []
+        self.boundary.register(f"toy{host_id}", self._ingress)
+        self.sim.spawn(self._sender(sends, period_ns, fan_in))
+
+    def _ingress(self, packet):
+        self.received.append([self.sim.now, list(packet)])
+
+    def _sender(self, sends, period_ns, fan_in):
+        for index in range(sends):
+            yield period_ns
+            if fan_in:
+                dst = 0 if self.host_id != 0 else 1
+            else:
+                dst = (self.host_id + 1) % self.hosts
+            self.boundary.send(f"toy{dst}", (self.host_id, index))
+
+    def finish(self):
+        return {"host": self.host_id, "received": self.received,
+                "forwarded": self.boundary.packets_forwarded}
+
+
+def build_toy_host(host_id, **params):
+    return ToyHost(host_id, **params)
+
+
+def build_boom_host(host_id, **params):
+    raise RuntimeError(f"boom on host {host_id}")
+
+
+def toy_run(hosts=3, shards=1, **extra):
+    return run_sharded(TOY_BUILDER, hosts, params=dict(hosts=hosts, **extra),
+                       shards=shards, lookahead_ns=DELAY_NS)
+
+
+def run_signature(result):
+    """Everything that must not vary with the shard count."""
+    return canonical_json({
+        "per_host": result.per_host,
+        "windows": result.windows,
+        "events_per_host": result.events_per_host,
+    })
+
+
+# --------------------------------------------------------- partitioning
+
+
+def test_partition_hosts_balanced():
+    assert partition_hosts(4, 1) == [[0, 1, 2, 3]]
+    assert partition_hosts(4, 2) == [[0, 1], [2, 3]]
+    assert partition_hosts(4, 3) == [[0, 1], [2], [3]]
+    assert partition_hosts(5, 2) == [[0, 1, 2], [3, 4]]
+    assert partition_hosts(4, 4) == [[0], [1], [2], [3]]
+
+
+def test_partition_hosts_validates():
+    with pytest.raises(ValueError):
+        partition_hosts(0, 1)
+    with pytest.raises(ValueError):
+        partition_hosts(4, 0)
+    with pytest.raises(ValueError):
+        partition_hosts(4, 5)
+
+
+# ------------------------------------------------------ parity contract
+
+
+def test_serial_and_sharded_bit_identical():
+    signatures = {run_signature(toy_run(hosts=3, shards=shards))
+                  for shards in (1, 2, 3)}
+    assert len(signatures) == 1
+
+
+def test_sharded_run_to_run_identical():
+    first = toy_run(hosts=4, shards=2)
+    second = toy_run(hosts=4, shards=2)
+    assert run_signature(first) == run_signature(second)
+
+
+def test_all_packets_delivered():
+    result = toy_run(hosts=3, sends=5)
+    received = sum(len(host["received"]) for host in result.per_host)
+    assert received == 3 * 5
+    # Ring topology: host i receives exactly from host i-1.
+    for host in result.per_host:
+        sources = {src for _t, (src, _idx) in host["received"]}
+        assert sources == {(host["host"] - 1) % 3}
+
+
+def test_events_total_sums_per_host():
+    result = toy_run(hosts=3)
+    assert result.events_total == sum(result.events_per_host)
+    assert result.hosts == 3
+    assert result.lookahead_ns == DELAY_NS
+
+
+# -------------------------------------------- canonical boundary order
+
+
+def test_same_timestamp_commits_in_src_order():
+    # fan_in: hosts 1 and 2 both target host 0 at identical send times, so
+    # their packets arrive at host 0 with equal timestamps; the canonical
+    # (arrival, src_host, seq) order must commit host 1 before host 2.
+    result = run_sharded(
+        TOY_BUILDER, 3,
+        params=dict(hosts=3, fan_in=True, sends=3),
+        shards=3, lookahead_ns=DELAY_NS, record_boundary_log=True,
+    )
+    host0 = result.per_host[0]
+    by_time = {}
+    for when, (src, _index) in host0["received"]:
+        by_time.setdefault(when, []).append(src)
+    assert by_time, "fan-in run delivered nothing to host 0"
+    for when, sources in by_time.items():
+        assert sources == sorted(sources), (
+            f"arrivals at t={when} committed out of src order: {sources}"
+        )
+
+
+def test_boundary_log_is_canonically_ordered_and_stable():
+    runs = [
+        run_sharded(TOY_BUILDER, 3,
+                    params=dict(hosts=3, fan_in=True, sends=3),
+                    shards=shards, lookahead_ns=DELAY_NS,
+                    record_boundary_log=True)
+        for shards in (1, 2, 3, 3)
+    ]
+    logs = [run.boundary_log for run in runs]
+    assert logs[0], "expected cross-shard traffic in the boundary log"
+    assert all(log == logs[0] for log in logs[1:])
+    # Within a window batch the log is sorted; windows commit in time
+    # order, so the whole log is sorted by (arrival, src, seq).
+    assert logs[0] == sorted(logs[0])
+    # Entries are (arrival_ns, src_host, seq, dst_host) with dst resolved.
+    for arrival, src, seq, dst in logs[0]:
+        assert dst == 0 or src == 0
+        assert arrival >= DELAY_NS
+        assert seq >= 0
+
+
+def test_boundary_log_absent_by_default():
+    assert toy_run(hosts=2).boundary_log is None
+
+
+# ----------------------------------------------------------- validation
+
+
+def test_lookahead_above_boundary_delay_rejected():
+    with pytest.raises(SimulationError, match="below the engine lookahead"):
+        run_sharded(TOY_BUILDER, 2, params=dict(hosts=2),
+                    lookahead_ns=DELAY_NS + 1)
+
+
+def test_max_windows_guard():
+    with pytest.raises(SimulationError, match="max_windows"):
+        run_sharded(TOY_BUILDER, 2, params=dict(hosts=2, sends=50),
+                    lookahead_ns=DELAY_NS, max_windows=1)
+
+
+def test_bad_builder_path_rejected():
+    with pytest.raises(ValueError, match="builder path"):
+        run_sharded("not-a-path", 2, lookahead_ns=DELAY_NS)
+
+
+def test_worker_failure_surfaces_traceback():
+    with pytest.raises(SimulationError, match="boom on host"):
+        run_sharded(BOOM_BUILDER, 2, shards=2, lookahead_ns=DELAY_NS)
+
+
+def test_builder_failure_in_process():
+    with pytest.raises(RuntimeError, match="boom on host 0"):
+        run_sharded(BOOM_BUILDER, 2, shards=1, lookahead_ns=DELAY_NS)
+
+
+# ----------------------------------------------- kernel window primitives
+
+
+def test_run_horizon_is_exclusive():
+    sim = Simulator()
+    fired = []
+    for when in (10, 20, 30):
+        sim.inject(when, lambda when=when: fired.append(when))
+    assert sim.run_horizon(30) == 2
+    assert fired == [10, 20]
+    assert sim.now == 20  # clock at last processed event, not the horizon
+    assert sim.peek() == 30
+    assert sim.run_horizon(31) == 1
+    assert fired == [10, 20, 30]
+
+
+def test_run_horizon_counts_dispatched_events():
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(5):
+            yield 10
+
+    sim.spawn(ticker())
+    # spawn event + 5 timeouts + generator-exit event
+    assert sim.run_horizon(1000) == 7
+
+
+def test_inject_rejects_past():
+    sim = Simulator()
+    sim.inject(10, lambda: None)
+    sim.run_horizon(20)
+    with pytest.raises(SimulationError, match="cannot inject"):
+        sim.inject(5, lambda: None)
+
+
+def test_inject_interleaves_in_seq_order():
+    sim = Simulator()
+    fired = []
+    sim.inject(10, lambda: fired.append("first"))
+    sim.inject(10, lambda: fired.append("second"))
+    sim.run_horizon(11)
+    assert fired == ["first", "second"]

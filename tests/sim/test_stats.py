@@ -92,3 +92,81 @@ def test_merge_recorders():
     assert merged.count == 2
     assert merged.first_finish_ns == 100
     assert merged.last_finish_ns == 250
+
+
+# ------------------------------------------------- SummaryStats.merge
+
+
+def test_merge_equals_whole():
+    # The sharded harness contract: merging per-shard summaries must be
+    # *exactly* from_samples over the concatenation — same sorted order,
+    # same left-to-right float summation — not merely approximately equal.
+    parts_samples = [[300, 100, 900], [250, 250], [700, 50, 50, 1100]]
+    parts = [SummaryStats.from_samples(s, keep_samples=True)
+             for s in parts_samples]
+    merged = SummaryStats.merge(parts)
+    whole = SummaryStats.from_samples(
+        [x for s in parts_samples for x in s], keep_samples=True)
+    assert merged == whole
+    assert merged.samples == whole.samples
+
+
+def test_merge_floats_bit_exact():
+    # Floats whose sum depends on addition order: sorted-order summation
+    # must match from_samples exactly.
+    parts_samples = [[0.1, 1e16], [0.2, 0.3, 1e-7]]
+    parts = [SummaryStats.from_samples(s, keep_samples=True)
+             for s in parts_samples]
+    whole = SummaryStats.from_samples(
+        [x for s in parts_samples for x in s])
+    assert SummaryStats.merge(parts).mean_ns == whole.mean_ns
+
+
+def test_merge_single_part_is_identity():
+    part = SummaryStats.from_samples([10, 20, 30], keep_samples=True)
+    assert SummaryStats.merge([part]) == part
+
+
+def test_merge_composes():
+    # The merged summary retains its samples, so merges can be nested.
+    a = SummaryStats.from_samples([1, 4], keep_samples=True)
+    b = SummaryStats.from_samples([2, 5], keep_samples=True)
+    c = SummaryStats.from_samples([3, 6], keep_samples=True)
+    nested = SummaryStats.merge([SummaryStats.merge([a, b]), c])
+    flat = SummaryStats.from_samples([1, 2, 3, 4, 5, 6])
+    assert nested.count == flat.count
+    assert nested.p99_ns == flat.p99_ns
+    assert nested.samples == (1, 2, 3, 4, 5, 6)
+
+
+def test_merge_requires_kept_samples():
+    with_samples = SummaryStats.from_samples([1, 2], keep_samples=True)
+    without = SummaryStats.from_samples([1, 2])
+    assert without.samples is None
+    with pytest.raises(ValueError, match="keep_samples"):
+        SummaryStats.merge([with_samples, without])
+
+
+def test_merge_empty_raises():
+    with pytest.raises(ValueError, match="no summaries"):
+        SummaryStats.merge([])
+
+
+def test_samples_attribute_is_not_a_field():
+    # keep_samples must not change equality, repr, or serialized shape —
+    # result signatures embed asdict(SummaryStats) and must stay stable.
+    from dataclasses import asdict
+
+    kept = SummaryStats.from_samples([1, 2, 3], keep_samples=True)
+    plain = SummaryStats.from_samples([1, 2, 3])
+    assert kept == plain
+    assert "samples" not in asdict(kept)
+    assert repr(kept) == repr(plain)
+
+
+def test_recorder_summary_keep_samples_passthrough():
+    recorder = LatencyRecorder()
+    recorder.record(0, 100)
+    recorder.record(0, 300)
+    assert recorder.summary().samples is None
+    assert recorder.summary(keep_samples=True).samples == (100, 300)
