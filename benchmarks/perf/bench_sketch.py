@@ -1,0 +1,190 @@
+"""Sketch-mode guardrail: O(1) memory at million-request scale, 1% parity.
+
+Three gates (all hard):
+
+- **Memory bound** — a million deterministic pseudo-latencies stream
+  through a ``LatencyRecorder(mode="sketch")``. The recorder must retain
+  **zero** raw samples (``tracked_samples == 0``) and the sketch's
+  bucket count must stay under the value-range bound (a few hundred for
+  three decades of latency at 1% accuracy) — i.e. memory is a function
+  of the value range, never of the request count.
+- **Percentile parity** — the sketched p50/p90/p99 of that stream must
+  land within the configured relative accuracy (1%) of the exact
+  percentiles over the same million samples, and a sketch-mode echo run
+  must land within 1% of the exact-mode run point for point.
+- **Exact-mode determinism** — the exact-mode echo run must still match
+  the committed ``BENCH_kernel.json`` signature bit-for-bit: threading
+  ``mode`` through the harness must not perturb the default path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sketch.py [--nsamples N]
+        [--nreq N] [--out report.json]
+"""
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import time
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         "..", ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.runner import run_closed_loop  # noqa: E402
+from repro.sim.stats import LatencyRecorder, percentile  # noqa: E402
+
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+#: Log-bucket bound for the synthetic stream: its latencies span about
+#: three decades, which is ~350 buckets at 1% accuracy; 1200 leaves slack
+#: for the range of the lognormal tail without ever scaling with N.
+MAX_BUCKETS = 1200
+
+CHECKED_PCTS = (50, 90, 99)
+
+
+def million_sample_gate(nsamples: int) -> dict:
+    """Feed the sketch recorder a huge stream; gate memory and parity."""
+    rng = random.Random(0x5EE7C4)
+    recorder = LatencyRecorder(mode="sketch")
+    exact = []
+    started = time.perf_counter()
+    for i in range(nsamples):
+        latency = int(math.exp(rng.gauss(7.5, 0.8))) + 1  # ~1.8 us median
+        recorder.record(i, i + latency)
+        exact.append(latency)
+    elapsed = time.perf_counter() - started
+    failures = []
+    if recorder.tracked_samples != 0:
+        failures.append(
+            f"sketch recorder retained {recorder.tracked_samples} samples"
+        )
+    buckets = recorder.sketch.bucket_count
+    if buckets > MAX_BUCKETS:
+        failures.append(f"bucket count {buckets} exceeds bound {MAX_BUCKETS}")
+    exact.sort()
+    summary = recorder.summary()
+    alpha = recorder.sketch.relative_accuracy
+    parity = {}
+    for pct in CHECKED_PCTS:
+        true_ns = percentile(exact, pct, presorted=True)
+        got_ns = getattr(summary, f"p{pct}_ns")
+        error = abs(got_ns - true_ns) / true_ns
+        parity[f"p{pct}"] = {"exact_ns": true_ns, "sketch_ns": got_ns,
+                             "relative_error": error}
+        if error > alpha:
+            failures.append(
+                f"p{pct} relative error {error:.4%} exceeds accuracy "
+                f"{alpha:.0%}"
+            )
+    return {
+        "nsamples": nsamples,
+        "seconds": elapsed,
+        "tracked_samples": recorder.tracked_samples,
+        "bucket_count": buckets,
+        "parity": parity,
+        "failures": failures,
+    }
+
+
+def echo_parity_gate(nreq: int) -> dict:
+    """Exact vs sketch echo runs: same counts, percentiles within 1%."""
+    exact = run_closed_loop(batch_size=4, nreq=nreq)
+    sketched = run_closed_loop(batch_size=4, nreq=nreq, mode="sketch")
+    failures = []
+    if sketched.count != exact.count:
+        failures.append(
+            f"count mismatch: sketch {sketched.count} vs exact {exact.count}"
+        )
+    if sketched.throughput_mrps != exact.throughput_mrps:
+        failures.append("throughput diverged (it is sample-free state)")
+    parity = {}
+    for attr in ("p50_us", "p90_us", "p99_us"):
+        error = abs(getattr(sketched, attr) / getattr(exact, attr) - 1.0)
+        parity[attr] = {"exact": getattr(exact, attr),
+                        "sketch": getattr(sketched, attr),
+                        "relative_error": error}
+        if error > 0.01:
+            failures.append(f"echo {attr} off by {error:.4%} (> 1%)")
+    signature = (exact.throughput_mrps, exact.p50_us, exact.p99_us,
+                 exact.count)
+    return {"nreq": nreq, "parity": parity, "signature": signature,
+            "failures": failures}
+
+
+def committed_signature(nreq: int):
+    """The BENCH_kernel.json echo signature, when comparable."""
+    try:
+        with open(BENCH_JSON) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    echo = data.get("echo", {})
+    if echo.get("nreq") != nreq:
+        return None
+    sig = echo.get("signature", {})
+    try:
+        return (sig["throughput_mrps"], sig["p50_us"], sig["p99_us"],
+                sig["count"])
+    except KeyError:
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nsamples", type=int, default=1_000_000,
+                        help="synthetic stream length (default 1,000,000)")
+    parser.add_argument("--nreq", type=int, default=4000,
+                        help="echo run request count (default 4000, the "
+                             "BENCH_kernel.json reference)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+    if args.nsamples < 1 or args.nreq < 1:
+        parser.error("--nsamples and --nreq must be >= 1")
+
+    stream = million_sample_gate(args.nsamples)
+    print(f"stream: {stream['nsamples']:,} samples in "
+          f"{stream['seconds']:.2f} s -> {stream['bucket_count']} buckets, "
+          f"{stream['tracked_samples']} retained samples")
+    for pct, entry in stream["parity"].items():
+        print(f"  {pct}: exact {entry['exact_ns']:.0f} ns, sketch "
+              f"{entry['sketch_ns']:.0f} ns "
+              f"({entry['relative_error']:.3%} error)")
+
+    echo = echo_parity_gate(args.nreq)
+    for attr, entry in echo["parity"].items():
+        print(f"echo {attr}: exact {entry['exact']:.4f}, sketch "
+              f"{entry['sketch']:.4f} ({entry['relative_error']:.3%} error)")
+
+    failures = stream["failures"] + echo["failures"]
+    committed = committed_signature(args.nreq)
+    if committed is None:
+        print("exact-mode signature: no comparable BENCH_kernel.json entry")
+    elif committed != echo["signature"]:
+        failures.append(
+            f"exact-mode echo diverged from BENCH_kernel.json: committed "
+            f"{committed} vs measured {echo['signature']}"
+        )
+    else:
+        print("exact-mode signature == BENCH_kernel.json")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"stream": stream, "echo": echo,
+                       "failures": failures}, handle, indent=2)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: sketch mode holds O(1) memory and 1% percentile parity; "
+          "exact mode untouched")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -335,6 +335,18 @@ def cmd_timeline(args) -> int:
         return 0
 
     try:
+        chaos = None
+        if args.chaos is not None:
+            from repro.chaos import ChaosConfig
+            from repro.chaos.rig import FAULT_CLASSES
+
+            if args.chaos not in FAULT_CLASSES:
+                raise ValueError(
+                    f"unknown fault class {args.chaos!r} "
+                    f"(choose from {sorted(FAULT_CLASSES)})"
+                )
+            chaos = ChaosConfig.from_dict(dict(FAULT_CLASSES[args.chaos],
+                                               seed=1))
         rig = EchoRig(
             stack_name=args.stack,
             interface=args.interface,
@@ -343,6 +355,12 @@ def cmd_timeline(args) -> int:
             trace=args.chrome_trace is not None,
             telemetry=True,
             telemetry_interval_ns=args.interval_ns,
+            telemetry_adaptive=args.adaptive,
+            chaos=chaos,
+            mode=args.mode,
+            hard_overrides=({"reliable_transport": True,
+                             "flow_control": True}
+                            if args.chaos is not None else None),
         )
         if args.open_loop_mrps is not None:
             result = rig.open_loop(args.open_loop_mrps, nreq=args.nreq)
@@ -354,8 +372,19 @@ def cmd_timeline(args) -> int:
     print(f"{result.count} RPCs, {result.throughput_mrps:.2f} Mrps, "
           f"p50 {result.p50_us:.2f} us, p99 {result.p99_us:.2f} us, "
           f"{rig.timeline.samples_taken} telemetry samples")
+    if args.adaptive:
+        tl = rig.timeline
+        print(f"adaptive sampler: interval {tl.interval_ns} -> "
+              f"{tl.current_interval_ns} ns ({tl.tightenings} tightenings, "
+              f"{tl.widenings} widenings)")
     print()
     print(render_utilization(result.utilization))
+    if args.anomalies:
+        from repro.harness.report import render_anomalies
+        from repro.obs import detect_anomalies
+
+        print()
+        print(render_anomalies(detect_anomalies(result.timeline)))
     if args.chrome_trace:
         try:
             emitted = rig.export_chrome_trace(args.chrome_trace)
@@ -399,6 +428,12 @@ def _timeline_tenants(args) -> int:
     ))
     print()
     print(render_tenant_utilization(result.utilization, result.tenant_map))
+    if args.anomalies:
+        from repro.harness.report import render_anomalies
+        from repro.obs import detect_anomalies
+
+        print()
+        print(render_anomalies(detect_anomalies(result.timeline)))
     if args.chrome_trace:
         try:
             emitted = rig.export_chrome_trace(args.chrome_trace)
@@ -565,6 +600,24 @@ def main(argv=None) -> int:
     timeline_parser.add_argument("--steady-mrps", type=float, default=0.5,
                                  help="offered load of each steady tenant "
                                       "(with --tenants)")
+    timeline_parser.add_argument("--anomalies", action="store_true",
+                                 help="run the change-point + z-score "
+                                      "classifier over the collected "
+                                      "timeline and name the culprit "
+                                      "component/tenant")
+    timeline_parser.add_argument("--chaos", default=None, metavar="CLASS",
+                                 help="inject a named fault class "
+                                      "(repro.chaos FAULT_CLASSES) so "
+                                      "--anomalies has something to find")
+    timeline_parser.add_argument("--adaptive", action="store_true",
+                                 help="adaptive telemetry sampling: widen "
+                                      "the interval on flat stretches, "
+                                      "tighten around change points")
+    timeline_parser.add_argument("--mode", default="exact",
+                                 choices=("exact", "sketch"),
+                                 help="latency recording: exact sample "
+                                      "list or O(1)-memory quantile "
+                                      "sketch")
     resources_parser = sub.add_parser(
         "resources", help="estimate a NIC configuration's FPGA footprint"
     )

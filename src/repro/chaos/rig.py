@@ -19,7 +19,7 @@ from typing import Any, Dict, Optional
 
 from repro.chaos.faults import ChaosConfig
 from repro.sim import Exponential, SimulationError
-from repro.sim.stats import percentile
+from repro.sim.stats import _check_mode, percentile
 
 #: Named fault schedules (config overrides merged with the run's seed).
 #: Rates are chosen to stress recovery hard while staying far from the
@@ -81,8 +81,18 @@ def run_chaos_point(
     rpc_bytes: int = 48,
     batch_size: int = 4,
     hedge_ns: Optional[int] = None,
+    mode: str = "exact",
 ) -> dict:
-    """One seeded chaos run; returns a canonical-JSON-able result dict."""
+    """One seeded chaos run; returns a canonical-JSON-able result dict.
+
+    ``mode="sketch"`` streams latencies into a quantile sketch
+    (:mod:`repro.obs.sketch`) instead of a list — O(1) memory for huge
+    ``nreq`` — and tags the result with a ``"mode"`` key. Exact mode
+    emits the historical dict byte-for-byte (no ``"mode"`` key), so the
+    chaos determinism gate and previously cached sweep entries are
+    untouched.
+    """
+    _check_mode(mode)
     if fault_class not in FAULT_CLASSES:
         raise ValueError(
             f"unknown fault class {fault_class!r} "
@@ -113,6 +123,11 @@ def run_chaos_point(
     sim = rig.sim
     client = rig.clients[0]
     done = sim.event()
+    sketch = None
+    if mode == "sketch":
+        from repro.obs.sketch import QuantileSketch
+
+        sketch = QuantileSketch()
     latencies = []
     state = {"completed": 0}
     # Distinct stream from the chaos RNG: fault decisions and arrivals must
@@ -129,7 +144,10 @@ def run_chaos_point(
             arrival = next_arrival
 
             def on_complete(call, arrival=arrival):
-                latencies.append(call.completed_at - arrival)
+                if sketch is not None:
+                    sketch.add(call.completed_at - arrival)
+                else:
+                    latencies.append(call.completed_at - arrival)
                 state["completed"] += 1
                 if state["completed"] >= nreq and not done.triggered:
                     done.succeed()
@@ -154,7 +172,11 @@ def run_chaos_point(
             c.fail_pending("abandoned under chaos")
         sim.run()
 
-    if latencies:
+    if sketch is not None and sketch.count:
+        p50_us = round(sketch.quantile(50) / 1000.0, 3)
+        p99_us = round(sketch.quantile(99) / 1000.0, 3)
+        p999_us = round(sketch.quantile(99.9) / 1000.0, 3)
+    elif latencies:
         data = sorted(latencies)
         p50_us = round(percentile(data, 50, presorted=True) / 1000.0, 3)
         p99_us = round(percentile(data, 99, presorted=True) / 1000.0, 3)
@@ -164,7 +186,7 @@ def run_chaos_point(
 
     client_nic = rig.client_stack.nic
     server_nic = rig.server_stack.nic
-    return {
+    result = {
         "fault_class": fault_class,
         "seed": seed,
         "nreq": nreq,
@@ -193,3 +215,8 @@ def run_chaos_point(
             "server": asdict(server_nic.flow_control.stats),
         },
     }
+    if mode != "exact":
+        # Tag only non-default modes: the exact dict must stay
+        # byte-identical to what the chaos gate and old cache entries hold.
+        result["mode"] = mode
+    return result

@@ -35,6 +35,7 @@ from repro.hw.switch import ShardBoundary
 from repro.rpc import RpcClient, RpcThreadedServer, ThreadingModel
 from repro.sim import LatencyRecorder, Simulator, SummaryStats
 from repro.sim.sharded import canonical_json, run_sharded
+from repro.sim.stats import _check_mode
 from repro.stacks import DaggerStack
 
 #: Base for deterministic cross-host connection ids: far above anything
@@ -86,6 +87,7 @@ class MeshHost:
         warmup_ns: int = 20_000,
         tor_delay_ns: Optional[int] = None,
         seed: int = 1,
+        mode: str = "exact",
         calibration: Calibration = DEFAULT_CALIBRATION,
     ):
         if hosts < 2:
@@ -152,7 +154,7 @@ class MeshHost:
         self.server.start()
 
         self.recorder = LatencyRecorder(name=f"h{host_id}",
-                                        warmup_ns=warmup_ns)
+                                        warmup_ns=warmup_ns, mode=mode)
         self.completed = 0
         base, extra = divmod(nreq_per_host, len(peers))
         self.quotas = [base + (1 if i < extra else 0)
@@ -186,9 +188,8 @@ class MeshHost:
 
     def finish(self) -> Dict[str, Any]:
         recorder = self.recorder
-        return {
+        data = {
             "host": self.host_id,
-            "samples": list(recorder.samples),
             "first_finish_ns": recorder.first_finish_ns,
             "last_finish_ns": recorder.last_finish_ns,
             "discarded": recorder.discarded,
@@ -198,6 +199,15 @@ class MeshHost:
             "drops": self.client_stack.drops + self.server_stack.drops,
             "packets_forwarded": self.boundary.packets_forwarded,
         }
+        # Latency payload by mode: the raw sample list in exact mode (the
+        # historical key, byte-for-byte), the sketch's plain-data record in
+        # sketch mode. Either form crosses the worker-process boundary as
+        # plain JSON-able data.
+        if recorder.sketch is not None:
+            data["sketch"] = recorder.sketch.to_record()
+        else:
+            data["samples"] = list(recorder.samples)
+        return data
 
 
 def build_mesh_host(host_id: int, **params: Any) -> MeshHost:
@@ -223,11 +233,21 @@ class MeshResult:
     events_total: int
     events_per_host: List[int]
     per_host: List[dict]
+    #: Latency-recording mode the hosts ran with ("exact" | "sketch").
+    #: Defaulted so cached dicts from before ISSUE 8 still round-trip.
+    mode: str = "exact"
 
     def signature(self) -> dict:
-        """Everything the run computed, minus the shard count itself."""
+        """Everything the run computed, minus the shard count itself.
+
+        ``mode`` is dropped too: it is a label, and the parity gates
+        compare runs *within* one mode (sketch-mode percentiles legally
+        differ from exact ones, but sketched shard counts must still
+        agree with each other — lossless sketch merge guarantees it).
+        """
         data = asdict(self)
         del data["shards"]
+        del data["mode"]
         return data
 
     def to_dict(self) -> dict:
@@ -248,7 +268,7 @@ def mesh_signature(result: Union[MeshResult, dict]) -> str:
         data = result.signature()
     else:
         data = {key: value for key, value in result.items()
-                if key != "shards"}
+                if key not in ("shards", "mode")}
     return canonical_json(data)
 
 
@@ -263,11 +283,19 @@ def run_echo_mesh(
     warmup_ns: int = 20_000,
     tor_delay_ns: Optional[int] = None,
     seed: int = 1,
+    mode: str = "exact",
     record_boundary_log: bool = False,
     max_windows: Optional[int] = None,
 ) -> MeshResult:
     """Closed-loop full-mesh echo across ``hosts`` machines on ``shards``
-    event-loop workers; see the module docstring for the parity contract."""
+    event-loop workers; see the module docstring for the parity contract.
+
+    ``mode="sketch"`` records per-host latencies in quantile sketches
+    (:mod:`repro.obs.sketch`): no host ships a sample list back, and the
+    cross-host merge folds bucket maps instead of k-way-merging samples —
+    O(1) memory per host no matter how large ``nreq_per_host`` gets.
+    """
+    _check_mode(mode)  # fail in the parent, not inside a worker process
     lookahead = (tor_delay_ns if tor_delay_ns is not None
                  else DEFAULT_CALIBRATION.tor_delay_ns)
     sharded = run_sharded(
@@ -283,6 +311,7 @@ def run_echo_mesh(
             warmup_ns=warmup_ns,
             tor_delay_ns=tor_delay_ns,
             seed=seed,
+            mode=mode,
         ),
         shards=shards,
         lookahead_ns=lookahead,
@@ -290,10 +319,21 @@ def run_echo_mesh(
         max_windows=max_windows,
     )
 
-    parts = [
-        SummaryStats.from_samples(host["samples"], keep_samples=True)
-        for host in sharded.per_host if host["samples"]
-    ]
+    def host_stats(host: Dict[str, Any], *, keep: bool):
+        """Per-host SummaryStats (or None when warmup ate every sample)."""
+        if "sketch" in host:
+            from repro.obs.sketch import QuantileSketch
+
+            sketch = QuantileSketch.from_record(host["sketch"])
+            return (SummaryStats.from_sketch(sketch) if sketch.count
+                    else None)
+        if not host["samples"]:
+            return None
+        return SummaryStats.from_samples(host["samples"], keep_samples=keep)
+
+    parts = [stats for stats in
+             (host_stats(host, keep=True) for host in sharded.per_host)
+             if stats is not None]
     if not parts:
         raise ValueError(
             "no latency samples survived warmup — lower warmup_ns or raise "
@@ -310,11 +350,10 @@ def run_echo_mesh(
 
     per_host = []
     for index, host in enumerate(sharded.per_host):
-        samples = host["samples"]
-        stats = (SummaryStats.from_samples(samples) if samples else None)
+        stats = host_stats(host, keep=False)
         per_host.append({
             "host": host["host"],
-            "count": len(samples),
+            "count": stats.count if stats else 0,
             "p50_us": stats.p50_us if stats else None,
             "p99_us": stats.p99_us if stats else None,
             "issued": host["issued"],
@@ -339,6 +378,7 @@ def run_echo_mesh(
         events_total=sharded.events_total,
         events_per_host=list(sharded.events_per_host),
         per_host=per_host,
+        mode=mode,
     )
 
 
@@ -354,13 +394,15 @@ class EchoMeshRig:
 
     def __init__(self, hosts: int = 4, batch_size: int = 4,
                  rpc_bytes: int = 48, service_ns: int = 0,
-                 tor_delay_ns: Optional[int] = None, seed: int = 1):
+                 tor_delay_ns: Optional[int] = None, seed: int = 1,
+                 mode: str = "exact"):
         self.hosts = hosts
         self.batch_size = batch_size
         self.rpc_bytes = rpc_bytes
         self.service_ns = service_ns
         self.tor_delay_ns = tor_delay_ns
         self.seed = seed
+        self.mode = _check_mode(mode)
 
     def closed_loop(self, window: int = 64, nreq_per_host: int = 4000,
                     warmup_ns: int = 20_000, shards: int = 1) -> MeshResult:
@@ -375,4 +417,5 @@ class EchoMeshRig:
             warmup_ns=warmup_ns,
             tor_delay_ns=self.tor_delay_ns,
             seed=self.seed,
+            mode=self.mode,
         )

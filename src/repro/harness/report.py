@@ -142,6 +142,40 @@ def render_bottleneck(report) -> str:
     return f"{table}\n{verdict}"
 
 
+def render_anomalies(report, limit: int = 15) -> str:
+    """Render a :class:`repro.obs.AnomalyReport` (or its as_dict form).
+
+    One row per finding (strongest first, capped at ``limit``) plus the
+    attribution verdict naming the culprit component/tenant.
+    """
+    data = report if isinstance(report, dict) else report.as_dict()
+    findings = data["findings"]
+    if not findings:
+        return ("no anomalies detected "
+                f"(|z| >= {data['z_threshold']}, window {data['window']})")
+    rows = []
+    for f in findings[:limit]:
+        rows.append((
+            f["component"], f["name"], f.get("tenant") or "-",
+            f["t_ns"], f["direction"], f"{f['zscore']:+.1f}",
+            f"{f['baseline']:.4g}", f"{f['value']:.4g}",
+        ))
+    table = render_table(
+        ["component", "probe", "tenant", "t_ns", "dir", "z",
+         "baseline", "level"],
+        rows, title="Timeline anomalies (strongest first)",
+    )
+    lines = [table]
+    if len(findings) > limit:
+        lines.append(f"... and {len(findings) - limit} weaker findings")
+    verdict = (f"verdict: {data['culprit']} deviated hardest "
+               f"({len(findings)} findings total)")
+    if data.get("culprit_tenant"):
+        verdict += f", owned by tenant {data['culprit_tenant']}"
+    lines.append(verdict)
+    return "\n".join(lines)
+
+
 def compare_row(name: str, paper: Optional[float], measured: float,
                 unit: str = "") -> str:
     """One 'paper vs measured' line for EXPERIMENTS.md-style output."""

@@ -38,6 +38,7 @@ from repro.obs import (
 from repro.obs.timeline import DEFAULT_INTERVAL_NS
 from repro.rpc import RpcClient, RpcThreadedServer, ThreadingModel
 from repro.sim import Exponential, LatencyRecorder, Simulator
+from repro.sim.stats import _check_mode
 from repro.stacks import DaggerStack, connect, make_stack
 
 #: Core layout: clients fill the first half of the chip, servers the second.
@@ -152,8 +153,10 @@ class EchoRig:
         trace_max_spans: Optional[int] = None,
         telemetry: bool = False,
         telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
+        telemetry_adaptive: bool = False,
         chaos=None,
         shards: int = 1,
+        mode: str = "exact",
     ):
         if shards != 1:
             # A loopback rig has exactly one host, so there is no shard
@@ -164,6 +167,10 @@ class EchoRig:
                 "shards=1; for sharded execution use the multi-host mesh "
                 "(repro.harness.mesh.run_echo_mesh / EchoMeshRig)"
             )
+        # Latency-recording mode (ISSUE 8): "exact" keeps raw samples (the
+        # signature-gated default); "sketch" streams them into O(1)-memory
+        # quantile sketches so million-request runs don't grow a list.
+        self.mode = _check_mode(mode)
         self.sim = Simulator()
         self.machine = Machine(self.sim, MachineConfig(), calibration, seed=seed)
         self.calibration = calibration
@@ -261,7 +268,8 @@ class EchoRig:
         self.timeline: Optional[TimelineCollector] = None
         if telemetry:
             collector = TimelineCollector(
-                self.sim, interval_ns=telemetry_interval_ns
+                self.sim, interval_ns=telemetry_interval_ns,
+                adaptive=telemetry_adaptive,
             )
             for nic, role in zip(nics, ("client", "server")):
                 nic.enable_usage()
@@ -327,7 +335,7 @@ class EchoRig:
     def closed_loop(self, window: int = 64, nreq: int = 20000,
                     warmup_ns: int = 100_000) -> BenchResult:
         """Each client keeps ``window`` async RPCs in flight."""
-        recorder = LatencyRecorder(warmup_ns=warmup_ns)
+        recorder = LatencyRecorder(warmup_ns=warmup_ns, mode=self.mode)
         if self.timeline is not None:
             self.timeline.start()
         sim = self.sim
@@ -383,7 +391,7 @@ class EchoRig:
         """
         if load_mrps <= 0:
             raise ValueError(f"load must be positive, got {load_mrps}")
-        recorder = LatencyRecorder(warmup_ns=warmup_ns)
+        recorder = LatencyRecorder(warmup_ns=warmup_ns, mode=self.mode)
         if self.timeline is not None:
             self.timeline.start()
         sim = self.sim
@@ -438,12 +446,14 @@ def run_closed_loop(stack_name: str = "dagger", interface: str = "upi",
                     tor_delay_ns: Optional[int] = None,
                     telemetry: bool = False,
                     telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
+                    mode: str = "exact",
                     calibration: Calibration = DEFAULT_CALIBRATION) -> BenchResult:
     rig = EchoRig(
         stack_name=stack_name, interface=interface, batch_size=batch_size,
         auto_batch=auto_batch, num_threads=num_threads, rpc_bytes=rpc_bytes,
         loopback=loopback, tor_delay_ns=tor_delay_ns, calibration=calibration,
         telemetry=telemetry, telemetry_interval_ns=telemetry_interval_ns,
+        mode=mode,
     )
     return rig.closed_loop(window=window, nreq=nreq)
 
@@ -455,12 +465,14 @@ def run_open_loop(load_mrps: float, stack_name: str = "dagger",
                   loopback: bool = True,
                   telemetry: bool = False,
                   telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
+                  mode: str = "exact",
                   calibration: Calibration = DEFAULT_CALIBRATION) -> BenchResult:
     rig = EchoRig(
         stack_name=stack_name, interface=interface, batch_size=batch_size,
         auto_batch=auto_batch, num_threads=num_threads, rpc_bytes=rpc_bytes,
         loopback=loopback, calibration=calibration,
         telemetry=telemetry, telemetry_interval_ns=telemetry_interval_ns,
+        mode=mode,
     )
     return rig.open_loop(load_mrps, nreq=nreq)
 
@@ -573,11 +585,13 @@ class MultiTenantEchoRig:
         seed: int = 1,
         telemetry: bool = False,
         telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
+        mode: str = "exact",
     ):
         if len(tenants) < 2:
             raise ValueError(f"need at least 2 tenants, got {list(tenants)}")
         if len(set(tenants)) != len(tenants):
             raise ValueError(f"duplicate tenant names in {list(tenants)}")
+        self.mode = _check_mode(mode)
         self.tenants = list(tenants)
         self.sim = Simulator()
         self.machine = Machine(self.sim, MachineConfig(), calibration, seed=seed)
@@ -708,7 +722,7 @@ class MultiTenantEchoRig:
             for tenant, load in loads_mrps.items()
         }
         recorders = {
-            tenant: LatencyRecorder(warmup_ns=warmup_ns)
+            tenant: LatencyRecorder(warmup_ns=warmup_ns, mode=self.mode)
             for tenant in self.tenants
         }
         if self.timeline is not None:
@@ -780,6 +794,7 @@ def run_multi_tenant(noisy_mrps: float, steady_mrps: float = 0.5,
                      nreq_total: int = 6000, interface: str = "upi",
                      batch_size: int = 1, telemetry: bool = False,
                      telemetry_interval_ns: int = DEFAULT_INTERVAL_NS,
+                     mode: str = "exact",
                      calibration: Calibration = DEFAULT_CALIBRATION) -> MultiTenantResult:
     """One noisy tenant at ``noisy_mrps``, the rest steady (Fig 14 point)."""
     names = [f"t{i}" for i in range(tenants)]
@@ -788,7 +803,7 @@ def run_multi_tenant(noisy_mrps: float, steady_mrps: float = 0.5,
     rig = MultiTenantEchoRig(
         tenants=names, interface=interface, batch_size=batch_size,
         calibration=calibration, telemetry=telemetry,
-        telemetry_interval_ns=telemetry_interval_ns,
+        telemetry_interval_ns=telemetry_interval_ns, mode=mode,
     )
     loads = {name: (noisy_mrps if name == noisy else steady_mrps)
              for name in names}

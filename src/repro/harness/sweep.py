@@ -246,15 +246,36 @@ def cache_info(cache_dir: Optional[str] = None) -> Dict[str, Any]:
 # -- executor ------------------------------------------------------------------
 
 
-def _accepts_shards(point: SweepPoint) -> bool:
-    """True when the point's function takes an explicit ``shards`` kwarg."""
+def _accepts_param(point: SweepPoint, name: str) -> bool:
+    """True when the point's function takes an explicit ``name`` kwarg."""
     import inspect
 
     try:
         signature = inspect.signature(point.resolve())
     except (TypeError, ValueError):
         return False
-    return "shards" in signature.parameters
+    return name in signature.parameters
+
+
+def _accepts_shards(point: SweepPoint) -> bool:
+    """True when the point's function takes an explicit ``shards`` kwarg."""
+    return _accepts_param(point, "shards")
+
+
+def _inject_param(points: List[SweepPoint], name: str,
+                  value: Any) -> List[SweepPoint]:
+    """Inject ``name=value`` into every point that can take it.
+
+    Points whose params already pin the key, and functions without the
+    parameter, are left untouched — the same opt-in contract ``shards``
+    injection has always had.
+    """
+    return [
+        SweepPoint(point.fn, {**point.params, name: value})
+        if name not in point.params and _accepts_param(point, name)
+        else point
+        for point in points
+    ]
 
 
 def run_sweep(
@@ -264,6 +285,7 @@ def run_sweep(
     cache_dir: Optional[str] = None,
     stats: Optional[Dict[str, int]] = None,
     shards: Optional[int] = None,
+    mode: Optional[str] = None,
 ) -> List[Any]:
     """Evaluate sweep points; results come back in input order.
 
@@ -279,6 +301,13 @@ def run_sweep(
     are bit-identical to serial ones, the injected value changes the cache
     key but never the measured payload beyond its recorded ``shards``
     field.
+
+    ``mode`` injects a latency-recording mode (``"exact"`` or
+    ``"sketch"``, see :mod:`repro.obs.sketch`) under the same opt-in
+    contract. Unlike ``shards``, sketch mode *does* change the measured
+    percentiles (within the sketch's relative-accuracy bound), which is
+    why it participates in the cache key and is never injected by
+    default — signature-gated sweeps keep exact results untouched.
     """
     points = list(points)
     if jobs < 1:
@@ -286,12 +315,11 @@ def run_sweep(
     if shards is not None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
-        points = [
-            SweepPoint(point.fn, {**point.params, "shards": shards})
-            if "shards" not in point.params and _accepts_shards(point)
-            else point
-            for point in points
-        ]
+        points = _inject_param(points, "shards", shards)
+    if mode is not None:
+        from repro.sim.stats import _check_mode
+
+        points = _inject_param(points, "mode", _check_mode(mode))
     cache_dir = cache_dir or DEFAULT_CACHE_DIR
     fingerprint = calibration_fingerprint()
     keys = [point.cache_key(fingerprint) for point in points]

@@ -25,11 +25,24 @@ from any simulated run:
   latency-vs-load sweeps.
 - :func:`export_chrome_trace` (``repro.obs.chrome_trace``) — Chrome
   trace-event / Perfetto JSON export (slice tracks from spans, counter
-  tracks from time series).
+  tracks from time series, flow arrows linking a request's slices).
+- Sketches (``repro.obs.sketch``) — mergeable O(1)-memory streaming
+  aggregates: :class:`QuantileSketch` (relative-error percentiles) and
+  :class:`MomentSketch` (exact mean/variance), backing the harness's
+  ``mode="sketch"`` recording path for million-request runs.
+- Anomaly attribution (``repro.obs.anomaly``) — change-point + z-score
+  classification over collected timelines, naming the component/tenant
+  that deviated hardest (:func:`detect_anomalies`).
 
 See docs/observability.md for a walkthrough.
 """
 
+from repro.obs.anomaly import (
+    AnomalyFinding,
+    AnomalyReport,
+    detect_anomalies,
+    detect_change_points,
+)
 from repro.obs.breakdown import Breakdown, StageStats, breakdown
 from repro.obs.chrome_trace import chrome_trace_events, export_chrome_trace
 from repro.obs.registry import (
@@ -47,6 +60,12 @@ from repro.obs.sinks import (
     dump_timeline,
     dump_trace,
     load_trace,
+)
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    MomentSketch,
+    QuantileSketch,
+    merge_quantile_sketches,
 )
 from repro.obs.timeline import (
     BottleneckReport,
@@ -66,6 +85,14 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AnomalyFinding",
+    "AnomalyReport",
+    "detect_anomalies",
+    "detect_change_points",
+    "DEFAULT_RELATIVE_ACCURACY",
+    "MomentSketch",
+    "QuantileSketch",
+    "merge_quantile_sketches",
     "Breakdown",
     "StageStats",
     "breakdown",

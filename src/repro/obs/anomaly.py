@@ -1,0 +1,255 @@
+"""Anomaly detection and attribution over collected timelines (ISSUE 8).
+
+A timeline (:class:`repro.obs.timeline.TimelineCollector` or its
+``to_dict()`` dump) is a set of per-component time series. This module
+answers the question a timeline exists to answer under faults: *which
+component (and, in multi-tenant runs, which tenant) misbehaved, and
+when?* — the classifier half of MicroView's sketch-then-classify
+pipeline, operating on the repository's probe namespaces instead of IPU
+counters.
+
+The machinery is deliberately simple and deterministic:
+
+- :func:`detect_change_points` — a two-window mean-shift z-score
+  detector. At each split the mean of the next ``window`` samples is
+  scored against the mean of the previous ``window``, normalized by the
+  pooled in-window stddev; splits beyond ``z_threshold`` are change
+  points. Comparing *window means* (not single samples) is what keeps a
+  bursty-but-steady queue-depth gauge quiet: its noise inflates the
+  pooled stddev and averages out of both means, so only a sustained
+  level shift scores. Clusters of consecutive detections collapse to
+  their strongest member, so one fault window yields one finding, not
+  ``window`` of them.
+- :func:`detect_anomalies` — runs the detector over every series in a
+  timeline. Gauges are analyzed by value; counters by their
+  per-interval *rate* (a counter climbing steadily is healthy — the
+  derivative carries the signal, same convention as
+  :meth:`repro.obs.timeline.TimeSeries.rate` and the adaptive sampler).
+- :class:`AnomalyReport` — the findings plus attribution: the culprit
+  is the ``(component, tenant)`` with the largest total z-mass, i.e.
+  the place the timeline deviated hardest from its own recent past.
+
+``python -m repro timeline --anomalies`` wires this into the CLI, and
+:func:`repro.harness.report.render_anomalies` renders the report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default detector shape: score against the 8 preceding samples, flag
+#: beyond 3 sigma — wide enough to ride out sampling noise, tight enough
+#: that a chaos fault window or a saturation onset stands out.
+DEFAULT_WINDOW = 8
+DEFAULT_Z_THRESHOLD = 3.0
+
+#: A probe that *keeps* oscillating (an unacked-window gauge under
+#: sustained faults) trips the detector at every swing; only the
+#: strongest few say anything new, so findings are capped per series.
+DEFAULT_MAX_PER_SERIES = 5
+
+#: Scale floors: a near-constant baseline keeps 5% of its magnitude as
+#: tolerance (plus a tiny absolute epsilon), so a flat series shifting
+#: by float jitter can never manufacture an unbounded z-score — a real
+#: level shift on a perfectly flat series still scores |z| = shift/5%.
+_STD_FLOOR_REL = 0.05
+_STD_FLOOR_ABS = 1e-9
+
+
+def detect_change_points(values: Sequence[float],
+                         window: int = DEFAULT_WINDOW,
+                         z_threshold: float = DEFAULT_Z_THRESHOLD,
+                         ) -> List[Tuple[int, float]]:
+    """Split points where the level of ``values`` shifts.
+
+    At each index ``i`` the mean of ``values[i:i+window]`` is compared
+    with the mean of ``values[i-window:i]``, normalized by the pooled
+    stddev of both windows (floored as above). Returns
+    ``[(index, zscore)]`` with ``index`` the first sample of the new
+    level, cluster-collapsed: detections fewer than ``window`` apart
+    merge into the single strongest one (by ``|z|``), because one
+    underlying shift trips the detector at every nearby split.
+    """
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    if z_threshold <= 0:
+        raise ValueError(f"z_threshold must be positive, got {z_threshold}")
+    raw: List[Tuple[int, float]] = []
+    for i in range(window, len(values) - window + 1):
+        left = values[i - window:i]
+        right = values[i:i + window]
+        mean_l = sum(left) / window
+        mean_r = sum(right) / window
+        var = (sum((x - mean_l) ** 2 for x in left)
+               + sum((x - mean_r) ** 2 for x in right)) / (2 * window)
+        scale = max(math.sqrt(var),
+                    max(abs(mean_l), abs(mean_r)) * _STD_FLOOR_REL,
+                    _STD_FLOOR_ABS)
+        z = (mean_r - mean_l) / scale
+        if abs(z) >= z_threshold:
+            raw.append((i, z))
+    out: List[Tuple[int, float]] = []
+    for index, z in raw:
+        if out and index - out[-1][0] < window:
+            if abs(z) > abs(out[-1][1]):
+                out[-1] = (index, z)
+            continue
+        out.append((index, z))
+    return out
+
+
+@dataclass
+class AnomalyFinding:
+    """One detected deviation on one series."""
+
+    component: str
+    name: str
+    mode: str                         #: "gauge" or "counter"
+    tenant: Optional[str]
+    t_ns: int                         #: simulated time the new level starts
+    value: float                      #: mean of the new level's window
+    baseline: float                   #: mean of the preceding window
+    zscore: float
+    direction: str                    #: "up" (spike) or "down" (drop)
+
+    def as_dict(self) -> dict:
+        return {
+            "component": self.component,
+            "name": self.name,
+            "mode": self.mode,
+            "tenant": self.tenant,
+            "t_ns": self.t_ns,
+            "value": self.value,
+            "baseline": self.baseline,
+            "zscore": self.zscore,
+            "direction": self.direction,
+        }
+
+
+@dataclass
+class AnomalyReport:
+    """Findings over one timeline plus the attribution verdict."""
+
+    findings: List[AnomalyFinding] = field(default_factory=list)
+    window: int = DEFAULT_WINDOW
+    z_threshold: float = DEFAULT_Z_THRESHOLD
+
+    @property
+    def culprit(self) -> Optional[str]:
+        """Component that deviated hardest (largest total ``|z|``)."""
+        scores = self._scores()
+        if not scores:
+            return None
+        return max(scores, key=lambda key: scores[key])[0]
+
+    @property
+    def culprit_tenant(self) -> Optional[str]:
+        """Tenant owning the culprit component (None when untenanted)."""
+        scores = self._scores()
+        if not scores:
+            return None
+        return max(scores, key=lambda key: scores[key])[1]
+
+    def _scores(self) -> Dict[Tuple[str, Optional[str]], float]:
+        scores: Dict[Tuple[str, Optional[str]], float] = {}
+        for finding in self.findings:
+            key = (finding.component, finding.tenant)
+            scores[key] = scores.get(key, 0.0) + abs(finding.zscore)
+        return scores
+
+    def as_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "z_threshold": self.z_threshold,
+            "culprit": self.culprit,
+            "culprit_tenant": self.culprit_tenant,
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+
+def _series_records(timeline: Any) -> List[dict]:
+    """Normalize a collector or its ``to_dict()`` form to series records."""
+    if hasattr(timeline, "series"):
+        return [series.to_record() for series in timeline.series()]
+    try:
+        return list(timeline["series"])
+    except (TypeError, KeyError):
+        raise TypeError(
+            "expected a TimelineCollector or its to_dict() dump, got "
+            f"{type(timeline).__name__}"
+        ) from None
+
+
+def _analysis_signal(record: dict) -> Tuple[List[int], List[float]]:
+    """The (times, values) the detector should look at for one series.
+
+    Gauges are their own signal. Counters are differentiated into a
+    per-interval rate first (zero-Δt steps skipped, mirroring
+    :meth:`TimeSeries.rate`), so a steadily climbing busy integral is
+    flat to the detector and only rate *shifts* — a stall, a burst —
+    score.
+    """
+    times, values = record["t_ns"], record["values"]
+    if record["mode"] != "counter":
+        return list(times), list(values)
+    rate_t: List[int] = []
+    rate_v: List[float] = []
+    for i in range(1, len(times)):
+        dt = times[i] - times[i - 1]
+        if dt > 0:
+            rate_t.append(times[i])
+            rate_v.append((values[i] - values[i - 1]) / dt)
+    return rate_t, rate_v
+
+
+def detect_anomalies(timeline: Any,
+                     window: int = DEFAULT_WINDOW,
+                     z_threshold: float = DEFAULT_Z_THRESHOLD,
+                     max_per_series: Optional[int] = DEFAULT_MAX_PER_SERIES,
+                     ) -> AnomalyReport:
+    """Run the change-point classifier over every series in a timeline.
+
+    ``timeline`` is a live :class:`TimelineCollector` or its
+    ``to_dict()`` dump (the form :class:`BenchResult.timeline` carries
+    through the sweep cache). Findings come back sorted by descending
+    ``|z|``, so ``report.findings[0]`` is the sharpest deviation and
+    ``report.culprit`` the component that deviated hardest overall.
+    Each series contributes at most ``max_per_series`` findings (its
+    strongest; ``None`` to keep them all).
+    """
+    findings: List[AnomalyFinding] = []
+    for record in _series_records(timeline):
+        times, values = _analysis_signal(record)
+        detections = detect_change_points(values, window, z_threshold)
+        if max_per_series is not None and len(detections) > max_per_series:
+            detections = sorted(detections,
+                                key=lambda d: -abs(d[1]))[:max_per_series]
+        for index, z in detections:
+            base = values[index - window:index]
+            level = values[index:index + window]
+            findings.append(AnomalyFinding(
+                component=record["component"],
+                name=record["name"],
+                mode=record["mode"],
+                tenant=record.get("tenant"),
+                t_ns=times[index],
+                value=sum(level) / len(level),
+                baseline=sum(base) / window,
+                zscore=z,
+                direction="up" if z > 0 else "down",
+            ))
+    findings.sort(key=lambda f: (-abs(f.zscore), f.component, f.name))
+    return AnomalyReport(findings=findings, window=window,
+                         z_threshold=z_threshold)
+
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "DEFAULT_Z_THRESHOLD",
+    "AnomalyFinding",
+    "AnomalyReport",
+    "detect_anomalies",
+    "detect_change_points",
+]

@@ -6,7 +6,10 @@ flavor Perfetto's ``ui.perfetto.dev`` opens directly):
 - every RPC span becomes a sequence of ``"X"`` (complete) slice events, one
   per breakdown stage, laid out on per-component *thread* tracks (client
   CPU / client NIC / wire / server NIC / server CPU) so the pipeline reads
-  left-to-right like the paper's Fig 3;
+  left-to-right like the paper's Fig 3, plus one ``"s"``/``"t"``/``"f"``
+  flow chain per RPC (``id`` = rpc_id) linking its slices across tracks
+  so Perfetto draws causal arrows from client CPU through the wire to
+  the server and back;
 - every :class:`~repro.obs.timeline.TimeSeries` becomes a ``"C"`` counter
   track. ``counter``-mode probes are exported as their per-interval *rate*
   (so a ``*busy_ns`` integral plots as utilization in [0, 1]); ``gauge``
@@ -75,9 +78,11 @@ def _metadata_events() -> List[dict]:
 def _span_events(spans: Iterable[RpcSpan]) -> List[dict]:
     events = []
     for span in spans:
+        tracks = []
         for a, b, duration in _span_segments(span):
             label = _STAGE_LABELS.get((a, b), f"{a} -> {b}")
             track = _STAGE_TRACK.get(label, "other")
+            tracks.append((track, span.events[a]))
             events.append({
                 "ph": "X",
                 "name": label,
@@ -88,6 +93,44 @@ def _span_events(spans: Iterable[RpcSpan]) -> List[dict]:
                 "dur": duration / 1000.0,
                 "args": {"rpc_id": span.rpc_id},
             })
+        events.extend(_flow_events(span.rpc_id, tracks))
+    return events
+
+
+def _flow_events(rpc_id: int, tracks: List[tuple]) -> List[dict]:
+    """Flow (``s``/``t``/``f``) events tying one RPC's slices together.
+
+    One flow chain per span, with a point at every *track transition*
+    (client CPU -> client NIC -> wire -> ...), so Perfetto draws a causal
+    arrow each time the request hops components; consecutive slices on
+    the same track don't get redundant arrows. Each point's ``ts`` is
+    its slice's start, which is how the trace format binds a flow event
+    to its enclosing slice; the terminating ``"f"`` uses ``bp: "e"``
+    (bind to enclosing slice) per the spec.
+    """
+    hops = []
+    previous = None
+    for track, t_ns in tracks:
+        if track != previous:
+            hops.append((track, t_ns))
+            previous = track
+    if len(hops) < 2:
+        return []
+    events = []
+    for index, (track, t_ns) in enumerate(hops):
+        event = {
+            "ph": "s" if index == 0 else
+                  ("f" if index == len(hops) - 1 else "t"),
+            "name": "rpc flow",
+            "cat": "rpc",
+            "id": rpc_id,
+            "pid": PIPELINE_PID,
+            "tid": _TRACK_TID[track],
+            "ts": t_ns / 1000.0,
+        }
+        if event["ph"] == "f":
+            event["bp"] = "e"
+        events.append(event)
     return events
 
 

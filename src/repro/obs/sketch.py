@@ -1,0 +1,310 @@
+"""Sketch-backed metrics: O(1)-memory streaming aggregates (ISSUE 8).
+
+Million-request runs cannot afford a retained per-request latency list —
+the "observability bloat" MicroView (Cornacchia et al., NSDI'26) replaces
+with in-situ sketches on the IPU. This module is the repository's version
+of that idea: two small, mergeable, JSON-able sketches that the harness
+threads through every layer that today keeps raw samples.
+
+- :class:`QuantileSketch` — a DDSketch-style streaming quantile sketch
+  over logarithmic buckets. For a configured *relative accuracy* α, any
+  reported quantile ``q`` satisfies ``|q - q_true| <= α * q_true``
+  regardless of how many values were added: memory is bounded by the
+  number of distinct log-buckets touched (a function of the value range
+  and α, **not** of the sample count). Sketches with the same α merge
+  losslessly — merging per-shard sketches gives byte-identical buckets
+  to one sketch fed the union of the streams, which is what lets
+  :meth:`repro.sim.stats.SummaryStats.merge` drop the retained-samples
+  requirement across shards.
+- :class:`MomentSketch` — exact streaming moments (count / sum / sum of
+  squares / min / max) for counter and gauge reductions: mean and
+  variance without keeping any samples. Also mergeable and JSON-able.
+
+Both sketches are deterministic: no randomness, no timestamps, and their
+``to_record()`` forms use sorted bucket lists so canonical JSON is stable
+across runs and Python versions (the sweep cache contract).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+#: Default relative accuracy: quantiles within 1% of the true sample
+#: value (the ISSUE 8 acceptance bound).
+DEFAULT_RELATIVE_ACCURACY = 0.01
+
+
+class QuantileSketch:
+    """Mergeable streaming quantile sketch with relative-error guarantees.
+
+    Values map to logarithmic buckets ``i = ceil(log_gamma(v))`` with
+    ``gamma = (1 + α) / (1 - α)``; each bucket's representative value
+    ``2 * gamma**i / (gamma + 1)`` (the log-space midpoint) is within α
+    relative error of every value the bucket can hold. Non-positive
+    values land in a dedicated zero bucket (latencies are >= 0; an exact
+    zero has no log-bucket). Count, sum, min, and max are tracked
+    exactly, so ``mean``/``min``/``max`` carry no sketch error at all
+    and extreme quantiles clamp to the exact range.
+    """
+
+    __slots__ = ("relative_accuracy", "_gamma", "_log_gamma", "_buckets",
+                 "zero_count", "count", "sum", "min", "max")
+
+    def __init__(self, relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY):
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), got {relative_accuracy}"
+            )
+        self.relative_accuracy = relative_accuracy
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: Dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add(self, value: float, n: int = 1) -> None:
+        """Add ``value`` (``n`` times) to the sketch."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        value = float(value)
+        if value > 0.0:
+            index = math.ceil(math.log(value) / self._log_gamma)
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        elif value == 0.0:
+            self.zero_count += n
+        else:
+            raise ValueError(f"latency sketch takes values >= 0, got {value}")
+        self.count += n
+        self.sum += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of an empty sketch")
+        return self.sum / self.count
+
+    def _representative(self, index: int) -> float:
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def quantile(self, pct: float) -> float:
+        """Value at percentile ``pct`` in [0, 100], within α relative error.
+
+        Uses the same rank convention as :func:`repro.sim.stats.percentile`
+        (``rank = pct/100 * (count - 1)``) so sketch and exact quantiles of
+        the same stream agree to within the accuracy bound. Results clamp
+        to the exact ``[min, max]`` range.
+        """
+        if self.count == 0:
+            raise ValueError("quantile of an empty sketch")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        rank = (pct / 100.0) * (self.count - 1)
+        if rank < self.zero_count:
+            value = 0.0
+        else:
+            seen = self.zero_count
+            value = self.max if self.max is not None else 0.0
+            for index in sorted(self._buckets):
+                seen += self._buckets[index]
+                if rank < seen:
+                    value = self._representative(index)
+                    break
+        if self.min is not None:
+            value = max(value, self.min)
+        if self.max is not None:
+            value = min(value, self.max)
+        return value
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (in place); returns ``self``.
+
+        Merging is exact: the merged bucket map is identical to the one a
+        single sketch would have built over the concatenated stream, so
+        per-shard sketches lose nothing against a global one.
+        """
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge sketches with different accuracies "
+                f"({self.relative_accuracy} vs {other.relative_accuracy})"
+            )
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.sum += other.sum
+        for value in (other.min, other.max):
+            if value is None:
+                continue
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["QuantileSketch"]) -> "QuantileSketch":
+        parts = list(parts)
+        if not parts:
+            raise ValueError("no sketches to merge")
+        out = cls(parts[0].relative_accuracy)
+        for part in parts:
+            out.merge(part)
+        return out
+
+    # -- serialization -------------------------------------------------------
+
+    @property
+    def bucket_count(self) -> int:
+        """Distinct log-buckets in use — the sketch's memory footprint."""
+        return len(self._buckets)
+
+    def to_record(self) -> dict:
+        """Canonical JSON-able form (``type: "quantile_sketch"``).
+
+        Buckets are a sorted ``[index, count]`` list, so the canonical
+        JSON of two equal sketches is byte-identical.
+        """
+        return {
+            "type": "quantile_sketch",
+            "relative_accuracy": self.relative_accuracy,
+            "buckets": [[index, self._buckets[index]]
+                        for index in sorted(self._buckets)],
+            "zero_count": self.zero_count,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "QuantileSketch":
+        if record.get("type") != "quantile_sketch":
+            raise ValueError(
+                f"not a quantile_sketch record: {record.get('type')!r}"
+            )
+        sketch = cls(record["relative_accuracy"])
+        sketch._buckets = {int(index): int(n)
+                           for index, n in record["buckets"]}
+        sketch.zero_count = record["zero_count"]
+        sketch.count = record["count"]
+        sketch.sum = record["sum"]
+        sketch.min = record["min"]
+        sketch.max = record["max"]
+        return sketch
+
+
+class MomentSketch:
+    """Exact streaming moments for counters and gauges (no samples kept).
+
+    Tracks count, sum, sum of squares, min, and max; reduces to mean and
+    (population) variance/stddev. Unlike :class:`QuantileSketch` there is
+    no approximation anywhere — moments are closed under addition — so
+    merging per-shard moment sketches is exactly a global one.
+    """
+
+    __slots__ = ("count", "sum", "sum_sq", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.sum_sq = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float, n: int = 1) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        value = float(value)
+        self.count += n
+        self.sum += value * n
+        self.sum_sq += value * value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of an empty sketch")
+        return self.sum / self.count
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            raise ValueError("variance of an empty sketch")
+        mean = self.mean
+        # Guard the subtraction against float cancellation going negative.
+        return max(0.0, self.sum_sq / self.count - mean * mean)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "MomentSketch") -> "MomentSketch":
+        self.count += other.count
+        self.sum += other.sum
+        self.sum_sq += other.sum_sq
+        for value in (other.min, other.max):
+            if value is None:
+                continue
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+        return self
+
+    def to_record(self) -> dict:
+        return {
+            "type": "moment_sketch",
+            "count": self.count,
+            "sum": self.sum,
+            "sum_sq": self.sum_sq,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "MomentSketch":
+        if record.get("type") != "moment_sketch":
+            raise ValueError(
+                f"not a moment_sketch record: {record.get('type')!r}"
+            )
+        sketch = cls()
+        sketch.count = record["count"]
+        sketch.sum = record["sum"]
+        sketch.sum_sq = record["sum_sq"]
+        sketch.min = record["min"]
+        sketch.max = record["max"]
+        return sketch
+
+
+def merge_quantile_sketches(parts: Iterable[QuantileSketch]) -> QuantileSketch:
+    """Module-level alias of :meth:`QuantileSketch.merged` (sweep-friendly)."""
+    return QuantileSketch.merged(parts)
+
+
+__all__: List[str] = [
+    "DEFAULT_RELATIVE_ACCURACY",
+    "MomentSketch",
+    "QuantileSketch",
+    "merge_quantile_sketches",
+]

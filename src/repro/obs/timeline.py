@@ -52,6 +52,7 @@ and never masks the deadlock detection in ``run_until_done``.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -163,11 +164,30 @@ class TimelineCollector:
     docstring), so a collector never changes whether/when a simulation
     terminates — and since probes only *read* model state, it never changes
     simulated results either.
+
+    Adaptive sampling (ISSUE 8): with ``adaptive=True`` the sampler
+    reshapes its own period around what the probes are doing. After every
+    periodic sample it classifies the step as *flat* (no probe's newest
+    sample broke from its own recent window — see :meth:`_probe_moved`;
+    gauges compared by value, counters by per-interval rate) or as a
+    *change point*. A run of
+    ``flat_streak`` consecutive flat steps doubles the period (up to
+    ``max_interval_ns``); a change point divides it by four (down to
+    ``min_interval_ns``), so the sampler tightens geometrically faster
+    than it relaxes and dense samples cluster where the signal actually
+    bends. The fixed-interval path stays the default and is untouched —
+    adaptivity changes only *when* probes are read, never any simulated
+    outcome.
     """
 
     def __init__(self, sim: Simulator,
                  interval_ns: int = DEFAULT_INTERVAL_NS,
-                 max_samples: Optional[int] = DEFAULT_MAX_SAMPLES):
+                 max_samples: Optional[int] = DEFAULT_MAX_SAMPLES,
+                 adaptive: bool = False,
+                 min_interval_ns: Optional[int] = None,
+                 max_interval_ns: Optional[int] = None,
+                 flat_threshold: float = 0.05,
+                 flat_streak: int = 2):
         if interval_ns < 1:
             raise ValueError(f"interval_ns must be >= 1, got {interval_ns}")
         if max_samples is not None and max_samples < 2:
@@ -175,6 +195,34 @@ class TimelineCollector:
         self.sim = sim
         self.interval_ns = interval_ns
         self.max_samples = max_samples
+        self.adaptive = adaptive
+        if min_interval_ns is None:
+            min_interval_ns = max(1, interval_ns // 8)
+        if max_interval_ns is None:
+            max_interval_ns = interval_ns * 8
+        if not 1 <= min_interval_ns <= interval_ns <= max_interval_ns:
+            raise ValueError(
+                "need 1 <= min_interval_ns <= interval_ns <= "
+                f"max_interval_ns, got {min_interval_ns} <= {interval_ns} "
+                f"<= {max_interval_ns}"
+            )
+        if flat_threshold <= 0:
+            raise ValueError(
+                f"flat_threshold must be positive, got {flat_threshold}"
+            )
+        if flat_streak < 1:
+            raise ValueError(f"flat_streak must be >= 1, got {flat_streak}")
+        self.min_interval_ns = min_interval_ns
+        self.max_interval_ns = max_interval_ns
+        self.flat_threshold = flat_threshold
+        self.flat_streak = flat_streak
+        #: Period the sampler will sleep next; moves only in adaptive mode.
+        self.current_interval_ns = interval_ns
+        #: ``(t_ns, new_interval_ns)`` log of every adaptation.
+        self.interval_history: List[Tuple[int, int]] = []
+        self.tightenings = 0
+        self.widenings = 0
+        self._flat_run = 0
         self.samples_taken = 0
         self._series: List[TimeSeries] = []
         self._by_key: Dict[Tuple[str, str], TimeSeries] = {}
@@ -276,16 +324,80 @@ class TimelineCollector:
 
     def _run(self):
         sim = self.sim
-        interval = self.interval_ns
         while self._active:
-            yield interval
+            yield self.current_interval_ns
             if not self._active:
                 return
             self.sample()
+            if self.adaptive:
+                self._adapt()
             if not sim.has_pending():
                 # We are the only thing left scheduled: a finished
                 # simulation must be allowed to drain (liveness contract).
                 return
+
+    # -- adaptive pacing -----------------------------------------------------
+
+    #: Adaptive change test: samples further than this many recent-window
+    #: stddevs from the recent-window mean count as change points.
+    ADAPT_SIGMA = 3.0
+    #: Recent-window length for the change test (samples).
+    ADAPT_WINDOW = 8
+
+    def _probe_moved(self, series: TimeSeries) -> bool:
+        """Did this probe's newest sample break from its recent past?
+
+        The newest sample is scored against the mean of the (up to)
+        :data:`ADAPT_WINDOW` samples before it: a change point is a
+        deviation beyond ``ADAPT_SIGMA`` stddevs *and* beyond
+        ``flat_threshold`` relative. The stddev term keeps a noisy but
+        statistically steady probe (queue depths under constant load)
+        from pinning the sampler at ``min_interval_ns``; the relative
+        floor keeps float jitter on a flat probe from ever counting.
+        Counters are compared by per-interval rate (steady climb ==
+        flat), gauges by value.
+        """
+        t, v = series._t, series._v
+        if series.mode == "counter":
+            signal = []
+            for i in range(max(1, len(t) - self.ADAPT_WINDOW - 1), len(t)):
+                dt = t[i] - t[i - 1]
+                if dt > 0:
+                    signal.append((v[i] - v[i - 1]) / dt)
+        else:
+            signal = [v[i] for i in
+                      range(max(0, len(v) - self.ADAPT_WINDOW - 1), len(v))]
+        if len(signal) < 3:
+            # Too early to know what "steady" looks like; hold the period.
+            return False
+        *base, newest = signal
+        mean = sum(base) / len(base)
+        var = sum((x - mean) ** 2 for x in base) / len(base)
+        scale = max(self.ADAPT_SIGMA * math.sqrt(var),
+                    self.flat_threshold * max(abs(mean), abs(newest)),
+                    1e-9)
+        return abs(newest - mean) > scale
+
+    def _adapt(self) -> None:
+        """Retune the period after a sample (adaptive mode only)."""
+        if any(self._probe_moved(series) for series, _ in self._probes):
+            self._flat_run = 0
+            tightened = max(self.min_interval_ns,
+                            self.current_interval_ns // 4)
+            if tightened != self.current_interval_ns:
+                self.current_interval_ns = tightened
+                self.tightenings += 1
+                self.interval_history.append((self.sim.now, tightened))
+            return
+        self._flat_run += 1
+        if self._flat_run >= self.flat_streak:
+            self._flat_run = 0
+            widened = min(self.max_interval_ns,
+                          self.current_interval_ns * 2)
+            if widened != self.current_interval_ns:
+                self.current_interval_ns = widened
+                self.widenings += 1
+                self.interval_history.append((self.sim.now, widened))
 
     # -- reduction -----------------------------------------------------------
 
@@ -294,12 +406,28 @@ class TimelineCollector:
         return utilization_summary(self)
 
     def to_dict(self) -> dict:
-        """JSON-able dump of the collector state and every series."""
-        return {
+        """JSON-able dump of the collector state and every series.
+
+        The adaptive block is only present for adaptive collectors, so
+        fixed-interval dumps (everything signature-gated) keep their
+        historical byte-identical shape.
+        """
+        data = {
             "interval_ns": self.interval_ns,
             "samples_taken": self.samples_taken,
             "series": [s.to_record() for s in self._series],
         }
+        if self.adaptive:
+            data["adaptive"] = {
+                "min_interval_ns": self.min_interval_ns,
+                "max_interval_ns": self.max_interval_ns,
+                "final_interval_ns": self.current_interval_ns,
+                "tightenings": self.tightenings,
+                "widenings": self.widenings,
+                "interval_history": [list(entry)
+                                     for entry in self.interval_history],
+            }
+        return data
 
 
 #: Suffix marking capacity-normalized busy-time-integral counter probes.

@@ -1,0 +1,108 @@
+"""Sketch-mode recording threaded through the harness (ISSUE 8).
+
+Exact mode must stay byte-for-byte the historical behaviour (the
+BENCH_kernel.json contract lives in benchmarks); these tests pin the
+sketch path: bounded memory, percentiles within the sketch's relative
+accuracy of exact mode, and shard parity without retained samples.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import run_chaos_point
+from repro.harness import EchoRig
+from repro.harness.mesh import mesh_signature, run_echo_mesh
+from repro.harness.runner import run_closed_loop, run_multi_tenant
+from repro.harness.sweep import SweepPoint, run_sweep
+
+RUN_KW = dict(window=16, nreq=1500)
+
+
+def test_echo_rig_modes_agree_within_sketch_accuracy():
+    exact = EchoRig().closed_loop(**RUN_KW)
+    sketched = EchoRig(mode="sketch").closed_loop(**RUN_KW)
+    assert sketched.count == exact.count
+    assert sketched.throughput_mrps == exact.throughput_mrps
+    for attr in ("p50_us", "p90_us", "p99_us"):
+        assert getattr(sketched, attr) == pytest.approx(
+            getattr(exact, attr), rel=0.011)
+    assert sketched.mean_us == pytest.approx(exact.mean_us, rel=1e-9)
+
+
+def test_run_closed_loop_mode_passthrough_deterministic():
+    first = run_closed_loop(mode="sketch", **RUN_KW)
+    second = run_closed_loop(mode="sketch", **RUN_KW)
+    assert first == second
+
+
+def test_rig_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="mode"):
+        EchoRig(mode="approx")
+    with pytest.raises(ValueError, match="mode"):
+        run_echo_mesh(hosts=2, nreq_per_host=10, mode="approx")
+    with pytest.raises(ValueError, match="mode"):
+        run_chaos_point(nreq=10, mode="approx")
+
+
+def test_mesh_sketch_mode_shard_parity():
+    kw = dict(hosts=2, nreq_per_host=200, warmup_ns=0, mode="sketch")
+    serial = run_echo_mesh(shards=1, **kw)
+    sharded = run_echo_mesh(shards=2, **kw)
+    # Lossless sketch merge: per-host sketches survive sharding, so the
+    # signature (which excludes shards and mode) matches exactly.
+    assert mesh_signature(serial) == mesh_signature(sharded)
+    assert serial.mode == sharded.mode == "sketch"
+    assert "mode" not in mesh_signature(serial)
+    assert "mode" not in serial.signature()
+
+
+def test_mesh_sketch_close_to_exact():
+    kw = dict(hosts=2, nreq_per_host=200, warmup_ns=0)
+    exact = run_echo_mesh(**kw)
+    sketched = run_echo_mesh(mode="sketch", **kw)
+    assert sketched.count == exact.count
+    assert sketched.p99_us == pytest.approx(exact.p99_us, rel=0.011)
+    # Per-host rollups survive the sketch path with the same shape.
+    for sk_host, ex_host in zip(sketched.per_host, exact.per_host):
+        assert set(sk_host) == set(ex_host)
+        assert sk_host["count"] == ex_host["count"]
+        assert sk_host["p99_us"] == pytest.approx(ex_host["p99_us"],
+                                                  rel=0.011)
+
+
+def test_chaos_sketch_mode_tagged_and_close():
+    kw = dict(fault_class="loss", nreq=800, seed=3)
+    exact = run_chaos_point(**kw)
+    sketched = run_chaos_point(mode="sketch", **kw)
+    assert "mode" not in exact  # historic exact payload untouched
+    assert sketched["mode"] == "sketch"
+    assert sketched["completed"] == exact["completed"]
+    assert sketched["p99_us"] == pytest.approx(exact["p99_us"], rel=0.02)
+
+
+def test_run_sweep_injects_mode_opt_in(tmp_path):
+    points = [SweepPoint("repro.harness.runner:run_closed_loop",
+                         dict(RUN_KW, nreq=1200))]
+    sketched = run_sweep(points, mode="sketch", cache=False,
+                         cache_dir=str(tmp_path))[0]
+    exact = run_sweep(points, cache=False, cache_dir=str(tmp_path))[0]
+    assert sketched.count == exact.count
+    assert sketched.p99_us == pytest.approx(exact.p99_us, rel=0.011)
+    # A pinned mode in the point params wins over the sweep-level value.
+    pinned = [SweepPoint("repro.harness.runner:run_closed_loop",
+                         dict(RUN_KW, nreq=1200, mode="exact"))]
+    repinned = run_sweep(pinned, mode="sketch", cache=False,
+                         cache_dir=str(tmp_path))[0]
+    assert dataclasses.astuple(repinned) == dataclasses.astuple(exact)
+
+
+def test_multi_tenant_mode_threading():
+    exact = run_multi_tenant(noisy_mrps=1.0, nreq_total=900)
+    sketched = run_multi_tenant(noisy_mrps=1.0, nreq_total=900,
+                                mode="sketch")
+    assert set(sketched.per_tenant) == set(exact.per_tenant)
+    for tenant, result in sketched.per_tenant.items():
+        assert result.count == exact.per_tenant[tenant].count
+        assert result.p99_us == pytest.approx(
+            exact.per_tenant[tenant].p99_us, rel=0.011)

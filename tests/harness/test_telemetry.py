@@ -87,7 +87,8 @@ def test_rig_exports_valid_chrome_trace(tmp_path):
     document = json.loads(path.read_text())
     assert set(document) == {"traceEvents", "displayTimeUnit"}
     kinds = {e["ph"] for e in document["traceEvents"]}
-    assert kinds == {"M", "X", "C"}
+    # Metadata, slices, counters, plus the per-RPC causal flow chains.
+    assert kinds == {"M", "X", "C", "s", "t", "f"}
 
 
 def test_attribution_on_real_open_loop_points():

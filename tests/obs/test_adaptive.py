@@ -1,0 +1,116 @@
+"""Adaptive timeline sampling: widen on flat, tighten on change points."""
+
+import pytest
+
+from repro.obs import TimelineCollector
+from repro.sim import Simulator
+
+
+def _run_scenario(adaptive, shift_at_ns=None, duration_ns=100_000,
+                  **kwargs):
+    """Drive one gauge through an optional level shift; return collector."""
+    sim = Simulator()
+    collector = TimelineCollector(sim, interval_ns=1000, adaptive=adaptive,
+                                  **kwargs)
+    state = {"v": 10.0}
+    collector.add_probe("c", "g", lambda: state["v"])
+
+    def mutator():
+        if shift_at_ns is not None:
+            yield shift_at_ns
+            state["v"] = 500.0
+            yield duration_ns - shift_at_ns
+        else:
+            yield duration_ns
+
+    sim.spawn(mutator())
+    collector.start()
+    sim.run()
+    collector.stop()
+    return collector
+
+
+def test_fixed_path_is_default_and_untouched():
+    collector = _run_scenario(adaptive=False)
+    assert collector.adaptive is False
+    assert collector.current_interval_ns == collector.interval_ns
+    assert collector.interval_history == []
+    assert collector.tightenings == collector.widenings == 0
+    assert "adaptive" not in collector.to_dict()
+
+
+def test_flat_run_widens_and_takes_fewer_samples():
+    fixed = _run_scenario(adaptive=False)
+    adaptive = _run_scenario(adaptive=True)
+    assert adaptive.widenings > 0
+    assert adaptive.tightenings == 0  # nothing ever moved
+    assert adaptive.current_interval_ns == adaptive.max_interval_ns
+    assert len(adaptive.series()[0]) < len(fixed.series()[0])
+
+
+def test_change_point_tightens_geometrically():
+    collector = _run_scenario(adaptive=True, shift_at_ns=50_000)
+    assert collector.tightenings >= 1
+    # The shift interrupts a widened cadence: some logged interval must
+    # be strictly below the one it tightened from (a /4 step).
+    intervals = [interval for _, interval in collector.interval_history]
+    assert any(b < a for a, b in zip(intervals, intervals[1:]))
+    # Every adaptation stays inside the configured envelope.
+    assert all(collector.min_interval_ns <= interval
+               <= collector.max_interval_ns for interval in intervals)
+
+
+def test_to_dict_adaptive_block_shape():
+    collector = _run_scenario(adaptive=True, shift_at_ns=50_000)
+    block = collector.to_dict()["adaptive"]
+    assert block["min_interval_ns"] == collector.min_interval_ns
+    assert block["max_interval_ns"] == collector.max_interval_ns
+    assert block["final_interval_ns"] == collector.current_interval_ns
+    assert block["tightenings"] == collector.tightenings
+    assert block["widenings"] == collector.widenings
+    assert block["interval_history"] == [
+        list(entry) if isinstance(entry, tuple) else entry
+        for entry in collector.interval_history
+    ]
+
+
+def test_bounds_default_to_eighth_and_eightfold():
+    collector = TimelineCollector(Simulator(), interval_ns=1600,
+                                  adaptive=True)
+    assert collector.min_interval_ns == 200
+    assert collector.max_interval_ns == 12_800
+
+
+def test_adaptive_validation_errors():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="min_interval_ns"):
+        TimelineCollector(sim, interval_ns=1000, adaptive=True,
+                          min_interval_ns=2000)
+    with pytest.raises(ValueError, match="max_interval_ns"):
+        TimelineCollector(sim, interval_ns=1000, adaptive=True,
+                          max_interval_ns=500)
+    with pytest.raises(ValueError, match="flat_threshold"):
+        TimelineCollector(sim, adaptive=True, flat_threshold=0)
+    with pytest.raises(ValueError, match="flat_streak"):
+        TimelineCollector(sim, adaptive=True, flat_streak=0)
+
+
+def test_oscillating_gauge_does_not_pin_min_interval():
+    # A noisy-but-steady probe inflates its own window stddev, so the
+    # 3-sigma test reads it as flat and the sampler still widens.
+    sim = Simulator()
+    collector = TimelineCollector(sim, interval_ns=1000, adaptive=True)
+    state = {"i": 0}
+    collector.add_probe("c", "osc",
+                        lambda: 5.0 + (3.0 if state["i"] % 2 else -3.0))
+
+    def mutator():
+        for _ in range(100):
+            yield 1000
+            state["i"] += 1
+
+    sim.spawn(mutator())
+    collector.start()
+    sim.run()
+    collector.stop()
+    assert collector.current_interval_ns > collector.min_interval_ns

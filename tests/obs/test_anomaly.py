@@ -1,0 +1,141 @@
+"""Change-point detection and anomaly attribution over timelines."""
+
+import pytest
+
+from repro.obs import (
+    AnomalyReport,
+    TimelineCollector,
+    detect_anomalies,
+    detect_change_points,
+)
+from repro.sim import Simulator
+
+
+def test_level_shift_detected_once_at_onset():
+    values = [10.0] * 30 + [50.0] * 30
+    detections = detect_change_points(values, window=8)
+    assert len(detections) == 1
+    index, z = detections[0]
+    assert z > 0  # upward shift
+    # The cluster collapses to its strongest member, which sits where the
+    # two windows straddle the shift most cleanly — at the onset.
+    assert 30 - 8 < index <= 30 + 8
+
+
+def test_downward_shift_scores_negative():
+    values = [100.0] * 20 + [20.0] * 20
+    detections = detect_change_points(values, window=8)
+    assert len(detections) == 1
+    assert detections[0][1] < 0
+
+
+def test_flat_and_noisy_series_stay_quiet():
+    assert detect_change_points([7.0] * 64) == []
+    # Bursty-but-steady: oscillation inflates the pooled stddev and
+    # averages out of both window means, so no sustained shift scores.
+    noisy = [5.0 + (3.0 if i % 2 else -3.0) for i in range(64)]
+    assert detect_change_points(noisy, window=8) == []
+
+
+def test_short_series_yield_nothing():
+    assert detect_change_points([1.0, 99.0] * 3, window=8) == []
+
+
+def test_relative_floor_bounds_z_on_flat_baselines():
+    # A flat baseline must not manufacture unbounded z-scores from a
+    # small absolute wiggle: z is bounded by shift / (5% of magnitude).
+    values = [1000.0] * 16 + [1001.0] * 16
+    assert detect_change_points(values, window=8) == []
+
+
+def test_detector_validates_arguments():
+    with pytest.raises(ValueError, match="window"):
+        detect_change_points([1.0] * 32, window=1)
+    with pytest.raises(ValueError, match="z_threshold"):
+        detect_change_points([1.0] * 32, z_threshold=0)
+
+
+def _make_timeline():
+    """Two gauges (one shifts, one flat) and a counter whose rate stalls."""
+    collector = TimelineCollector(Simulator())
+    depth = collector.add_probe("nic.server", "rx_depth", lambda: 0)
+    flat = collector.add_probe("cpu.core0", "runq", lambda: 0)
+    busy = collector.add_probe("nic.client", "busy_ns", lambda: 0,
+                               mode="counter", tenant="t0")
+    total = 0
+    for i in range(60):
+        t = i * 1000
+        depth.append(t, 4.0 if i < 30 else 40.0)
+        flat.append(t, 2.0)
+        # busy integral climbs at a steady rate, then stalls at i == 40.
+        total += 800 if i < 40 else 0
+        busy.append(t, total)
+    return collector
+
+
+def test_detect_anomalies_names_series_and_culprit():
+    report = detect_anomalies(_make_timeline())
+    assert report.findings, "expected findings on the shifted gauge"
+    components = {f.component for f in report.findings}
+    assert "cpu.core0" not in components  # flat gauge stays quiet
+    shifted = [f for f in report.findings if f.component == "nic.server"]
+    assert shifted and shifted[0].direction == "up"
+    assert shifted[0].baseline == pytest.approx(4.0)
+    assert shifted[0].value == pytest.approx(40.0)
+    # The counter is analyzed as a *rate*: the stall is a downward shift.
+    stalled = [f for f in report.findings if f.component == "nic.client"]
+    assert stalled and stalled[0].direction == "down"
+    assert stalled[0].mode == "counter"
+    assert stalled[0].tenant == "t0"
+    # Findings sort by descending |z|; culprit has the largest z-mass.
+    zs = [abs(f.zscore) for f in report.findings]
+    assert zs == sorted(zs, reverse=True)
+    assert report.culprit in ("nic.server", "nic.client")
+
+
+def test_dict_dump_form_matches_live_collector():
+    collector = _make_timeline()
+    live = detect_anomalies(collector)
+    dumped = detect_anomalies(collector.to_dict())
+    assert dumped.as_dict() == live.as_dict()
+
+
+def test_rejects_non_timeline_input():
+    with pytest.raises(TypeError, match="TimelineCollector"):
+        detect_anomalies([1, 2, 3])
+
+
+def test_max_per_series_caps_oscillating_probes():
+    collector = TimelineCollector(Simulator())
+    gauge = collector.add_probe("xport", "unacked", lambda: 0)
+    # A gauge that keeps re-shifting between sustained levels trips the
+    # detector repeatedly; the cap keeps only the strongest findings.
+    for i in range(400):
+        gauge.append(i * 1000, 100.0 if (i // 20) % 2 else 5.0)
+    uncapped = detect_anomalies(collector, max_per_series=None)
+    assert len(uncapped.findings) > 5
+    capped = detect_anomalies(collector)
+    assert len(capped.findings) == 5
+    kept = sorted(abs(f.zscore) for f in capped.findings)
+    dropped = sorted(abs(f.zscore) for f in uncapped.findings)[:-5]
+    assert not dropped or kept[0] >= dropped[-1]
+
+
+def test_empty_report_has_no_culprit():
+    report = AnomalyReport()
+    assert report.culprit is None
+    assert report.culprit_tenant is None
+    assert report.as_dict()["findings"] == []
+
+
+def test_culprit_tenant_attribution():
+    collector = TimelineCollector(Simulator())
+    noisy = collector.add_probe("nic.b", "depth", lambda: 0, tenant="bully")
+    calm = collector.add_probe("nic.a", "depth", lambda: 0, tenant="victim")
+    for i in range(40):
+        noisy.append(i * 1000, 1.0 if i < 20 else 500.0)
+        calm.append(i * 1000, 3.0)
+    report = detect_anomalies(collector)
+    assert report.culprit == "nic.b"
+    assert report.culprit_tenant == "bully"
+    assert report.as_dict()["culprit_tenant"] == "bully"

@@ -35,11 +35,11 @@ def make_collector():
 
 
 def _validate_event_schema(event):
-    assert event["ph"] in ("M", "X", "C")
+    assert event["ph"] in ("M", "X", "C", "s", "t", "f")
     assert isinstance(event["pid"], int)
     assert isinstance(event["tid"], int)
     assert isinstance(event["name"], str)
-    if event["ph"] in ("X", "C"):
+    if event["ph"] in ("X", "C", "s", "t", "f"):
         assert isinstance(event["ts"], float)
     if event["ph"] == "X":
         assert isinstance(event["dur"], float)
@@ -47,12 +47,16 @@ def _validate_event_schema(event):
         assert "rpc_id" in event["args"]
     if event["ph"] == "C":
         assert isinstance(event["args"]["value"], (int, float))
+    if event["ph"] in ("s", "t", "f"):
+        assert isinstance(event["id"], int)
+    if event["ph"] == "f":
+        assert event["bp"] == "e"
 
 
 def test_events_validate_and_cover_all_kinds():
     events = chrome_trace_events(make_tracer(), make_collector())
     kinds = {e["ph"] for e in events}
-    assert kinds == {"M", "X", "C"}
+    assert kinds == {"M", "X", "C", "s", "f"}
     for event in events:
         _validate_event_schema(event)
 
@@ -94,6 +98,44 @@ def test_counter_tracks_rate_and_gauge():
     # gauge exported raw, including the baseline sample.
     gauge = by_name["nic.rx_depth"]
     assert [e["args"]["value"] for e in gauge] == [0, 4, 14]
+
+
+def test_flow_events_link_slices_across_tracks():
+    events = chrome_trace_events(make_tracer())
+    flows = [e for e in events if e["ph"] in ("s", "t", "f")]
+    # Span 1 hops client CPU -> other (2 tracks): one "s"/"f" pair.
+    # Span 2 has a single slice: no arrow to draw, no flow events.
+    assert [e["ph"] for e in flows] == ["s", "f"]
+    assert all(e["id"] == 1 for e in flows)
+    assert all(e["name"] == "rpc flow" for e in flows)
+    start, finish = flows
+    assert TRACKS[start["tid"]] == "client CPU"
+    assert start["ts"] == 0.0
+    assert TRACKS[finish["tid"]] == "other"
+    assert finish["ts"] == 0.04
+    assert finish["bp"] == "e"  # bind to enclosing slice
+
+
+def test_flow_chain_walks_full_pipeline():
+    from repro.obs.trace import CANONICAL_POINTS
+
+    tracer = SpanTracer()
+    for i, point in enumerate(CANONICAL_POINTS):
+        tracer.record(7, point, i * 100)
+    flows = [e for e in chrome_trace_events(tracer)
+             if e["ph"] in ("s", "t", "f")]
+    # client CPU -> client NIC -> wire -> server NIC -> server CPU ->
+    # server NIC -> wire -> client NIC -> client CPU: 9 hops.
+    assert [e["ph"] for e in flows] == ["s"] + ["t"] * 7 + ["f"]
+    walked = [TRACKS[e["tid"]] for e in flows]
+    assert walked == [
+        "client CPU", "NIC (client)", "wire", "NIC (server)", "server CPU",
+        "NIC (server)", "wire", "NIC (client)", "client CPU",
+    ]
+    # Each flow point binds inside its slice: timestamps strictly climb.
+    timestamps = [e["ts"] for e in flows]
+    assert timestamps == sorted(timestamps)
+    assert len(set(timestamps)) == len(timestamps)
 
 
 def test_max_spans_keeps_most_recent():

@@ -1,0 +1,189 @@
+"""QuantileSketch / MomentSketch: accuracy bounds, merging, serialization.
+
+The accuracy tests are property-style: for a set of adversarial
+distributions (bimodal, heavy-tail, constant, zero-inflated) the sketch's
+quantiles must sit within its configured relative-error bound of the
+exact :func:`repro.sim.stats.percentile` answer. Sample counts are chosen
+so the checked percentile ranks are integral (rank = pct/100 * (n-1)),
+where the exact answer is a real sample and the DDSketch bound applies
+without interpolation slack.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_RELATIVE_ACCURACY,
+    MomentSketch,
+    QuantileSketch,
+    merge_quantile_sketches,
+)
+from repro.sim.stats import percentile
+
+#: Percentiles with integral ranks for the 101/1001-sample streams below.
+CHECKED_PCTS = (0, 10, 50, 90, 99, 100)
+
+
+def _distributions():
+    rng = random.Random(0xDA66E4)
+    yield "constant", [42.0] * 101
+    yield "two-point bimodal", [10.0] * 50 + [10_000.0] * 51
+    yield "interleaved bimodal", [
+        rng.uniform(90, 110) if i % 2 else rng.uniform(90_000, 110_000)
+        for i in range(1001)
+    ]
+    yield "heavy tail (lognormal)", [
+        math.exp(rng.gauss(3.0, 2.0)) for i in range(1001)
+    ]
+    yield "zero-inflated", [0.0] * 300 + [
+        rng.uniform(1.0, 1000.0) for i in range(701)
+    ]
+    yield "six orders of magnitude", [
+        10.0 ** rng.uniform(0, 6) for i in range(1001)
+    ]
+
+
+@pytest.mark.parametrize("name,samples",
+                         list(_distributions()),
+                         ids=lambda v: v if isinstance(v, str) else "")
+def test_quantiles_within_relative_error_bound(name, samples):
+    sketch = QuantileSketch()
+    sketch.extend(samples)
+    data = sorted(samples)
+    for pct in CHECKED_PCTS:
+        exact = percentile(data, pct, presorted=True)
+        got = sketch.quantile(pct)
+        assert abs(got - exact) <= DEFAULT_RELATIVE_ACCURACY * exact + 1e-9, (
+            f"{name}: p{pct} sketch={got} exact={exact}"
+        )
+
+
+@pytest.mark.parametrize("shards", [2, 3, 7])
+@pytest.mark.parametrize("name,samples",
+                         list(_distributions()),
+                         ids=lambda v: v if isinstance(v, str) else "")
+def test_sharded_merge_equals_global_sketch(name, samples, shards):
+    whole = QuantileSketch()
+    whole.extend(samples)
+    parts = [QuantileSketch() for _ in range(shards)]
+    for i, value in enumerate(samples):
+        parts[i % shards].add(value)
+    merged = merge_quantile_sketches(parts)
+    # Lossless merge: bucket-for-bucket identical to one sketch fed the
+    # whole stream. Only the exact `sum` float can differ (addition
+    # order), and then only by ulps.
+    merged_record, whole_record = merged.to_record(), whole.to_record()
+    assert merged_record.pop("sum") == pytest.approx(
+        whole_record.pop("sum"), rel=1e-12)
+    assert merged_record == whole_record
+    for pct in CHECKED_PCTS:
+        assert merged.quantile(pct) == whole.quantile(pct)
+
+
+def test_memory_bounded_by_value_range_not_sample_count():
+    rng = random.Random(7)
+    sketch = QuantileSketch()
+    for _ in range(200_000):
+        sketch.add(rng.uniform(100.0, 100_000.0))
+    # Buckets cover [100, 1e5]: about log_gamma(1e3) ~ 346 of them at the
+    # default 1% accuracy, however many samples streamed through.
+    expected = math.log(1_000.0) / math.log((1.01) / (0.99))
+    assert sketch.bucket_count <= expected + 2
+    assert sketch.count == 200_000
+
+
+def test_exact_fields_carry_no_sketch_error():
+    values = [5.0, 1.0, 3.0, 0.0, 11.5]
+    sketch = QuantileSketch()
+    sketch.extend(values)
+    assert sketch.count == len(values)
+    assert sketch.min == 0.0
+    assert sketch.max == 11.5
+    assert sketch.mean == pytest.approx(sum(values) / len(values))
+    assert sketch.quantile(0) == 0.0
+    assert sketch.quantile(100) == 11.5
+
+
+def test_add_with_multiplicity_matches_repeats():
+    a = QuantileSketch()
+    b = QuantileSketch()
+    a.add(7.5, n=40)
+    for _ in range(40):
+        b.add(7.5)
+    assert a.to_record() == b.to_record()
+
+
+def test_validation_errors():
+    sketch = QuantileSketch()
+    with pytest.raises(ValueError, match="relative_accuracy"):
+        QuantileSketch(relative_accuracy=1.5)
+    with pytest.raises(ValueError, match=">= 0"):
+        sketch.add(-1.0)
+    with pytest.raises(ValueError, match="n must be"):
+        sketch.add(1.0, n=0)
+    with pytest.raises(ValueError, match="empty"):
+        sketch.quantile(50)
+    with pytest.raises(ValueError, match="empty"):
+        sketch.mean
+    sketch.add(1.0)
+    with pytest.raises(ValueError, match="percentile"):
+        sketch.quantile(101)
+    with pytest.raises(ValueError, match="accuracies"):
+        sketch.merge(QuantileSketch(relative_accuracy=0.05))
+    with pytest.raises(ValueError, match="no sketches"):
+        QuantileSketch.merged([])
+
+
+def test_quantile_record_round_trip():
+    sketch = QuantileSketch(relative_accuracy=0.02)
+    sketch.extend([0.0, 3.0, 900.0, 3.0])
+    record = json.loads(json.dumps(sketch.to_record()))
+    restored = QuantileSketch.from_record(record)
+    assert restored.to_record() == sketch.to_record()
+    assert restored.quantile(50) == sketch.quantile(50)
+    with pytest.raises(ValueError, match="quantile_sketch"):
+        QuantileSketch.from_record({"type": "timeseries"})
+
+
+def test_moment_sketch_moments_and_merge():
+    rng = random.Random(3)
+    values = [rng.gauss(50.0, 12.0) for _ in range(500)]
+    whole = MomentSketch()
+    left, right = MomentSketch(), MomentSketch()
+    for i, value in enumerate(values):
+        whole.add(value)
+        (left if i % 2 else right).add(value)
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    assert whole.mean == pytest.approx(mean)
+    assert whole.variance == pytest.approx(variance)
+    assert whole.stddev == pytest.approx(math.sqrt(variance))
+    merged = left.merge(right)
+    assert merged.count == whole.count
+    assert merged.mean == pytest.approx(whole.mean)
+    assert merged.variance == pytest.approx(whole.variance)
+
+
+def test_moment_sketch_record_round_trip():
+    sketch = MomentSketch()
+    sketch.add(2.0, n=3)
+    sketch.add(-1.0)
+    restored = MomentSketch.from_record(
+        json.loads(json.dumps(sketch.to_record())))
+    assert restored.to_record() == sketch.to_record()
+    assert restored.min == -1.0 and restored.max == 2.0
+    with pytest.raises(ValueError, match="moment_sketch"):
+        MomentSketch.from_record({"type": "quantile_sketch"})
+
+
+def test_constant_stream_variance_guard_stays_nonnegative():
+    sketch = MomentSketch()
+    for _ in range(1000):
+        sketch.add(1e9 + 0.1)  # float cancellation territory
+    assert sketch.variance >= 0.0
+    # Sum-of-squares keeps ~1e-7 relative precision at this scale; the
+    # guard's contract is only that cancellation never goes negative.
+    assert sketch.stddev <= 1e-6 * sketch.mean

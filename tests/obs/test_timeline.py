@@ -1,5 +1,7 @@
 """TimelineCollector, TimeSeries, and bottleneck attribution."""
 
+import math
+
 import pytest
 
 from repro.obs import (
@@ -39,6 +41,44 @@ def test_series_rate_and_window_delta():
     series.append(300, 150)
     assert series.rate() == [(100, 0.5), (300, 0.5)]
     assert series.window_delta() == (300, 150)
+
+
+def test_series_rate_survives_stop_overwrite():
+    # Regression: stop() takes a closing sample at whatever time the sim
+    # stopped — which can equal the last periodic sample's timestamp.
+    # append() must overwrite (not duplicate) that point and rate() must
+    # skip any zero-width interval instead of dividing by it.
+    series = TimeSeries("c", "bytes", mode="counter")
+    series.append(0, 0)
+    series.append(100, 50)
+    series.append(100, 60)  # closing sample on the same tick
+    assert series.times == [0, 100]
+    assert series.values == [0, 60]
+    assert series.rate() == [(100, 0.6)]
+
+
+def test_collector_stop_on_sample_tick_keeps_rate_finite():
+    # End-to-end form of the same regression through the collector: stop
+    # landing exactly on a sampling tick must not yield a 0-width step.
+    sim = Simulator()
+    collector = TimelineCollector(sim, interval_ns=100)
+    clock = {"v": 0}
+    collector.add_probe("c", "bytes", lambda: clock["v"], mode="counter")
+
+    def work():
+        for _ in range(5):
+            yield 100
+            clock["v"] += 50
+
+    sim.spawn(work())
+    collector.start()
+    sim.run()
+    collector.stop()  # sim.now is 500, same tick as the last sample
+    series = collector.series()[0]
+    assert series.times == sorted(set(series.times))
+    rates = series.rate()  # must not divide by a zero-width interval
+    assert len(rates) == len(series) - 1
+    assert all(math.isfinite(rate) for _, rate in rates)
 
 
 def test_series_rejects_unknown_mode():

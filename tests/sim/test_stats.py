@@ -170,3 +170,101 @@ def test_recorder_summary_keep_samples_passthrough():
     recorder.record(0, 300)
     assert recorder.summary().samples is None
     assert recorder.summary(keep_samples=True).samples == (100, 300)
+
+
+# ------------------------------------------------- sketch-mode recording
+
+
+def _sketch_recorder(latencies, **kwargs):
+    recorder = LatencyRecorder(mode="sketch", **kwargs)
+    for i, latency in enumerate(latencies):
+        recorder.record(i * 10, i * 10 + latency)
+    return recorder
+
+
+def test_sketch_mode_keeps_no_samples():
+    recorder = _sketch_recorder(range(1, 10_001))
+    assert recorder.count == 10_000
+    assert recorder.tracked_samples == 0
+    assert recorder.samples == []
+    # Memory observable: buckets, not samples, bound the footprint.
+    assert recorder.sketch.bucket_count < 1200
+
+
+def test_exact_mode_tracked_samples_equals_count():
+    recorder = LatencyRecorder()
+    recorder.record(0, 100)
+    recorder.record(0, 300)
+    assert recorder.tracked_samples == recorder.count == 2
+
+
+def test_sketch_summary_within_accuracy_of_exact():
+    latencies = [100 + 7 * i for i in range(101)]  # integral pct ranks
+    sketched = _sketch_recorder(latencies).summary()
+    exact = SummaryStats.from_samples(latencies)
+    assert sketched.count == exact.count
+    assert sketched.mean_ns == pytest.approx(exact.mean_ns)
+    assert sketched.min_ns == exact.min_ns
+    assert sketched.max_ns == exact.max_ns
+    for attr in ("p50_ns", "p90_ns", "p99_ns"):
+        assert getattr(sketched, attr) == pytest.approx(
+            getattr(exact, attr), rel=0.01)
+
+
+def test_from_sketch_merge_without_samples():
+    # The whole point of sketch mode: SummaryStats.merge works across
+    # shards with no retained samples anywhere.
+    parts = [_sketch_recorder([100, 200, 300]).summary(),
+             _sketch_recorder([150, 250]).summary()]
+    assert all(part.samples is None for part in parts)
+    merged = SummaryStats.merge(parts)
+    assert merged.count == 5
+    assert merged.min_ns == 100
+    assert merged.max_ns == 300
+    assert merged.sketch is not None  # merges compose
+
+
+def test_merge_rejects_mixed_backings():
+    sketched = _sketch_recorder([100, 200]).summary()
+    exact = SummaryStats.from_samples([100, 200], keep_samples=True)
+    with pytest.raises(ValueError, match="sketch-backed"):
+        SummaryStats.merge([sketched, exact])
+
+
+def test_sketch_recorder_extend_and_mode_mismatch():
+    a = _sketch_recorder([100, 200])
+    b = _sketch_recorder([300])
+    a.extend(b)
+    assert a.count == 3
+    with pytest.raises(ValueError, match="different mode"):
+        a.extend(LatencyRecorder())
+    with pytest.raises(ValueError, match="different mode"):
+        LatencyRecorder().extend(_sketch_recorder([1]))
+
+
+def test_merge_recorders_adopts_sketch_mode():
+    merged = merge_recorders([_sketch_recorder([100], sketch_accuracy=0.02),
+                              _sketch_recorder([200], sketch_accuracy=0.02)])
+    assert merged.sketch is not None
+    assert merged.sketch.relative_accuracy == 0.02
+    assert merged.count == 2
+    assert merged.tracked_samples == 0
+
+
+def test_sketch_mode_validation():
+    with pytest.raises(ValueError, match="mode"):
+        LatencyRecorder(mode="approximate")
+    with pytest.raises(ValueError, match="sketch_accuracy"):
+        LatencyRecorder(sketch_accuracy=0.01)  # exact mode
+    with pytest.raises(ValueError, match="keep_samples"):
+        _sketch_recorder([100]).summary(keep_samples=True)
+
+
+def test_sketch_mode_warmup_and_throughput_unchanged():
+    recorder = LatencyRecorder(warmup_ns=1000, mode="sketch")
+    recorder.record(0, 500)  # inside warmup
+    for i in range(11):
+        recorder.record(1000 + i * 100, 1000 + i * 100 + 50)
+    assert recorder.discarded == 1
+    assert recorder.count == 11
+    assert recorder.throughput_mrps() == pytest.approx(10.0)

@@ -17,7 +17,8 @@ def test_timeline_prints_utilization_and_writes_chrome_trace(capsys, tmp_path):
     assert "ui.perfetto.dev" in out
     document = json.loads(open(out_json).read())
     assert set(document) == {"traceEvents", "displayTimeUnit"}
-    assert {e["ph"] for e in document["traceEvents"]} == {"M", "X", "C"}
+    assert {e["ph"] for e in document["traceEvents"]} == {"M", "X", "C",
+                                                      "s", "t", "f"}
 
 
 def test_timeline_open_loop_without_trace(capsys):
