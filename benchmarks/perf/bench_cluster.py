@@ -1,0 +1,135 @@
+"""Cluster gate: rack-scale runs stay deterministic and well-scaled.
+
+Three checks (ISSUE 9's CI criteria), in the style of the chaos gate:
+
+- **Determinism gate** — run a fixed-seed 8-machine social-network
+  scenario (p2c balancing, bursty Zipf-skewed sessions, autoscaler on)
+  twice *in one process* and diff the canonical-JSON results; any byte
+  of drift fails. This is the strictest reproducibility check the rig
+  offers: it catches hidden process-global state (connection counters,
+  unseeded RNGs) that a cross-process comparison would mask.
+- **Autoscaler gate** — the scenario is sized so the compute-bound
+  bottleneck tier (post_storage) must scale up at least once, and every
+  tier must end inside its [min, max] replica bounds with no unserved
+  requests left behind.
+- **Baseline gate** — a cluster-free, telemetry-off echo run must keep
+  the committed ``BENCH_kernel.json`` signature bit-identical: the new
+  harness must cost the kernel's default path nothing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_cluster.py
+        [--nreq N] [--seed S] [--load-krps K] [--report-out PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         "..", ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.cluster import (  # noqa: E402
+    cluster_signature,
+    run_cluster_point,
+)
+from repro.harness.runner import run_closed_loop  # noqa: E402
+
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+
+def canonical(data) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nreq", type=int, default=1500,
+                        help="requests in the gated run (default 1500)")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="cluster + workload seed (default 11)")
+    parser.add_argument("--load-krps", type=float, default=80.0,
+                        help="peak offered load (default 80, which "
+                        "saturates one post_storage replica)")
+    parser.add_argument("--report-out", default=None, metavar="PATH",
+                        help="write the gated run's result JSON here")
+    args = parser.parse_args(argv)
+
+    failures = []
+    scenario = dict(app="social_network", machines=8, policy="p2c",
+                    modulation="bursty", load_krps=args.load_krps,
+                    nreq=args.nreq, seed=args.seed)
+
+    # -- determinism gate ----------------------------------------------------
+    first = run_cluster_point(**scenario)
+    second = run_cluster_point(**scenario)
+    if cluster_signature(first) != cluster_signature(second):
+        failures.append(
+            "two in-process runs of the same seeded cluster scenario "
+            "diverged (canonical JSON differs)"
+        )
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(first, handle, indent=2, sort_keys=True)
+        print(f"wrote cluster result to {args.report_out}")
+
+    # -- autoscaler gate -----------------------------------------------------
+    print(f"cluster[social_network] seed={args.seed}: "
+          f"{first['completed']}/{args.nreq} completed, "
+          f"thr {first['throughput_krps']} Krps, "
+          f"p99 {first['p99_us']} us, "
+          f"SLO {first['slo_attainment']:.1%}, "
+          f"{len(first['scaling_events'])} scaling events")
+    if first["completed"] != args.nreq or first["lost"] != 0:
+        failures.append(
+            f"accounting leak: {first['completed']} completed + "
+            f"{first['lost']} lost != {args.nreq} issued"
+        )
+    bottleneck = first["tiers"]["post_storage"]
+    if bottleneck["scale_ups"] < 1:
+        failures.append(
+            "the autoscaler never grew the saturated post_storage tier "
+            f"(busy one-replica tier at {args.load_krps} Krps peak)"
+        )
+    for name, tier in first["tiers"].items():
+        if not tier["min"] <= tier["final"] <= tier["max"]:
+            failures.append(
+                f"tier {name} ended at {tier['final']} replicas, outside "
+                f"[{tier['min']}, {tier['max']}]"
+            )
+        if not tier["peak"] <= tier["max"]:
+            failures.append(
+                f"tier {name} peaked at {tier['peak']} replicas, above "
+                f"max {tier['max']}"
+            )
+
+    # -- baseline gate -------------------------------------------------------
+    with open(BASELINE_PATH) as handle:
+        committed = json.load(handle)["echo"]
+    result = run_closed_loop(batch_size=4, nreq=4000)
+    signature = {
+        "throughput_mrps": result.throughput_mrps,
+        "p50_us": result.p50_us,
+        "p99_us": result.p99_us,
+        "count": result.count,
+    }
+    if canonical(signature) != canonical(committed["signature"]):
+        failures.append(
+            "cluster-free echo signature drifted from BENCH_kernel.json: "
+            f"{canonical(signature)} != {canonical(committed['signature'])}"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("PASS: bit-identical across two in-process runs; autoscaler "
+          f"grew post_storage to {bottleneck['peak']} replicas within "
+          "bounds; cluster-free baseline unchanged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

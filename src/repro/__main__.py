@@ -37,7 +37,11 @@ import sys
 import time
 
 from repro.harness import experiments
-from repro.harness.report import render_bottleneck, render_table
+from repro.harness.report import (
+    render_bottleneck,
+    render_slo_curve,
+    render_table,
+)
 
 #: experiment id -> (description, runner returning printable text)
 _REGISTRY = {}
@@ -188,6 +192,22 @@ def _mesh(jobs=1, cache=True, shards=None):
          for r in rows],
         title="4-host full-mesh echo, serial vs sharded "
               "(repro.sim.sharded; signatures must match byte-for-byte)",
+    )
+
+
+@_register("cluster",
+           "Rack-scale cluster: SLO attainment under skewed bursty load "
+           "with autoscaling")
+def _cluster(jobs=1, cache=True):
+    deadline_us = 500.0
+    rows = experiments.cluster_slo(deadline_us=deadline_us, jobs=jobs,
+                                   cache=cache)
+    first = rows[0]
+    return render_slo_curve(
+        rows, deadline_us,
+        title=f"{first['app']} on {first['machines']} machines "
+              f"({first['policy']} balancing, {first['modulation']} "
+              "arrivals, Zipf-skewed sessions)",
     )
 
 

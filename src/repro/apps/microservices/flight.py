@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.apps.kvs.mica import MicaServer
 from repro.apps.microservices.graph import GraphResult, ServiceGraph
@@ -98,6 +98,164 @@ class FlightApp:
         )
 
 
+def _flight_logic_tiers(
+    optimized: bool,
+    flight_workers: int,
+    checkin_workers: int,
+    passport_workers: int,
+    flight_post_work_ns: int,
+    seed: int,
+) -> List[TierSpec]:
+    """The six logic tiers (everything except the MICA-backed storage).
+
+    Shared between the single-machine :func:`build_flight_app` and the
+    declarative :func:`flight_cluster_tiers`, so the two deployments can
+    never drift apart.
+    """
+
+    def model(workers: int):
+        if optimized:
+            return dict(threading=ThreadingModel.WORKER, num_workers=workers)
+        return dict(threading=ThreadingModel.DISPATCH)
+
+    return [
+        TierSpec(
+            name="flight",
+            methods={"info": MethodSpec(
+                compute=LogNormal(2_000, sigma=0.4, rng=seed + 4),
+                post_compute_ns=flight_post_work_ns,
+                response_bytes=48,
+            )},
+            num_dispatch_threads=1,
+            **model(flight_workers),
+        ),
+        TierSpec(
+            name="baggage",
+            methods={"check": MethodSpec(
+                compute=LogNormal(1_500, sigma=0.4, rng=seed + 5),
+                response_bytes=24,
+            )},
+            num_dispatch_threads=1,
+        ),
+        TierSpec(
+            name="passport",
+            methods={"verify": MethodSpec(
+                compute=LogNormal(1_000, sigma=0.4, rng=seed + 6),
+                stages=[[CallSpec("citizens_db", method="get",
+                                  payload_bytes=24, use_key=True)]],
+                response_bytes=24,
+                request_key=True,
+            )},
+            num_dispatch_threads=1,
+            **model(passport_workers),
+        ),
+        TierSpec(
+            name="check_in",
+            methods={"check_in": MethodSpec(
+                compute=LogNormal(1_200, sigma=0.4, rng=seed + 7),
+                stages=[
+                    [
+                        CallSpec("flight", method="info", payload_bytes=48),
+                        CallSpec("baggage", method="check",
+                                 payload_bytes=32),
+                        CallSpec("passport", method="verify",
+                                 payload_bytes=48, use_key=True),
+                    ],
+                    [CallSpec("airport_db", method="set", payload_bytes=64,
+                              use_key=True)],
+                ],
+                response_bytes=32,
+                request_key=True,
+            )},
+            num_dispatch_threads=2,
+            **model(checkin_workers),
+        ),
+        TierSpec(
+            name="passenger_frontend",
+            methods={"register": MethodSpec(
+                compute=LogNormal(800, sigma=0.4, rng=seed + 8),
+                stages=[[CallSpec("check_in", method="check_in",
+                                  payload_bytes=96, use_key=True)]],
+                response_bytes=32,
+                request_key=True,
+            )},
+            num_dispatch_threads=2,
+        ),
+        TierSpec(
+            name="staff_frontend",
+            methods={"staff_check": MethodSpec(
+                compute=LogNormal(800, sigma=0.4, rng=seed + 9),
+                stages=[[CallSpec("airport_db", method="get",
+                                  payload_bytes=24, use_key=True)]],
+                response_bytes=48,
+                request_key=True,
+            )},
+            num_dispatch_threads=1,
+        ),
+    ]
+
+
+def flight_cluster_tiers(
+    optimized: bool = True,
+    flight_workers: int = 22,
+    checkin_workers: int = 8,
+    passport_workers: int = 4,
+    flight_post_work_ns: int = FLIGHT_POST_WORK_NS,
+    seed: int = 9,
+) -> List[TierSpec]:
+    """Declarative Flight tier specs for the cluster harness.
+
+    The logic tiers are byte-for-byte the single-machine specs; the two
+    storage tiers swap the functional MICA backend for a declarative cost
+    model (the MICA costs of :data:`repro.apps.kvs.mica.MICA_COSTS` are
+    sub-microsecond, so a LogNormal around them preserves the latency
+    shape). The functional-MICA deployment stays single-machine: its
+    partition maps are keyed by built dispatch threads, which a replica
+    pool re-creates per replica — replicated *stateful* storage is its
+    own future work.
+    """
+    storage = [
+        TierSpec(
+            name="airport_db",
+            methods={
+                "get": MethodSpec(
+                    compute=LogNormal(150, sigma=0.3, rng=seed + 1),
+                    response_bytes=16,
+                    request_key=True,
+                ),
+                "set": MethodSpec(
+                    compute=LogNormal(200, sigma=0.3, rng=seed + 2),
+                    post_compute_ns=100,
+                    response_bytes=8,
+                    request_key=True,
+                ),
+            },
+            num_dispatch_threads=2,
+            load_balancer="object-level",
+        ),
+        TierSpec(
+            name="citizens_db",
+            methods={
+                "get": MethodSpec(
+                    compute=LogNormal(150, sigma=0.3, rng=seed + 3),
+                    response_bytes=16,
+                    request_key=True,
+                ),
+            },
+            num_dispatch_threads=2,
+            load_balancer="object-level",
+        ),
+    ]
+    return storage + _flight_logic_tiers(
+        optimized=optimized,
+        flight_workers=flight_workers,
+        checkin_workers=checkin_workers,
+        passport_workers=passport_workers,
+        flight_post_work_ns=flight_post_work_ns,
+        seed=seed,
+    )
+
+
 def build_flight_app(
     optimized: bool = False,
     stack_name: str = "dagger",
@@ -109,11 +267,6 @@ def build_flight_app(
 ) -> FlightApp:
     """Build the 8-tier app with the Simple or Optimized threading model."""
     graph = ServiceGraph(stack_name=stack_name, seed=seed)
-
-    def model(workers: int):
-        if optimized:
-            return dict(threading=ThreadingModel.WORKER, num_workers=workers)
-        return dict(threading=ThreadingModel.DISPATCH)
 
     # -- storage tiers (MICA-backed, object-level balancing) ----------------
     airport_threads = 2
@@ -153,78 +306,15 @@ def build_flight_app(
     ))
 
     # -- logic tiers ----------------------------------------------------------
-    graph.add_tier(TierSpec(
-        name="flight",
-        methods={"info": MethodSpec(
-            compute=LogNormal(2_000, sigma=0.4, rng=seed + 4),
-            post_compute_ns=flight_post_work_ns,
-            response_bytes=48,
-        )},
-        num_dispatch_threads=1,
-        **model(flight_workers),
-    ))
-    graph.add_tier(TierSpec(
-        name="baggage",
-        methods={"check": MethodSpec(
-            compute=LogNormal(1_500, sigma=0.4, rng=seed + 5),
-            response_bytes=24,
-        )},
-        num_dispatch_threads=1,
-    ))
-    graph.add_tier(TierSpec(
-        name="passport",
-        methods={"verify": MethodSpec(
-            compute=LogNormal(1_000, sigma=0.4, rng=seed + 6),
-            stages=[[CallSpec("citizens_db", method="get",
-                              payload_bytes=24, use_key=True)]],
-            response_bytes=24,
-            request_key=True,
-        )},
-        num_dispatch_threads=1,
-        **model(passport_workers),
-    ))
-    graph.add_tier(TierSpec(
-        name="check_in",
-        methods={"check_in": MethodSpec(
-            compute=LogNormal(1_200, sigma=0.4, rng=seed + 7),
-            stages=[
-                [
-                    CallSpec("flight", method="info", payload_bytes=48),
-                    CallSpec("baggage", method="check", payload_bytes=32),
-                    CallSpec("passport", method="verify", payload_bytes=48,
-                             use_key=True),
-                ],
-                [CallSpec("airport_db", method="set", payload_bytes=64,
-                          use_key=True)],
-            ],
-            response_bytes=32,
-            request_key=True,
-        )},
-        num_dispatch_threads=2,
-        **model(checkin_workers),
-    ))
-    graph.add_tier(TierSpec(
-        name="passenger_frontend",
-        methods={"register": MethodSpec(
-            compute=LogNormal(800, sigma=0.4, rng=seed + 8),
-            stages=[[CallSpec("check_in", method="check_in",
-                              payload_bytes=96, use_key=True)]],
-            response_bytes=32,
-            request_key=True,
-        )},
-        num_dispatch_threads=2,
-    ))
-    graph.add_tier(TierSpec(
-        name="staff_frontend",
-        methods={"staff_check": MethodSpec(
-            compute=LogNormal(800, sigma=0.4, rng=seed + 9),
-            stages=[[CallSpec("airport_db", method="get",
-                              payload_bytes=24, use_key=True)]],
-            response_bytes=48,
-            request_key=True,
-        )},
-        num_dispatch_threads=1,
-    ))
+    for spec in _flight_logic_tiers(
+        optimized=optimized,
+        flight_workers=flight_workers,
+        checkin_workers=checkin_workers,
+        passport_workers=passport_workers,
+        flight_post_work_ns=flight_post_work_ns,
+        seed=seed,
+    ):
+        graph.add_tier(spec)
 
     graph.build()
     # Partition maps need the built dispatch threads.

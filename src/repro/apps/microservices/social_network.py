@@ -20,7 +20,7 @@ compute-heavy Text and UserMention tiers. RPC sizes come from
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.apps.microservices.graph import ServiceGraph
 from repro.apps.microservices.tier import CallSpec, MethodSpec, TierSpec
@@ -95,11 +95,17 @@ def _leaf(name: str, sigma: float = 0.45, threads: int = 2,
     )
 
 
-def build_social_network(
-    graph: ServiceGraph,
+def social_network_tiers(
     cores: Optional[Dict[str, Sequence[int]]] = None,
-) -> ServiceGraph:
-    """Add the Social Network tiers to a graph (caller then builds/runs).
+) -> List[TierSpec]:
+    """The Social Network tier specs, in dependency order.
+
+    The single-machine :func:`build_social_network` adds these to a
+    :class:`~repro.apps.microservices.graph.ServiceGraph`; the cluster
+    harness (:mod:`repro.harness.cluster`) deploys the same specs as
+    replica pools across machines. Each call builds fresh specs (and
+    fresh seeded distributions), so independent rigs never share RNG
+    state.
 
     ``cores`` optionally pins tiers to explicit cores (the Fig 5
     interference experiment pins everything to 4 shared cores).
@@ -109,12 +115,13 @@ def build_social_network(
     def pin(name):
         return cores.get(name)
 
+    tiers: List[TierSpec] = []
     for leaf in ("media", "user", "unique_id", "user_mention",
                  "url_shorten"):
-        graph.add_tier(_leaf(leaf, cores=pin(leaf)))
-    graph.add_tier(_leaf("post_storage", threads=3, cores=pin("post_storage")))
+        tiers.append(_leaf(leaf, cores=pin(leaf)))
+    tiers.append(_leaf("post_storage", threads=3, cores=pin("post_storage")))
 
-    graph.add_tier(TierSpec(
+    tiers.append(TierSpec(
         name="text",
         methods={"handle": MethodSpec(
             compute=LogNormal(COMPUTE_NS["text"], sigma=0.45, rng=41),
@@ -129,7 +136,7 @@ def build_social_network(
     ))
 
     for timeline in ("home_timeline", "user_timeline"):
-        graph.add_tier(TierSpec(
+        tiers.append(TierSpec(
             name=timeline,
             methods={
                 "handle": MethodSpec(  # write path (from compose)
@@ -149,7 +156,7 @@ def build_social_network(
             cores=pin(timeline),
         ))
 
-    graph.add_tier(TierSpec(
+    tiers.append(TierSpec(
         name="compose_post",
         methods={"handle": MethodSpec(
             compute=LogNormal(COMPUTE_NS["compose_post"], sigma=0.45, rng=43),
@@ -173,7 +180,7 @@ def build_social_network(
         cores=pin("compose_post"),
     ))
 
-    graph.add_tier(TierSpec(
+    tiers.append(TierSpec(
         name="nginx",
         methods={
             "compose_post": MethodSpec(
@@ -198,6 +205,16 @@ def build_social_network(
         num_dispatch_threads=4,
         cores=pin("nginx"),
     ))
+    return tiers
+
+
+def build_social_network(
+    graph: ServiceGraph,
+    cores: Optional[Dict[str, Sequence[int]]] = None,
+) -> ServiceGraph:
+    """Add the Social Network tiers to a graph (caller then builds/runs)."""
+    for spec in social_network_tiers(cores=cores):
+        graph.add_tier(spec)
     return graph
 
 

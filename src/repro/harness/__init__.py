@@ -9,6 +9,16 @@ benchmarks print.
 """
 
 from repro.harness import experiments, report
+from repro.harness.cluster import (
+    AutoscalerConfig,
+    ClusterResult,
+    ClusterRig,
+    LB_POLICIES,
+    LoadBalancer,
+    TierDeployment,
+    cluster_signature,
+    run_cluster_point,
+)
 from repro.harness.mesh import EchoMeshRig, MeshResult, run_echo_mesh
 from repro.harness.runner import (
     BenchResult,
@@ -26,6 +36,14 @@ from repro.harness.sweep import SweepPoint, run_sweep
 __all__ = [
     "experiments",
     "report",
+    "AutoscalerConfig",
+    "ClusterResult",
+    "ClusterRig",
+    "LB_POLICIES",
+    "LoadBalancer",
+    "TierDeployment",
+    "cluster_signature",
+    "run_cluster_point",
     "BenchResult",
     "EchoMeshRig",
     "EchoRig",

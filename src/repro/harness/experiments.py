@@ -840,3 +840,41 @@ def mesh_scaling(shard_counts: Optional[List[int]] = None, hosts: int = 4,
         "events_total": result["events_total"],
         "parity": mesh_signature(result) == serial,
     } for shards, result in zip(counts, results)]
+
+
+# ------------------------------------------------------- rack-scale cluster
+
+
+_CLUSTER_POINT = "repro.harness.cluster:run_cluster_point"
+
+
+def cluster_slo(loads_krps: Optional[List[float]] = None,
+                app: str = "social_network", machines: int = 8,
+                policy: str = "p2c", modulation: str = "bursty",
+                nreq: int = 2000, deadline_us: float = 500.0,
+                seed: int = 11, mode: str = "exact", jobs: int = 1,
+                cache: bool = True) -> List[Dict]:
+    """End-to-end SLO attainment vs offered load at rack scale (ISSUE 9).
+
+    Each point deploys the app as replica pools across ``machines``
+    machines behind the ToR (``repro.harness.cluster``), drives it with
+    Zipf-skewed session traffic at the given peak rate under the chosen
+    arrival modulation, and reports the fraction of requests completing
+    within ``deadline_us`` — measured from each request's *intended*
+    arrival time, so entry-queueing counts against the SLO. The
+    autoscaler is on: the per-tier replica counts in the result show
+    which tier it had to grow.
+
+    Deliberately serial-only (no ``shards``): replica selection is a
+    dynamic per-call decision the conservative-window sharded engine
+    cannot partition (see the ``repro.harness.cluster`` docstring).
+    """
+    loads = list(loads_krps or [30.0, 50.0, 70.0, 90.0])
+    return run_sweep(
+        [SweepPoint(_CLUSTER_POINT, dict(
+            app=app, machines=machines, load_krps=load, nreq=nreq,
+            policy=policy, modulation=modulation, deadline_us=deadline_us,
+            seed=seed, mode=mode,
+        )) for load in loads],
+        jobs=jobs, cache=cache,
+    )

@@ -184,3 +184,50 @@ def compare_row(name: str, paper: Optional[float], measured: float,
     ratio = measured / paper if paper else float("inf")
     return (f"{name}: paper={paper:.2f}{unit} measured={measured:.2f}{unit} "
             f"(x{ratio:.2f})")
+
+
+def render_slo_curve(rows, deadline_us: float,
+                     title: str = "SLO attainment vs offered load") -> str:
+    """Render a cluster SLO sweep: attainment curve + scaling summary.
+
+    ``rows`` are ``run_cluster_point`` result dicts (one per offered
+    load). Tiers the autoscaler grew are summarized per row as
+    ``tier initial->peak``; the event log of the highest-load row is
+    appended so the scaling is visible without opening the timeline.
+    """
+    rows = list(rows)
+
+    def scaled(row):
+        parts = [f"{name} {t['initial']}->{t['peak']}"
+                 for name, t in sorted(row["tiers"].items())
+                 if t["peak"] > t["initial"]]
+        return ", ".join(parts) if parts else "-"
+
+    table = render_table(
+        ["peak Krps", "thr Krps", "p50 us", "p99 us",
+         f"SLO<{deadline_us:g}us", "scaled tiers"],
+        [(row["load_krps"], row["throughput_krps"], row["p50_us"],
+          row["p99_us"], f"{row['slo_attainment']:.1%}", scaled(row))
+         for row in rows],
+        title=title,
+    )
+    lines = [table]
+    if rows:
+        last = rows[-1]
+        events = last["scaling_events"]
+        if events:
+            lines.append(
+                f"autoscaler events at {last['load_krps']:g} Krps peak:"
+            )
+            for event in events:
+                lines.append(
+                    f"  t={event['t_ns'] / 1e6:8.3f} ms  "
+                    f"{event['tier']:>14s} {event['action']:>4s} -> "
+                    f"{event['active']} active "
+                    f"(util {event['utilization']:.2f})"
+                )
+        else:
+            lines.append(
+                f"no autoscaler events at {last['load_krps']:g} Krps peak"
+            )
+    return "\n".join(lines)

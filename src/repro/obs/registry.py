@@ -52,17 +52,69 @@ class Gauge:
 
 
 class Histogram:
-    """A sample accumulator summarized at snapshot time."""
+    """A sample accumulator summarized at snapshot time.
 
-    __slots__ = ("samples",)
+    ``mode="exact"`` (the default) retains every sample — byte-for-byte
+    the historical behaviour. ``mode="sketch"`` streams observations into
+    a :class:`~repro.obs.sketch.QuantileSketch` instead: memory stays
+    O(1) in the observation count (million-request cluster runs), at the
+    price of percentiles being approximate within ``sketch_accuracy``
+    relative error.
+    """
 
-    def __init__(self):
+    __slots__ = ("samples", "sketch")
+
+    def __init__(self, mode: str = "exact",
+                 sketch_accuracy: Optional[float] = None):
+        if mode not in ("exact", "sketch"):
+            raise ValueError(
+                f"mode must be 'exact' or 'sketch', got {mode!r}"
+            )
         self.samples: List[float] = []
+        self.sketch = None
+        if mode == "sketch":
+            from repro.obs.sketch import (
+                DEFAULT_RELATIVE_ACCURACY,
+                QuantileSketch,
+            )
+
+            self.sketch = QuantileSketch(
+                sketch_accuracy if sketch_accuracy is not None
+                else DEFAULT_RELATIVE_ACCURACY
+            )
+        elif sketch_accuracy is not None:
+            raise ValueError("sketch_accuracy is only valid in sketch mode")
+
+    @property
+    def mode(self) -> str:
+        return "exact" if self.sketch is None else "sketch"
+
+    @property
+    def count(self) -> int:
+        if self.sketch is not None:
+            return self.sketch.count
+        return len(self.samples)
 
     def observe(self, value: float) -> None:
-        self.samples.append(value)
+        if self.sketch is not None:
+            self.sketch.add(value)
+        else:
+            self.samples.append(value)
 
     def summary(self) -> dict:
+        if self.sketch is not None:
+            sketch = self.sketch
+            if sketch.count == 0:
+                return {"count": 0}
+            return {
+                "count": sketch.count,
+                "mean": sketch.mean,
+                "p50": sketch.quantile(50),
+                "p90": sketch.quantile(90),
+                "p99": sketch.quantile(99),
+                "min": sketch.min,
+                "max": sketch.max,
+            }
         if not self.samples:
             return {"count": 0}
         data = sorted(self.samples)
@@ -94,9 +146,19 @@ class MetricsRegistry:
     def gauge(self, component: str, name: str) -> Gauge:
         return self._get_or_create(self._gauges, component, name, Gauge)
 
-    def histogram(self, component: str, name: str) -> Histogram:
-        return self._get_or_create(self._histograms, component, name,
-                                   Histogram)
+    def histogram(self, component: str, name: str, mode: str = "exact",
+                  sketch_accuracy: Optional[float] = None) -> Histogram:
+        metrics = self._histograms.setdefault(component, {})
+        hist = metrics.get(name)
+        if hist is None:
+            hist = Histogram(mode=mode, sketch_accuracy=sketch_accuracy)
+            metrics[name] = hist
+        elif hist.mode != mode:
+            raise ValueError(
+                f"histogram {component}.{name} already exists in "
+                f"{hist.mode!r} mode (requested {mode!r})"
+            )
+        return hist
 
     @staticmethod
     def _get_or_create(table, component: str, name: str, factory):

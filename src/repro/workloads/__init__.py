@@ -4,6 +4,8 @@
   the Social Network / Media tiers.
 - :mod:`repro.workloads.kv_datasets` — the tiny/small KVS dataset shapes
   and YCSB-style mixes of section 5.6.
+- :mod:`repro.workloads.sessions` — session-based open-loop traffic for
+  cluster-scale runs (Zipf-skewed sessions, bursty/diurnal modulation).
 """
 
 from repro.workloads.rpc_sizes import (
@@ -14,8 +16,26 @@ from repro.workloads.rpc_sizes import (
     sample_sizes,
 )
 from repro.workloads.kv_datasets import DATASETS, KvDataset, WORKLOAD_MIXES
+from repro.workloads.sessions import (
+    BurstModulation,
+    DiurnalModulation,
+    MODULATIONS,
+    SessionArrival,
+    SessionWorkload,
+    SteadyModulation,
+    make_modulation,
+    session_key,
+)
 
 __all__ = [
+    "BurstModulation",
+    "DiurnalModulation",
+    "MODULATIONS",
+    "SessionArrival",
+    "SessionWorkload",
+    "SteadyModulation",
+    "make_modulation",
+    "session_key",
     "SOCIAL_NETWORK_SIZES",
     "MEDIA_SIZES",
     "TierSizes",

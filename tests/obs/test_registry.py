@@ -109,3 +109,50 @@ def test_register_dagger_nic_absorbs_all_nic_stats():
     assert snap["transport.retransmissions"] == 0
     assert snap["flow_control.stalls"] == 0
     assert snap["interconnect.transactions"] == 0
+
+
+def test_sketch_histogram_matches_exact_within_accuracy():
+    registry = MetricsRegistry()
+    exact = registry.histogram("rpc", "latency_exact")
+    sketch = registry.histogram("rpc", "latency_sketch", mode="sketch")
+    for v in range(1, 5001):
+        exact.observe(float(v))
+        sketch.observe(float(v))
+    a, b = exact.summary(), sketch.summary()
+    assert b["count"] == a["count"] == 5000
+    assert a["mean"] == pytest.approx(b["mean"], rel=1e-9)  # sums exact
+    for q in ("p50", "p90", "p99", "min", "max"):
+        assert b[q] == pytest.approx(a[q], rel=0.03)
+
+
+def test_sketch_histogram_memory_is_bounded():
+    from repro.obs.registry import Histogram
+
+    hist = Histogram(mode="sketch")
+    for v in range(100_000):
+        hist.observe(float(v % 977) + 1.0)
+    assert hist.samples == []  # nothing retained raw
+    assert hist.count == 100_000
+    assert len(hist.sketch._buckets) < 1500  # O(accuracy), not O(n)
+
+
+def test_empty_sketch_histogram_summarizes_to_count_zero():
+    from repro.obs.registry import Histogram
+
+    assert Histogram(mode="sketch").summary() == {"count": 0}
+
+
+def test_histogram_mode_mismatch_rejected():
+    registry = MetricsRegistry()
+    registry.histogram("rpc", "lat", mode="sketch")
+    # Same mode re-request returns the same instance.
+    again = registry.histogram("rpc", "lat", mode="sketch")
+    assert again is registry.histogram("rpc", "lat", mode="sketch")
+    with pytest.raises(ValueError, match="sketch"):
+        registry.histogram("rpc", "lat")  # exact vs existing sketch
+    with pytest.raises(ValueError):
+        registry.histogram("rpc", "other", mode="dense")
+    from repro.obs.registry import Histogram
+
+    with pytest.raises(ValueError, match="sketch_accuracy"):
+        Histogram(mode="exact", sketch_accuracy=0.01)

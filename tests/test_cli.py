@@ -9,7 +9,7 @@ def test_registry_covers_every_paper_artifact():
     expected = {"table1", "table3", "table4", "fig3", "fig4", "fig5",
                 "fig10", "fig11-load", "fig11-scale", "fig11-bottleneck",
                 "fig12", "fig14-isolation", "fig15", "sec53", "chaos",
-                "mesh"}
+                "mesh", "cluster"}
     assert set(_REGISTRY) == expected
 
 

@@ -1,0 +1,117 @@
+"""Session-based open-loop generator (repro.workloads.sessions)."""
+
+import pytest
+
+from repro.workloads.sessions import (
+    BurstModulation,
+    DiurnalModulation,
+    MODULATIONS,
+    SessionWorkload,
+    SteadyModulation,
+    make_modulation,
+    session_key,
+)
+
+
+def test_session_key_is_stable_and_32bit():
+    # Pure function of the rank: pinned values guard against accidental
+    # PYTHONHASHSEED-style process dependence.
+    assert session_key(0) == 0x9E3779B9
+    assert session_key(1) == (2654435761 + 0x9E3779B9) & 0xFFFFFFFF
+    for rank in (0, 1, 7, 123456, 999_999):
+        key = session_key(rank)
+        assert 0 <= key <= 0xFFFFFFFF
+        assert key == session_key(rank)
+
+
+def test_same_seed_same_arrivals():
+    a = SessionWorkload(peak_rate_krps=50.0, seed=7).take(500)
+    b = SessionWorkload(peak_rate_krps=50.0, seed=7).take(500)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = SessionWorkload(peak_rate_krps=50.0, seed=7).take(200)
+    b = SessionWorkload(peak_rate_krps=50.0, seed=8).take(200)
+    assert a != b
+
+
+def test_arrival_times_strictly_forward_and_keys_match_sessions():
+    arrivals = SessionWorkload(peak_rate_krps=100.0, seed=3).take(1000)
+    last = -1
+    for arrival in arrivals:
+        assert arrival.t_ns >= last
+        last = arrival.t_ns
+        assert arrival.key == session_key(arrival.session)
+        assert arrival.method == "handle"
+
+
+def test_zipf_skew_concentrates_on_hot_sessions():
+    arrivals = SessionWorkload(num_sessions=1_000_000,
+                               peak_rate_krps=100.0,
+                               skew_theta=0.99, seed=5).take(4000)
+    hot = sum(1 for a in arrivals if a.session < 100)
+    # Zipf(0.99) over 1M sessions: the top-100 ranks carry roughly a
+    # third of the mass; uniform would give 100/1M = 0.01%.
+    assert hot / len(arrivals) > 0.2
+
+
+def test_method_mix_respected():
+    mix = {"read": 0.8, "write": 0.2}
+    arrivals = SessionWorkload(peak_rate_krps=100.0, method_mix=mix,
+                               seed=4).take(3000)
+    reads = sum(1 for a in arrivals if a.method == "read")
+    assert 0.7 < reads / len(arrivals) < 0.9
+
+
+def test_mix_validation():
+    with pytest.raises(ValueError):
+        SessionWorkload(method_mix={"a": -1.0})
+    with pytest.raises(ValueError):
+        SessionWorkload(method_mix={"a": 0.0})
+    with pytest.raises(ValueError):
+        SessionWorkload(num_sessions=0)
+    with pytest.raises(ValueError):
+        SessionWorkload(peak_rate_krps=0.0)
+
+
+def test_diurnal_factor_bounds_and_cycle():
+    mod = DiurnalModulation(period_ns=20_000_000, low=0.25)
+    values = [mod.factor(t) for t in range(0, 40_000_000, 500_000)]
+    assert all(0.25 <= v <= 1.0 for v in values)
+    assert max(values) > 0.95  # touches the peak
+    assert min(values) < 0.3  # and the trough
+    # Periodic: one full cycle apart gives the same factor.
+    assert mod.factor(3_000_000) == pytest.approx(mod.factor(23_000_000))
+
+
+def test_burst_modulation_deterministic_and_monotonic_guard():
+    a = BurstModulation(2_000_000, 4_000_000, off_factor=0.2, seed=9)
+    b = BurstModulation(2_000_000, 4_000_000, off_factor=0.2, seed=9)
+    times = range(0, 30_000_000, 250_000)
+    assert [a.factor(t) for t in times] == [b.factor(t) for t in times]
+    with pytest.raises(ValueError):
+        a.factor(0)  # backwards in time
+
+
+def test_burst_modulation_actually_toggles():
+    mod = BurstModulation(2_000_000, 4_000_000, off_factor=0.2, seed=9)
+    values = {mod.factor(t) for t in range(0, 60_000_000, 100_000)}
+    assert values == {1.0, 0.2}
+
+
+def test_bursty_stream_slower_than_steady():
+    steady = SessionWorkload(peak_rate_krps=100.0, seed=2).take(2000)
+    bursty = SessionWorkload(peak_rate_krps=100.0, seed=2,
+                             modulation=make_modulation("bursty",
+                                                        seed=3)).take(2000)
+    # Thinning only removes candidates: same count takes longer.
+    assert bursty[-1].t_ns > steady[-1].t_ns
+
+
+def test_make_modulation_names():
+    for name in MODULATIONS:
+        assert make_modulation(name, seed=1) is not None
+    assert isinstance(make_modulation("steady"), SteadyModulation)
+    with pytest.raises(ValueError):
+        make_modulation("square-wave")
