@@ -10,10 +10,17 @@ Measures two things and writes ``BENCH_kernel.json`` at the repo root:
   (``run_closed_loop(batch_size=4, nreq=4000)``);
 - **mesh**: the sharded-engine scaling scenario — a 4-host full-mesh
   closed-loop echo (``repro.harness.mesh.run_echo_mesh``) timed at 1, 2,
-  and 4 shards with rounds interleaved across shard counts. Reported as
-  events per second of wall time per shard count plus the speedup vs
-  ``shards=1``; every run's result signature must be byte-identical
-  (the conservative-window engine's parity contract), which is asserted.
+  and 4 shards with rounds interleaved across shard counts, under the
+  default adaptive window policy. Reported as events per second of wall
+  time per shard count plus the speedup vs ``shards=1``; every run's
+  result signature must be byte-identical (the conservative-window
+  engine's parity contract) — including one untimed ``window_mode=
+  "fixed"`` run, so fixed-vs-adaptive parity is asserted in the same
+  breath. The section also records the window counts of both modes
+  (engine accounting, deliberately outside the result signature) and a
+  **window-reduction** sub-section: a service-heavy latency mesh where
+  adaptive horizons must collapse at least 3x as many windows as the
+  fixed protocol needs (the deterministic count CI gates on).
   Wall-clock scaling needs real cores: the JSON records ``cpu_count`` so
   a 1-core container's flat curve is not mistaken for an engine defect.
 
@@ -76,6 +83,20 @@ MESH_HOSTS = 4
 MESH_NREQ_PER_HOST = 4000
 MESH_SHARD_COUNTS = (1, 2, 4)
 
+#: Window-reduction probe: a service-dominated latency mesh (per-request
+#: service time >> NIC pipeline latency) where nearly all fixed windows
+#: fall inside service gaps the per-flow egress estimator can prove quiet.
+#: ``batch_size=1`` so the fetch FSM never stalls on a batch timeout, and
+#: ``window=1`` so the RPC pattern is strictly request/response — the
+#: configuration where horizon stretching has the most to collapse.
+MESH_REDUCTION_KW = dict(hosts=MESH_HOSTS, nreq_per_host=200, window=1,
+                         batch_size=1, service_ns=15_000, warmup_ns=0)
+
+#: CI gate: the adaptive latency mesh must need at most a third of the
+#: fixed window count (window counts are deterministic, so this is a
+#: stable threshold, not a wall-clock flake).
+MESH_REDUCTION_MIN = 3.0
+
 _SCENARIOS = ("pump", "echo", "mesh")
 
 
@@ -127,12 +148,45 @@ def echo_subprocess(tree: str, nreq: int):
     return payload["elapsed"], tuple(payload["signature"])
 
 
-def mesh_once(shards: int, nreq_per_host: int):
+def mesh_once(shards: int, nreq_per_host: int,
+              window_mode: str = "adaptive"):
     """Time one sharded mesh run; return (seconds, result)."""
     started = time.perf_counter()
     result = run_echo_mesh(hosts=MESH_HOSTS, shards=shards,
-                           nreq_per_host=nreq_per_host)
+                           nreq_per_host=nreq_per_host,
+                           window_mode=window_mode)
     return time.perf_counter() - started, result
+
+
+def mesh_window_reduction() -> dict:
+    """Fixed vs adaptive window counts on the service-heavy latency mesh.
+
+    Deterministic (simulated counts, no wall clock): asserts bit-identical
+    payloads across modes and an at-least-``MESH_REDUCTION_MIN``x window
+    reduction, then reports both counts so regressions show up as a diff
+    in the committed JSON.
+    """
+    fixed = run_echo_mesh(window_mode="fixed", **MESH_REDUCTION_KW)
+    adaptive = run_echo_mesh(window_mode="adaptive", **MESH_REDUCTION_KW)
+    if mesh_signature(fixed) != mesh_signature(adaptive):
+        raise AssertionError(
+            "adaptive latency mesh diverges from fixed windows"
+        )
+    reduction = fixed.windows / adaptive.windows
+    if reduction < MESH_REDUCTION_MIN:
+        raise AssertionError(
+            f"adaptive window reduction regressed: {fixed.windows} fixed "
+            f"vs {adaptive.windows} adaptive windows "
+            f"({reduction:.2f}x < {MESH_REDUCTION_MIN}x)"
+        )
+    return {
+        "params": dict(MESH_REDUCTION_KW),
+        "windows_fixed": fixed.windows,
+        "windows_adaptive": adaptive.windows,
+        "stretched_windows": adaptive.stretched_windows,
+        "reduction": round(reduction, 2),
+        "min_reduction": MESH_REDUCTION_MIN,
+    }
 
 
 def run_mesh_scenario(rounds: int, nreq_per_host: int) -> dict:
@@ -144,7 +198,8 @@ def run_mesh_scenario(rounds: int, nreq_per_host: int) -> dict:
     times = {shards: [] for shards in MESH_SHARD_COUNTS}
     signatures = set()
     result = None
-    mesh_once(1, nreq_per_host)  # warmup (builders, imports, pools)
+    _, fixed = mesh_once(1, nreq_per_host, "fixed")  # warmup + parity run
+    signatures.add(mesh_signature(fixed))
     for _ in range(rounds):
         for shards in MESH_SHARD_COUNTS:
             seconds, result = mesh_once(shards, nreq_per_host)
@@ -153,21 +208,27 @@ def run_mesh_scenario(rounds: int, nreq_per_host: int) -> dict:
     if len(signatures) != 1:
         raise AssertionError(
             "sharded mesh runs are not bit-identical across shard counts "
-            f"({len(signatures)} distinct signatures)"
+            f"and window modes ({len(signatures)} distinct signatures)"
         )
     serial_median = statistics.median(times[1])
     section = {
         "hosts": MESH_HOSTS,
         "nreq_per_host": nreq_per_host,
         "cpu_count": os.cpu_count(),
+        "window_mode": result.window_mode,
         "signature": {
             "throughput_mrps": result.throughput_mrps,
             "p50_us": result.p50_us,
             "p99_us": result.p99_us,
             "count": result.count,
             "events_total": result.events_total,
-            "windows": result.windows,
         },
+        # Engine accounting, deliberately outside the parity signature:
+        # fixed and adaptive runs legally differ here.
+        "windows": {"fixed": fixed.windows, "adaptive": result.windows},
+        "stretched_windows": result.stretched_windows,
+        "skipped_shard_rounds": result.skipped_shard_rounds,
+        "window_reduction": mesh_window_reduction(),
         "shards": {},
     }
     for shards in MESH_SHARD_COUNTS:

@@ -1,13 +1,18 @@
 """Sharded-engine parity gate: serial vs sharded must be bit-identical.
 
-Runs the multi-host echo mesh (``repro.harness.mesh.run_echo_mesh``) once
-at ``shards=1`` (the serial fallback) and twice at ``--shards N``, then
-compares canonical result signatures:
+Runs the multi-host echo mesh (``repro.harness.mesh.run_echo_mesh``) in
+*both* window modes — ``fixed`` (one-lookahead conservative windows) and
+``adaptive`` (horizons stretched past hosts' declared egress bounds) — at
+``shards=1`` (the serial fallback) and ``--shards N``, then compares
+canonical result signatures:
 
 - **serial vs sharded**: the conservative-window engine's contract is that
   partitioning hosts across worker processes never changes the simulation.
   A signature diff here is a correctness bug, not a perf regression.
-- **sharded vs sharded**: the second sharded run guards run-to-run
+- **fixed vs adaptive**: stretching horizons must never change what is
+  simulated — adaptive runs are bit-identical to fixed ones, only the
+  window accounting differs.
+- **sharded vs sharded**: a second adaptive sharded run guards run-to-run
   determinism of the parallel path itself (worker scheduling must not
   leak into results).
 
@@ -33,15 +38,20 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 from repro.harness.mesh import mesh_signature, run_echo_mesh  # noqa: E402
 
 
-def _run(hosts: int, shards: int, nreq_per_host: int):
+def _run(hosts: int, shards: int, nreq_per_host: int,
+         window_mode: str = "adaptive"):
     result = run_echo_mesh(hosts=hosts, shards=shards,
-                           nreq_per_host=nreq_per_host)
+                           nreq_per_host=nreq_per_host,
+                           window_mode=window_mode)
     return {
         "shards": shards,
+        "window_mode": window_mode,
         "signature": mesh_signature(result),
         "events_per_host": result.events_per_host,
         "events_total": result.events_total,
         "windows": result.windows,
+        "stretched_windows": result.stretched_windows,
+        "skipped_shard_rounds": result.skipped_shard_rounds,
         "throughput_mrps": result.throughput_mrps,
         "p50_us": result.p50_us,
         "p99_us": result.p99_us,
@@ -65,20 +75,28 @@ def main(argv=None) -> int:
     if args.hosts < args.shards:
         parser.error("--hosts must be >= --shards")
 
+    serial_fixed = _run(args.hosts, 1, args.nreq, "fixed")
+    sharded_fixed = _run(args.hosts, args.shards, args.nreq, "fixed")
     serial = _run(args.hosts, 1, args.nreq)
     sharded = _run(args.hosts, args.shards, args.nreq)
     sharded_again = _run(args.hosts, args.shards, args.nreq)
 
-    serial_vs_sharded = serial["signature"] == sharded["signature"]
+    serial_vs_sharded = (
+        serial["signature"] == sharded["signature"]
+        and serial_fixed["signature"] == sharded_fixed["signature"]
+    )
+    fixed_vs_adaptive = serial_fixed["signature"] == serial["signature"]
     run_to_run = sharded["signature"] == sharded_again["signature"]
 
     artifact = {
         "hosts": args.hosts,
         "nreq_per_host": args.nreq,
         "cpu_count": os.cpu_count(),
-        "runs": [serial, sharded, sharded_again],
+        "runs": [serial_fixed, sharded_fixed, serial, sharded,
+                 sharded_again],
         "parity": {
             "serial_vs_sharded": serial_vs_sharded,
+            "fixed_vs_adaptive": fixed_vs_adaptive,
             "sharded_run_to_run": run_to_run,
         },
     }
@@ -87,18 +105,24 @@ def main(argv=None) -> int:
         handle.write("\n")
 
     for run in artifact["runs"]:
-        print(f"shards={run['shards']}: events={run['events_total']} "
-              f"windows={run['windows']} mrps={run['throughput_mrps']}")
+        print(f"shards={run['shards']} mode={run['window_mode']}: "
+              f"events={run['events_total']} windows={run['windows']} "
+              f"mrps={run['throughput_mrps']}")
     if not serial_vs_sharded:
         print("PARITY FAILURE: sharded signature diverges from serial",
               file=sys.stderr)
+        return 1
+    if not fixed_vs_adaptive:
+        print("PARITY FAILURE: adaptive horizons diverge from fixed "
+              "windows", file=sys.stderr)
         return 1
     if not run_to_run:
         print("PARITY FAILURE: sharded runs are not deterministic "
               "run-to-run", file=sys.stderr)
         return 1
-    print(f"parity OK: shards={args.shards} bit-identical to serial "
-          f"({args.hosts}-host mesh, {args.nreq} req/host)")
+    print(f"parity OK: shards={args.shards} bit-identical to serial in "
+          f"both window modes ({args.hosts}-host mesh, "
+          f"{args.nreq} req/host)")
     return 0
 
 

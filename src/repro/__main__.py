@@ -179,15 +179,18 @@ def _chaos(jobs=1, cache=True):
 
 @_register("mesh",
            "Sharded engine: multi-host echo mesh parity across shard counts")
-def _mesh(jobs=1, cache=True, shards=None):
+def _mesh(jobs=1, cache=True, shards=None, window_mode=None):
     shard_counts = None if shards is None else sorted({1, shards})
     rows = experiments.mesh_scaling(shard_counts=shard_counts,
-                                    jobs=jobs, cache=cache)
+                                    jobs=jobs, cache=cache,
+                                    window_mode=window_mode or "adaptive")
     return render_table(
-        ["shards", "Mrps", "p50 us", "p99 us", "windows", "events",
-         "parity"],
-        [(r["shards"], round(r["throughput_mrps"], 3), round(r["p50_us"], 3),
-          round(r["p99_us"], 3), r["windows"], r["events_total"],
+        ["shards", "mode", "Mrps", "p50 us", "p99 us", "windows",
+         "stretched", "skipped", "events", "parity"],
+        [(r["shards"], r["window_mode"], round(r["throughput_mrps"], 3),
+          round(r["p50_us"], 3), round(r["p99_us"], 3), r["windows"],
+          r["stretched_windows"], r["skipped_shard_rounds"],
+          r["events_total"],
           "bit-identical" if r["parity"] else "DIVERGED")
          for r in rows],
         title="4-host full-mesh echo, serial vs sharded "
@@ -271,6 +274,7 @@ def cmd_run(args) -> int:
               "see `python -m repro list`", file=sys.stderr)
         return 2
     shards = getattr(args, "shards", None)
+    window_mode = getattr(args, "window_mode", None)
     for target in targets:
         description, runner = _REGISTRY[target]
         print(f"== {target}: {description}")
@@ -278,8 +282,11 @@ def cmd_run(args) -> int:
         kwargs = {"jobs": args.jobs, "cache": not args.no_cache}
         # Only shard-aware experiments take the kwarg; forcing it on the
         # others would turn `run all --shards N` into a TypeError.
-        if shards is not None and "shards" in inspect.signature(runner).parameters:
+        parameters = inspect.signature(runner).parameters
+        if shards is not None and "shards" in parameters:
             kwargs["shards"] = shards
+        if window_mode is not None and "window_mode" in parameters:
+            kwargs["window_mode"] = window_mode
         print(runner(**kwargs))
         print(f"   ({time.time() - started:.1f}s)\n")
     return 0
@@ -547,6 +554,14 @@ def main(argv=None) -> int:
                                  "with N parallel event-loop workers; "
                                  "results are bit-identical to --shards 1 "
                                  "(see repro.sim.sharded)")
+    run_parser.add_argument("--window-mode", dest="window_mode",
+                            choices=("fixed", "adaptive"), default=None,
+                            help="window policy for shard-aware "
+                                 "experiments: 'adaptive' stretches "
+                                 "conservative windows past hosts' egress "
+                                 "bounds, 'fixed' grants one lookahead per "
+                                 "window; payloads are bit-identical "
+                                 "either way")
     sweep_parser = sub.add_parser(
         "sweep", help="inspect or purge the sweep result cache"
     )

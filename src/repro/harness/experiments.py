@@ -807,16 +807,20 @@ def sec53_raw_access() -> Dict:
 
 def mesh_scaling(shard_counts: Optional[List[int]] = None, hosts: int = 4,
                  nreq_per_host: int = 2000, jobs: int = 1,
-                 cache: bool = True) -> List[Dict]:
+                 cache: bool = True,
+                 window_mode: str = "adaptive") -> List[Dict]:
     """Sharded-engine parity over the multi-host echo mesh (ISSUE 7).
 
     Runs the full-mesh closed-loop echo at each shard count through
     ``run_sweep`` and reports the *simulated* metrics plus a ``parity``
     flag: every row's result signature (everything except the shard count
-    itself) must be byte-identical to the serial row's. Wall-clock scaling
-    is deliberately not measured here — it belongs to
-    ``benchmarks/perf/bench_kernel.py --scenario mesh``, outside the
-    deterministic cache.
+    and window accounting) must be byte-identical to the serial row's.
+    ``window_mode`` selects the horizon policy (``"adaptive"`` stretches
+    conservative windows past hosts' declared egress bounds, ``"fixed"``
+    is the classic one-lookahead grant); both must produce the same
+    signature. Wall-clock scaling is deliberately not measured here — it
+    belongs to ``benchmarks/perf/bench_kernel.py --scenario mesh``,
+    outside the deterministic cache.
     """
     from repro.harness.mesh import mesh_signature
 
@@ -826,17 +830,21 @@ def mesh_scaling(shard_counts: Optional[List[int]] = None, hosts: int = 4,
     results = run_sweep(
         [SweepPoint("repro.harness.mesh:run_echo_mesh", dict(
             hosts=hosts, shards=shards, nreq_per_host=nreq_per_host,
+            window_mode=window_mode,
         )) for shards in counts],
         jobs=jobs, cache=cache,
     )
     serial = mesh_signature(results[counts.index(1)])
     return [{
         "shards": shards,
+        "window_mode": result["window_mode"],
         "throughput_mrps": result["throughput_mrps"],
         "p50_us": result["p50_us"],
         "p99_us": result["p99_us"],
         "count": result["count"],
         "windows": result["windows"],
+        "stretched_windows": result["stretched_windows"],
+        "skipped_shard_rounds": result["skipped_shard_rounds"],
         "events_total": result["events_total"],
         "parity": mesh_signature(result) == serial,
     } for shards, result in zip(counts, results)]

@@ -24,6 +24,7 @@ parity gates (tests, ``bench_sharded.py``, CI) compare byte-for-byte.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Union
 
@@ -34,7 +35,7 @@ from repro.hw.platform import Machine, MachineConfig
 from repro.hw.switch import ShardBoundary
 from repro.rpc import RpcClient, RpcThreadedServer, ThreadingModel
 from repro.sim import LatencyRecorder, Simulator, SummaryStats
-from repro.sim.sharded import canonical_json, run_sharded
+from repro.sim.sharded import EGRESS_NEVER, canonical_json, run_sharded
 from repro.sim.stats import _check_mode
 from repro.stacks import DaggerStack
 
@@ -156,14 +157,31 @@ class MeshHost:
         self.recorder = LatencyRecorder(name=f"h{host_id}",
                                         warmup_ns=warmup_ns, mode=mode)
         self.completed = 0
+        self.service_ns = service_ns
         base, extra = divmod(nreq_per_host, len(peers))
         self.quotas = [base + (1 if i < extra else 0)
                        for i in range(len(peers))]
-        for client, quota in zip(self.clients, self.quotas):
+        self._issued = [0] * len(peers)
+        for index, (client, quota) in enumerate(zip(self.clients,
+                                                    self.quotas)):
             if quota:
-                self.sim.spawn(self._issue(client, quota))
+                self.sim.spawn(self._issue(index, client, quota))
 
-    def _issue(self, client: RpcClient, quota: int):
+        # Adaptive-horizon support (repro.sim.sharded): the boundary tracks
+        # per-address delivery counts, the delivery hook keeps per-client-
+        # flow request arrival times, and _egress_bound turns those plus
+        # the client/server counters into a conservative earliest-next-
+        # egress estimate. A request arriving at the server cannot cause a
+        # new cross-host send before service_ns has elapsed — that is the
+        # ingress floor the coordinator stretches past.
+        self._flow_deliveries: Dict[int, deque] = {r: deque() for r in peers}
+        self._flow_answered = {r: 0 for r in peers}
+        self.boundary.delivery_hook = self._on_delivery
+        self.boundary.egress_bound_fn = self._egress_bound
+        if service_ns > 0:
+            self.boundary.ingress_floors[_server_address(host_id)] = service_ns
+
+    def _issue(self, index: int, client: RpcClient, quota: int):
         """Closed loop: keep ``window`` RPCs in flight until quota issued.
 
         Self-terminating — no completion gate: the sharded engine runs every
@@ -181,10 +199,82 @@ class MeshHost:
             while client.outstanding >= self.window:
                 yield 100
             issued += 1
+            # Counted *before* submission: from here until the NIC puts the
+            # request on the wire, the host must report "egress imminent".
+            self._issued[index] = issued
             yield from client.call_async(
                 "echo", b"x" * min(self.rpc_bytes, 8), self.rpc_bytes,
                 callback=on_complete,
             )
+
+    def _on_delivery(self, dst_address: str, packet: Any) -> None:
+        """Boundary delivery hook: record per-flow request arrival times.
+
+        Only requests (deliveries to the server address) matter for the
+        serving bound; responses to the client address are covered by the
+        delivered-vs-completed check in :meth:`_egress_bound`. The client
+        flow a request belongs to is recovered from the packet's mesh
+        connection id, which encodes the (client_host, server_host) pair.
+        """
+        if dst_address != _server_address(self.host_id):
+            return
+        client_host = ((packet.connection_id - _MESH_CONNECTION_BASE)
+                       // self.hosts)
+        self._flow_deliveries[client_host].append(self.sim.now)
+
+    def _egress_bound(self):
+        """Conservative earliest next cross-host send (adaptive horizons).
+
+        Every cross-host send from this host is either a request (client
+        NIC -> a peer's server address) or a response (server NIC -> a
+        peer's client address), and ``boundary.sent_by_address`` counts the
+        wire-level truth for both. The host claims a bound only for states
+        it can prove from counters:
+
+        - anything issued but not yet on the wire, or delivered but not yet
+          completed, or a client that is free to issue -> no claim (None);
+        - requests delivered but not yet answered on the wire -> the oldest
+          unanswered delivery plus the handler's minimum service time.
+          Responses leave in delivery order *within* a client flow (one
+          FIFO dispatch lane per flow, identical minimum service time), so
+          each flow's queue is trimmed by the per-flow response count and
+          the bound is the min over flows of head-of-queue + service;
+        - fully drained and every client blocked or done -> EGRESS_NEVER.
+
+        Unsound claims are fail-stop (the engine's arrival check), and the
+        mesh parity gates compare fixed vs adaptive byte-for-byte.
+        """
+        if self.client_stack.drops or self.server_stack.drops:
+            return None  # drop accounting breaks the send-count algebra
+        boundary = self.boundary
+        sent = boundary.sent_by_address
+        delivered = boundary.delivered_by_address
+        peers = [h for h in range(self.hosts) if h != self.host_id]
+        if sum(sent.get(_server_address(r), 0)
+               for r in peers) < sum(self._issued):
+            return None  # request(s) still inside the client TX pipeline
+        if delivered.get(_client_address(self.host_id), 0) > self.completed:
+            return None  # response mid-RX: completion may free a slot now
+        for index, client in enumerate(self.clients):
+            if (self._issued[index] < self.quotas[index]
+                    and client.outstanding < self.window):
+                return None  # free to issue immediately
+        bound = None
+        for remote in peers:
+            answered = sent.get(_client_address(remote), 0)
+            queue = self._flow_deliveries[remote]
+            trimmed = self._flow_answered[remote]
+            while trimmed < answered and queue:
+                queue.popleft()
+                trimmed += 1
+            self._flow_answered[remote] = trimmed
+            if queue:
+                flow_bound = queue[0] + self.service_ns
+                bound = (flow_bound if bound is None
+                         else min(bound, flow_bound))
+        if bound is not None:
+            return bound
+        return EGRESS_NEVER
 
     def finish(self) -> Dict[str, Any]:
         recorder = self.recorder
@@ -215,10 +305,22 @@ def build_mesh_host(host_id: int, **params: Any) -> MeshHost:
     return MeshHost(host_id=host_id, **params)
 
 
+#: MeshResult fields that describe *how the engine ran*, not what the
+#: simulation computed: excluded from the parity signature. ``windows``
+#: moved here when adaptive horizons landed — the window count is engine
+#: bookkeeping that legally differs between fixed and adaptive modes while
+#: the simulated results stay byte-identical.
+ENGINE_FIELDS = (
+    "shards", "mode", "window_mode", "windows", "stretched_windows",
+    "skipped_shard_rounds", "boundary_packets", "boundary_bytes",
+)
+
+
 @dataclass
 class MeshResult:
-    """Outcome of a mesh run; every field except ``shards`` is identical
-    for every shard count (that is the parity contract)."""
+    """Outcome of a mesh run; every field outside :data:`ENGINE_FIELDS`
+    is identical for every shard count *and* window mode (that is the
+    parity contract)."""
 
     hosts: int
     shards: int
@@ -236,18 +338,28 @@ class MeshResult:
     #: Latency-recording mode the hosts ran with ("exact" | "sketch").
     #: Defaulted so cached dicts from before ISSUE 8 still round-trip.
     mode: str = "exact"
+    #: Horizon policy the engine ran ("fixed" | "adaptive") plus its
+    #: window accounting — all signature-adjacent metadata, defaulted so
+    #: cached dicts from before ISSUE 10 still round-trip.
+    window_mode: str = "adaptive"
+    stretched_windows: int = 0
+    skipped_shard_rounds: int = 0
+    boundary_packets: int = 0
+    boundary_bytes: int = 0
 
     def signature(self) -> dict:
-        """Everything the run computed, minus the shard count itself.
+        """Everything the simulation computed, minus the engine metadata.
 
-        ``mode`` is dropped too: it is a label, and the parity gates
-        compare runs *within* one mode (sketch-mode percentiles legally
-        differ from exact ones, but sketched shard counts must still
-        agree with each other — lossless sketch merge guarantees it).
+        ``shards``, ``mode``, ``window_mode``, and the window accounting
+        are dropped: they label or describe the execution strategy, and
+        the parity gates compare simulated results across strategies
+        (sketch-mode percentiles legally differ from exact ones, but
+        sketched shard counts must still agree with each other — lossless
+        sketch merge guarantees it).
         """
         data = asdict(self)
-        del data["shards"]
-        del data["mode"]
+        for field in ENGINE_FIELDS:
+            del data[field]
         return data
 
     def to_dict(self) -> dict:
@@ -262,13 +374,13 @@ def mesh_signature(result: Union[MeshResult, dict]) -> str:
     """Canonical-JSON signature of a mesh result (or its dict form).
 
     This is the byte string the A/B parity gates compare: identical bytes
-    <=> the sharded run reproduced the serial run exactly.
+    <=> the sharded/adaptive run reproduced the serial run exactly.
     """
     if isinstance(result, MeshResult):
         data = result.signature()
     else:
         data = {key: value for key, value in result.items()
-                if key not in ("shards", "mode")}
+                if key not in ENGINE_FIELDS}
     return canonical_json(data)
 
 
@@ -284,6 +396,7 @@ def run_echo_mesh(
     tor_delay_ns: Optional[int] = None,
     seed: int = 1,
     mode: str = "exact",
+    window_mode: str = "adaptive",
     record_boundary_log: bool = False,
     max_windows: Optional[int] = None,
 ) -> MeshResult:
@@ -294,6 +407,11 @@ def run_echo_mesh(
     (:mod:`repro.obs.sketch`): no host ships a sample list back, and the
     cross-host merge folds bucket maps instead of k-way-merging samples —
     O(1) memory per host no matter how large ``nreq_per_host`` gets.
+
+    ``window_mode="adaptive"`` (default) lets the engine stretch
+    conservative windows using the hosts' egress bounds; ``"fixed"`` grants
+    the minimal ``T_min + lookahead`` every round. Simulated results are
+    byte-identical across modes — only the window accounting differs.
     """
     _check_mode(mode)  # fail in the parent, not inside a worker process
     lookahead = (tor_delay_ns if tor_delay_ns is not None
@@ -315,6 +433,7 @@ def run_echo_mesh(
         ),
         shards=shards,
         lookahead_ns=lookahead,
+        window_mode=window_mode,
         record_boundary_log=record_boundary_log,
         max_windows=max_windows,
     )
@@ -379,6 +498,11 @@ def run_echo_mesh(
         events_per_host=list(sharded.events_per_host),
         per_host=per_host,
         mode=mode,
+        window_mode=sharded.window_mode,
+        stretched_windows=sharded.stretched_windows,
+        skipped_shard_rounds=sharded.skipped_shard_rounds,
+        boundary_packets=sharded.boundary_packets,
+        boundary_bytes=sharded.boundary_bytes,
     )
 
 
@@ -395,7 +519,7 @@ class EchoMeshRig:
     def __init__(self, hosts: int = 4, batch_size: int = 4,
                  rpc_bytes: int = 48, service_ns: int = 0,
                  tor_delay_ns: Optional[int] = None, seed: int = 1,
-                 mode: str = "exact"):
+                 mode: str = "exact", window_mode: str = "adaptive"):
         self.hosts = hosts
         self.batch_size = batch_size
         self.rpc_bytes = rpc_bytes
@@ -403,6 +527,7 @@ class EchoMeshRig:
         self.tor_delay_ns = tor_delay_ns
         self.seed = seed
         self.mode = _check_mode(mode)
+        self.window_mode = window_mode
 
     def closed_loop(self, window: int = 64, nreq_per_host: int = 4000,
                     warmup_ns: int = 20_000, shards: int = 1) -> MeshResult:
@@ -418,4 +543,5 @@ class EchoMeshRig:
             tor_delay_ns=self.tor_delay_ns,
             seed=self.seed,
             mode=self.mode,
+            window_mode=self.window_mode,
         )

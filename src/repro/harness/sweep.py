@@ -47,7 +47,9 @@ from repro.harness.runner import BenchResult
 
 #: Bump when the result encoding or the meaning of cached entries changes.
 #: 2: zero-yield try_* fast paths re-baselined equal-timestamp grant order.
-CACHE_VERSION = 2
+#: 3: canonical injection keys made per-host event order window-independent;
+#:    sharded results grew window-accounting fields (window_mode etc.).
+CACHE_VERSION = 3
 
 #: Repo-level default cache directory (benchmarks/results/cache/).
 DEFAULT_CACHE_DIR = os.path.join(
@@ -286,6 +288,7 @@ def run_sweep(
     stats: Optional[Dict[str, int]] = None,
     shards: Optional[int] = None,
     mode: Optional[str] = None,
+    window_mode: Optional[str] = None,
 ) -> List[Any]:
     """Evaluate sweep points; results come back in input order.
 
@@ -308,6 +311,11 @@ def run_sweep(
     percentiles (within the sketch's relative-accuracy bound), which is
     why it participates in the cache key and is never injected by
     default — signature-gated sweeps keep exact results untouched.
+
+    ``window_mode`` (``"fixed"`` or ``"adaptive"``, see
+    :mod:`repro.sim.sharded`) follows the ``shards`` contract exactly:
+    adaptive horizons are bit-identical to fixed windows, so the injected
+    value changes only engine accounting, never the measured payload.
     """
     points = list(points)
     if jobs < 1:
@@ -320,6 +328,13 @@ def run_sweep(
         from repro.sim.stats import _check_mode
 
         points = _inject_param(points, "mode", _check_mode(mode))
+    if window_mode is not None:
+        if window_mode not in ("fixed", "adaptive"):
+            raise ValueError(
+                f"window_mode must be 'fixed' or 'adaptive', "
+                f"got {window_mode!r}"
+            )
+        points = _inject_param(points, "window_mode", window_mode)
     cache_dir = cache_dir or DEFAULT_CACHE_DIR
     fingerprint = calibration_fingerprint()
     keys = [point.cache_key(fingerprint) for point in points]

@@ -106,6 +106,19 @@ class ShardBoundary(ToRSwitch):
     engine's lookahead. Cross-shard wire faults are not supported (the chaos
     injector's RNG is single-stream and would break shard independence);
     ``wire_faults`` may only be used for host-local traffic.
+
+    Adaptive-horizon support (see :mod:`repro.sim.sharded`): the boundary
+    keeps per-address send/delivery counters and, when
+    ``track_delivery_times`` is set, the timestamps of injected arrivals —
+    the raw material a host model needs to compute a *conservative earliest
+    next egress* bound. The host plugs its estimator into
+    ``egress_bound_fn``; :meth:`egress_bound` is what the engine polls
+    alongside ``peek()``. ``ingress_floors`` declares, per local address, a
+    lower bound on the delay between an injected arrival at that address
+    and any cross-host send it can cause (e.g. a server's minimum service
+    time) — the coordinator uses it to stretch horizons past in-flight
+    arrivals. All of it is opt-in: with no estimator and no floors the
+    engine behaves exactly like the fixed-window protocol.
     """
 
     def __init__(
@@ -120,6 +133,28 @@ class ShardBoundary(ToRSwitch):
         self._remote: set = set()
         self._egress: list = []
         self._egress_seq = 0
+        #: Captured cross-host sends per destination address (wire-level
+        #: truth: incremented only when the packet is actually captured).
+        self.sent_by_address: Dict[str, int] = {}
+        #: Injected cross-shard arrivals per local address.
+        self.delivered_by_address: Dict[str, int] = {}
+        #: When True, :meth:`deliver` appends ``sim.now`` per address to
+        #: :attr:`delivery_times` (host estimators may trim the lists).
+        self.track_delivery_times = False
+        self.delivery_times: Dict[str, list] = {}
+        #: Host-declared conservative estimator; returns an absolute ns
+        #: lower bound on the next cross-host send assuming no further
+        #: injections, or None to make no claim.
+        self.egress_bound_fn: Optional[Callable[[], Optional[int]]] = None
+        #: Optional ``(dst_address, packet)`` callback fired for every
+        #: injected arrival before it reaches the local ingress. Host
+        #: models that need more than per-address counts (e.g. per-flow
+        #: delivery order keyed on a connection id) hang their tracking
+        #: here instead of wrapping the ingress table.
+        self.delivery_hook: Optional[Callable[[str, Any], None]] = None
+        #: Per-local-address ingress-to-egress floors (ns), see class doc.
+        self.ingress_floors: Dict[str, int] = {}
+        self.packets_delivered = 0
 
     def set_remote_addresses(self, addresses) -> None:
         """Install the set of addresses served by other shards."""
@@ -132,6 +167,9 @@ class ShardBoundary(ToRSwitch):
         if dst_address not in self._remote:
             raise UnknownDestinationError(dst_address)
         self.packets_forwarded += 1
+        self.sent_by_address[dst_address] = (
+            self.sent_by_address.get(dst_address, 0) + 1
+        )
         self._egress.append(
             (self.sim.now + self.delay_ns, self.host_id, self._egress_seq,
              dst_address, packet)
@@ -145,4 +183,35 @@ class ShardBoundary(ToRSwitch):
 
     def deliver(self, dst_address: str, packet: Any) -> None:
         """Hand an injected cross-shard packet to the local ingress (at ``now``)."""
+        self.packets_delivered += 1
+        self.delivered_by_address[dst_address] = (
+            self.delivered_by_address.get(dst_address, 0) + 1
+        )
+        if self.track_delivery_times:
+            self.delivery_times.setdefault(dst_address, []).append(self.sim.now)
+        if self.delivery_hook is not None:
+            self.delivery_hook(dst_address, packet)
         self._table[dst_address](packet)
+
+    def egress_bound(self) -> Optional[int]:
+        """Conservative earliest-next-egress estimate, or None for no claim.
+
+        The contract the adaptive coordinator relies on: *assuming no
+        further cross-shard injections*, this host will not capture another
+        cross-host send strictly before ``max(bound, sim.now)``. Hosts that
+        cannot egress at all without new ingress return
+        :data:`repro.sim.sharded.EGRESS_NEVER`. Unsound estimates are
+        fail-stop, not silent: the coordinator raises ``SimulationError``
+        on any captured arrival that lands inside the granted window.
+        """
+        if self.egress_bound_fn is None:
+            return None
+        return self.egress_bound_fn()
+
+    def timeline_probes(self):
+        """Boundary counters for timeline collectors (probe protocol)."""
+        return [
+            ("packets_forwarded", "counter", lambda: self.packets_forwarded),
+            ("packets_delivered", "counter", lambda: self.packets_delivered),
+            ("egress_captured", "counter", lambda: self._egress_seq),
+        ]

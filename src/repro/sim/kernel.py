@@ -383,15 +383,27 @@ class Simulator:
         if until is not None:
             self.now = until
 
-    def inject(self, when: int, action: Callable[[], None]) -> None:
+    def inject(self, when: int, action: Callable[[], None],
+               seq_key: Optional[int] = None) -> None:
         """Schedule ``action()`` at absolute simulated time ``when``.
 
         Entry point for externally produced event batches (the sharded
-        engine delivers cross-shard packets through this). The callback is
-        interleaved with locally scheduled events in exact ``(time, seq)``
-        order: an injected event at time ``t`` fires after same-``t`` events
-        that were already scheduled and before same-``t`` events scheduled
-        later. ``when`` must not lie in this simulator's past.
+        engine delivers cross-shard packets through this). By default the
+        callback is interleaved with locally scheduled events in exact
+        ``(time, seq)`` order: an injected event at time ``t`` fires after
+        same-``t`` events that were already scheduled and before same-``t``
+        events scheduled later — an order that depends on *when* the
+        injection happened relative to local scheduling.
+
+        ``seq_key`` decouples that: when given, it replaces the local
+        sequence number as the heap tie-break, so the position of the
+        injected event among same-timestamp events is a pure function of
+        the key — independent of how the caller batches its injections.
+        Negative keys fire before every locally scheduled event at the
+        same timestamp (local sequence numbers start at 0). Callers must
+        guarantee keys are unique per ``(when, seq_key)`` pair; the sharded
+        engine derives them from the canonical ``(src_host, seq)`` commit
+        identity. ``when`` must not lie in this simulator's past.
         """
         if when < self.now:
             raise SimulationError(
@@ -400,13 +412,15 @@ class Simulator:
         event = Event(self)
         event.triggered = True
         event.callbacks.append(lambda _event: action())
-        if when == self.now:
+        if when == self.now and seq_key is None:
             self._nowq.append(event)
+        elif seq_key is not None:
+            heappush(self._heap, (when, seq_key, event))
         else:
             heappush(self._heap, (when, self._seq, event))
             self._seq += 1
 
-    def run_horizon(self, horizon: int) -> int:
+    def run_horizon(self, horizon: Optional[int]) -> int:
         """Process every event strictly before ``horizon``; count them.
 
         The conservative-window entry point for sharded simulation: unlike
@@ -417,8 +431,15 @@ class Simulator:
         :meth:`inject` at any ``t >= horizon`` keeps exact ordering against
         the events that remain on the heap.
 
+        ``horizon=None`` is the *drain* grant: no boundary at all — run
+        until the heap is empty. The adaptive sharded coordinator issues it
+        when every host has proven it cannot produce another cross-shard
+        packet, collapsing the run-out into a single window.
+
         Returns the number of events dispatched in this window.
         """
+        if horizon is None:
+            horizon = float("inf")
         if self._nowq and self.now >= horizon:
             raise SimulationError(
                 f"horizon {horizon} is not ahead of pending work at {self.now}"

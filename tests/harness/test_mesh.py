@@ -23,6 +23,10 @@ def probe_plain(value: int = 0) -> dict:
     return {"value": value}
 
 
+def probe_window_mode(value: int = 0, window_mode: str = "adaptive") -> dict:
+    return {"value": value, "window_mode": window_mode}
+
+
 def test_mesh_serial_vs_sharded_signature():
     serial = run_echo_mesh(shards=1, **MESH_KW)
     sharded = run_echo_mesh(shards=2, **MESH_KW)
@@ -32,6 +36,31 @@ def test_mesh_serial_vs_sharded_signature():
     assert serial.count == sharded.count
     assert serial.events_per_host == sharded.events_per_host
     assert serial.windows == sharded.windows
+
+
+def test_mesh_fixed_vs_adaptive_signature():
+    # Window policy is engine plumbing: the measured payload must be
+    # byte-identical across modes at every shard count.
+    fixed = run_echo_mesh(shards=2, window_mode="fixed", **MESH_KW)
+    adaptive = run_echo_mesh(shards=2, window_mode="adaptive", **MESH_KW)
+    assert fixed.window_mode == "fixed"
+    assert adaptive.window_mode == "adaptive"
+    assert mesh_signature(fixed) == mesh_signature(adaptive)
+    assert adaptive.windows <= fixed.windows
+    assert fixed.stretched_windows == 0
+
+
+def test_mesh_adaptive_accounting_populated():
+    result = run_echo_mesh(shards=2, **MESH_KW)
+    assert result.window_mode == "adaptive"
+    assert result.windows > 0
+    assert result.boundary_packets > 0
+    assert result.boundary_bytes > 0
+
+
+def test_mesh_rejects_bad_window_mode():
+    with pytest.raises(ValueError, match="window_mode"):
+        run_echo_mesh(window_mode="loose", **MESH_KW)
 
 
 def test_mesh_repeat_runs_identical():
@@ -83,6 +112,25 @@ def test_run_sweep_skips_shard_unaware_points():
 def test_run_sweep_validates_shards():
     with pytest.raises(ValueError, match="shards"):
         run_sweep([], shards=0)
+
+
+def test_run_sweep_injects_window_mode_when_accepted():
+    points = [SweepPoint("tests.harness.test_mesh:probe_window_mode",
+                         {"value": 1})]
+    results = run_sweep(points, cache=False, window_mode="fixed")
+    assert results == [{"value": 1, "window_mode": "fixed"}]
+
+
+def test_run_sweep_keeps_pinned_window_mode():
+    points = [SweepPoint("tests.harness.test_mesh:probe_window_mode",
+                         {"value": 1, "window_mode": "adaptive"})]
+    results = run_sweep(points, cache=False, window_mode="fixed")
+    assert results == [{"value": 1, "window_mode": "adaptive"}]
+
+
+def test_run_sweep_validates_window_mode():
+    with pytest.raises(ValueError, match="window_mode"):
+        run_sweep([], window_mode="loose")
 
 
 def test_jobs_and_shards_compose():
